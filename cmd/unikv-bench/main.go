@@ -1,0 +1,72 @@
+// Command unikv-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	unikv-bench -list
+//	unikv-bench -exp fig7 [-n 200000] [-value 1024] [-ops 100000]
+//	unikv-bench -exp all
+//
+// Every experiment runs each engine over a fresh in-memory file system with
+// I/O accounting; see EXPERIMENTS.md for the interpretation contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unikv/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list   = flag.Bool("list", false, "list experiments")
+		n      = flag.Int("n", 0, "records to load (default per experiment)")
+		value  = flag.Int("value", 0, "value size in bytes")
+		ops    = flag.Int("ops", 0, "measured operations per phase")
+		seed   = flag.Int64("seed", 1, "workload seed")
+		stores = flag.String("stores", "", "comma-separated store subset (default all)")
+		quiet  = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-20s %s\n", e.ID, e.Brief)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun with -exp <id> (or -exp all)")
+		}
+		return
+	}
+
+	p := bench.Params{N: *n, ValueSize: *value, Ops: *ops, Seed: *seed}
+	if *stores != "" {
+		p.Stores = strings.Split(*stores, ",")
+	}
+	if !*quiet {
+		p.Progress = os.Stderr
+	}
+
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := bench.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			exps = append(exps, e)
+		}
+	}
+	for _, e := range exps {
+		for _, t := range e.Run(p) {
+			fmt.Println(t.String())
+		}
+	}
+}

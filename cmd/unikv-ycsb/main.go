@@ -1,0 +1,105 @@
+// Command unikv-ycsb runs a YCSB workload against one engine.
+//
+// Usage:
+//
+//	unikv-ycsb -store unikv -workload A -n 100000 -ops 100000 -value 1024
+//	unikv-ycsb -store leveldb -workload E -dir /tmp/db -disk
+//
+// By default the engine runs over an in-memory file system; -disk uses the
+// real file system under -dir.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"unikv/internal/bench"
+	"unikv/internal/vfs"
+	"unikv/internal/ycsb"
+)
+
+func main() {
+	var (
+		store    = flag.String("store", "unikv", "engine: unikv|leveldb|rocksdb|hyperleveldb|pebblesdb|hashstore")
+		workload = flag.String("workload", "A", "YCSB workload A-F")
+		n        = flag.Int("n", 50000, "records to load")
+		ops      = flag.Int("ops", 50000, "measured operations")
+		value    = flag.Int("value", 256, "value size in bytes")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		dir      = flag.String("dir", "ycsb-db", "database directory")
+		disk     = flag.Bool("disk", false, "use the real file system instead of memory")
+	)
+	flag.Parse()
+
+	var w ycsb.Workload
+	found := false
+	for _, cw := range ycsb.CoreWorkloads() {
+		if cw.Name == *workload {
+			w, found = cw, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (A-F)\n", *workload)
+		os.Exit(1)
+	}
+
+	env := bench.Env{Dir: *dir, DatasetBytes: int64(*n) * int64(*value+20)}
+	if *disk {
+		env.FS = vfs.NewOS()
+	}
+	s, err := bench.OpenStore(*store, env)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer s.Close()
+
+	fmt.Fprintf(os.Stderr, "loading %d records x %dB into %s...\n", *n, *value, s.Name())
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		if err := s.Put(ycsb.Key(i), ycsb.Value(i, *value)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	loadDur := time.Since(start)
+	fmt.Printf("load: %d ops in %v (%.0f ops/s)\n", *n, loadDur.Round(time.Millisecond),
+		float64(*n)/loadDur.Seconds())
+	s.Compact()
+
+	fmt.Fprintf(os.Stderr, "running workload %s: %d ops...\n", w.Name, *ops)
+	c := ycsb.NewClient(w, *n, *seed)
+	counts := map[ycsb.OpType]int{}
+	start = time.Now()
+	for i := 0; i < *ops; i++ {
+		op := c.Next()
+		counts[op.Type]++
+		switch op.Type {
+		case ycsb.OpRead:
+			s.Get(op.Key)
+		case ycsb.OpUpdate, ycsb.OpInsert:
+			if err := s.Put(op.Key, ycsb.Value(i, *value)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		case ycsb.OpScan:
+			s.Scan(op.Key, op.ScanLen)
+		case ycsb.OpReadModifyWrite:
+			s.Get(op.Key)
+			if err := s.Put(op.Key, ycsb.Value(i, *value)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	runDur := time.Since(start)
+	fmt.Printf("workload %s on %s: %d ops in %v (%.0f ops/s)\n",
+		w.Name, s.Name(), *ops, runDur.Round(time.Millisecond), float64(*ops)/runDur.Seconds())
+	for _, typ := range []ycsb.OpType{ycsb.OpRead, ycsb.OpUpdate, ycsb.OpInsert, ycsb.OpScan, ycsb.OpReadModifyWrite} {
+		if counts[typ] > 0 {
+			fmt.Printf("  %-7s %d\n", typ, counts[typ])
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: the essential UniKV public API — open, put, get, delete,
+// scan, metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"unikv"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "unikv-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// nil options = defaults (4 MiB memtable, 32 MiB UnsortedStore per
+	// partition, WAL on).
+	db, err := unikv.Open(dir, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Writes.
+	if err := db.Put([]byte("user:alice"), []byte("alice@example.com")); err != nil {
+		log.Fatal(err)
+	}
+	db.Put([]byte("user:bob"), []byte("bob@example.com"))
+	db.Put([]byte("user:carol"), []byte("carol@example.com"))
+	db.Put([]byte("post:001"), []byte("hello world"))
+
+	// Point read.
+	v, err := db.Get([]byte("user:bob"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user:bob -> %s\n", v)
+
+	// Missing keys return unikv.ErrNotFound.
+	if _, err := db.Get([]byte("user:zoe")); err == unikv.ErrNotFound {
+		fmt.Println("user:zoe -> not found (as expected)")
+	}
+
+	// Overwrite and delete.
+	db.Put([]byte("user:bob"), []byte("bob@new.example.com"))
+	db.Delete([]byte("post:001"))
+
+	// Range scan: every key in ["user:", "user;") — i.e., the user: prefix.
+	kvs, err := db.Scan([]byte("user:"), []byte("user;"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("users:")
+	for _, kv := range kvs {
+		fmt.Printf("  %s -> %s\n", kv.Key, kv.Value)
+	}
+
+	// Engine statistics.
+	m := db.Metrics()
+	fmt.Printf("partitions=%d puts=%d gets=%d scans=%d\n",
+		m.Partitions, m.Puts, m.Gets, m.Scans)
+}

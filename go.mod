@@ -1,0 +1,3 @@
+module unikv
+
+go 1.22

@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"testing"
+
+	"unikv/internal/vfs"
+	"unikv/internal/ycsb"
+)
+
+// BenchmarkProfileUniKVGet exists for profiling the steady-state read path
+// (go test -bench ProfileUniKVGet -cpuprofile).
+func BenchmarkProfileUniKVGet(b *testing.B) {
+	p := Params{N: 30000, ValueSize: 256}.WithDefaults()
+	env := Env{FS: vfs.NewMem(), DatasetBytes: p.DatasetBytes()}
+	s, err := OpenStore(KindUniKV, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < p.N; i++ {
+		s.Put(ycsb.Key(i), ycsb.Value(i, p.ValueSize))
+	}
+	s.Compact()
+	c := ycsb.NewClient(ycsb.WorkloadC, p.N, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := c.Next()
+		s.Get(op.Key)
+	}
+}

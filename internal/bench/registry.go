@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a runnable paper artifact.
+type Experiment struct {
+	ID    string
+	Brief string
+	Run   func(Params) []Table
+}
+
+// registry maps experiment IDs to runners.
+var registry = map[string]Experiment{}
+
+func register(id, brief string, run func(Params) []Table) {
+	registry[id] = Experiment{ID: id, Brief: brief, Run: run}
+}
+
+func init() {
+	register("fig1", "motivation: hash store vs LSM as data grows", Fig1)
+	register("fig2", "motivation: SSTable access skew by level", Fig2)
+	register("tab-io", "I/O amplification: UniKV vs baselines", TabIO)
+	register("fig7", "microbenchmarks: load/read/scan/update", Fig7)
+	register("fig8", "YCSB mixed workloads A-F", Fig8)
+	register("fig9", "scalability with dataset size", Fig9)
+	register("fig10", "impact of value size", Fig10)
+	register("fig11", "ablation of UniKV's techniques", Fig11)
+	register("fig-selective", "selective KV separation, mixed value sizes", FigSelective)
+	register("tab-mem", "hash-index memory overhead", TabMem)
+	register("tab-recovery", "crash recovery cost", TabRecovery)
+	register("fig-gc", "value-log GC overhead", FigGC)
+	register("fig-param-unsorted", "sensitivity: UnsortedLimit", FigParamUnsorted)
+	register("fig-param-partition", "sensitivity: PartitionSizeLimit", FigParamPartition)
+	register("fig-scanopt", "scan optimization breakdown", FigScanOpt)
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("bench: unknown experiment %q (try one of %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists all experiment IDs, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	var out []Experiment
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}

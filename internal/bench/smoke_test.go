@@ -1,0 +1,24 @@
+package bench
+
+import "testing"
+
+func TestSmokeAllExperiments(t *testing.T) {
+	p := Params{N: 1500, ValueSize: 64, Ops: 300}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(p)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("%s: empty table %q", e.ID, tab.Title)
+				}
+				if tab.String() == "" {
+					t.Fatal("empty render")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,135 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumMaskRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		c := Checksum(data)
+		return UnmaskChecksum(MaskChecksum(c)) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumDiffers(t *testing.T) {
+	a := Checksum([]byte("hello"))
+	b := Checksum([]byte("hellp"))
+	if a == b {
+		t.Fatal("checksums of different inputs collide trivially")
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		enc := PutUvarint(nil, v)
+		got, rest, err := Uvarint(enc)
+		return err == nil && got == v && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUvarintEmpty(t *testing.T) {
+	if _, _, err := Uvarint(nil); err == nil {
+		t.Fatal("expected error decoding empty input")
+	}
+}
+
+func TestUint32RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		enc := PutUint32(nil, v)
+		got, rest, err := Uint32(enc)
+		return err == nil && got == v && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		enc := PutUint64(nil, v)
+		got, rest, err := Uint64(enc)
+		return err == nil && got == v && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint32Short(t *testing.T) {
+	if _, _, err := Uint32([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected error on short input")
+	}
+}
+
+func TestUint64Short(t *testing.T) {
+	if _, _, err := Uint64([]byte{1, 2, 3, 4, 5, 6, 7}); err == nil {
+		t.Fatal("expected error on short input")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(b []byte, suffix []byte) bool {
+		enc := PutBytes(nil, b)
+		enc = append(enc, suffix...)
+		got, rest, err := Bytes(enc)
+		return err == nil && bytes.Equal(got, b) && bytes.Equal(rest, suffix)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesTruncated(t *testing.T) {
+	enc := PutBytes(nil, []byte("hello world"))
+	if _, _, err := Bytes(enc[:len(enc)-3]); err == nil {
+		t.Fatal("expected error on truncated input")
+	}
+}
+
+func TestBytesMulti(t *testing.T) {
+	var enc []byte
+	enc = PutBytes(enc, []byte("a"))
+	enc = PutBytes(enc, []byte(""))
+	enc = PutBytes(enc, []byte("ccc"))
+	want := []string{"a", "", "ccc"}
+	for _, w := range want {
+		var got []byte
+		var err error
+		got, enc, err = Bytes(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != w {
+			t.Fatalf("got %q want %q", got, w)
+		}
+	}
+	if len(enc) != 0 {
+		t.Fatalf("leftover bytes: %d", len(enc))
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"a", "b", -1},
+		{"b", "a", 1},
+		{"a", "a", 0},
+		{"", "a", -1},
+		{"ab", "a", 1},
+	}
+	for _, c := range cases {
+		if got := Compare([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("Compare(%q,%q)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"unikv/internal/record"
+)
+
+// Batch collects writes to apply together. All operations destined for the
+// same partition are committed with a single WAL record (and a single
+// fsync under SyncWrites), so they become durable atomically within that
+// partition; operations that straddle a partition boundary commit
+// per-partition, in key order (partitions have independent WALs by
+// design — the paper's partitions are fully independent).
+type Batch struct {
+	ops []record.Record
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Put queues an insert/overwrite. Key and value are copied.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, record.Record{
+		Key:   append([]byte(nil), key...),
+		Kind:  record.KindSet,
+		Value: append([]byte(nil), value...),
+	})
+}
+
+// Delete queues a tombstone. The key is copied.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, record.Record{
+		Key:  append([]byte(nil), key...),
+		Kind: record.KindDelete,
+	})
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset empties the batch for reuse.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+// ApplyBatch applies every operation in the batch. Operations are
+// sequenced in queue order; per-key ordering is always preserved (a key
+// maps to exactly one partition).
+func (db *DB) ApplyBatch(b *Batch) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	for i := range b.ops {
+		op := &b.ops[i]
+		if len(op.Key) == 0 || len(op.Key) >= maxKeyLen || len(op.Value) >= maxValueLen {
+			return ErrKeyTooLarge
+		}
+	}
+	// Sequence all operations up front: queue order = commit order.
+	for i := range b.ops {
+		b.ops[i].Seq = db.seq.Add(1)
+		if b.ops[i].Kind == record.KindDelete {
+			db.stats.Deletes.Add(1)
+		} else {
+			db.stats.Puts.Add(1)
+		}
+	}
+	pending := b.ops
+	for len(pending) > 0 {
+		p := db.partitionFor(pending[0].Key)
+		p.mu.Lock()
+		if !p.covers(pending[0].Key) {
+			p.mu.Unlock()
+			continue // split raced; re-route
+		}
+		// Split pending into this partition's ops (order preserved) and
+		// the rest.
+		var mine, rest []record.Record
+		for _, op := range pending {
+			if p.covers(op.Key) {
+				mine = append(mine, op)
+			} else {
+				rest = append(rest, op)
+			}
+		}
+		wantSplit, err := p.putBatch(mine)
+		p.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if wantSplit {
+			if err := db.splitPartition(p); err != nil {
+				return err
+			}
+		}
+		pending = rest
+	}
+	return nil
+}

@@ -1,0 +1,542 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"unikv/internal/codec"
+	"unikv/internal/manifest"
+	"unikv/internal/sstable"
+	"unikv/internal/vfs"
+	"unikv/internal/vlog"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("unikv: database closed")
+
+// ErrNotFound is returned by Get when the key does not exist.
+var ErrNotFound = errors.New("unikv: key not found")
+
+// DB is a UniKV instance.
+type DB struct {
+	opts Options
+	fs   vfs.FS
+	dir  string
+
+	man *manifest.Manifest
+	vl  *vlog.Manager
+
+	seq      atomic.Uint64
+	nextFile atomic.Uint64
+
+	// router orders partitions by lower boundary key. Lock order:
+	// router.mu -> partition.mu -> logRefs.mu.
+	router struct {
+		sync.RWMutex
+		parts []*partition
+	}
+
+	// logRefs counts how many partitions reference each value log; a log
+	// is deleted when its count drops to zero (lazy value split).
+	logRefs struct {
+		sync.Mutex
+		refs map[uint32]int
+	}
+
+	pool   *fetchPool
+	stats  Stats
+	closed atomic.Bool
+}
+
+// Stats aggregates operation counters for the experiments.
+type Stats struct {
+	Puts, Gets, Deletes, Scans               atomic.Int64
+	Flushes, Merges, ScanMerges, GCs, Splits atomic.Int64
+	GCBytesRewritten                         atomic.Int64
+	HashProbes                               atomic.Int64
+}
+
+// StatsSnapshot is a plain-value copy of Stats plus derived gauges.
+type StatsSnapshot struct {
+	Puts, Gets, Deletes, Scans               int64
+	Flushes, Merges, ScanMerges, GCs, Splits int64
+	GCBytesRewritten                         int64
+	Partitions                               int
+	UnsortedTables                           int
+	SortedTables                             int
+	ValueLogs                                int
+	HashIndexBytes                           int64
+	UnsortedBytes                            int64
+	SortedBytes                              int64
+	ValueLogBytes                            int64
+	TableBlockReads                          int64
+}
+
+// file-name helpers -----------------------------------------------------
+
+func (db *DB) partDir(id uint32) string {
+	return filepath.Join(db.dir, fmt.Sprintf("p%d", id))
+}
+
+func tableName(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d.sst", num))
+}
+
+func walName(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d.wal", num))
+}
+
+func ckptName(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d.ckpt", num))
+}
+
+func (db *DB) vlogDir() string { return filepath.Join(db.dir, "vlog") }
+
+// allocFileNum returns a fresh file number. The new high-water mark is
+// persisted with the next manifest batch (nextFileEdit).
+func (db *DB) allocFileNum() uint64 {
+	return db.nextFile.Add(1) - 1
+}
+
+// nextFileEdit captures the counter for inclusion in a manifest batch.
+func (db *DB) nextFileEdit() manifest.Edit {
+	return manifest.NextFile(db.nextFile.Load())
+}
+
+// Open opens (creating if necessary) a UniKV database in dir.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.Sanitize()
+	db := &DB{opts: opts, fs: opts.FS, dir: dir}
+	db.logRefs.refs = make(map[uint32]int)
+	if err := db.fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	man, err := manifest.Open(db.fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	db.man = man
+	state := man.State()
+	db.nextFile.Store(state.NextFileNum)
+	db.seq.Store(state.LastSeq)
+
+	vl, err := vlog.Open(db.fs, db.vlogDir(), vlog.Options{MaxLogSize: opts.MaxLogSize})
+	if err != nil {
+		man.Close()
+		return nil, err
+	}
+	db.vl = vl
+	db.pool = newFetchPool(opts.ScanWorkers)
+
+	if len(state.Partitions) == 0 {
+		if err := db.bootstrap(); err != nil {
+			db.Close()
+			return nil, err
+		}
+	} else {
+		if err := db.recover(state); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	if !opts.DisableOrphanCleanup {
+		db.sweepOrphans()
+	}
+	return db, nil
+}
+
+// bootstrap creates the initial single partition covering the whole key
+// space.
+func (db *DB) bootstrap() error {
+	const pid = 1
+	pdir := db.partDir(pid)
+	if err := db.fs.MkdirAll(pdir); err != nil {
+		return err
+	}
+	p := &partition{db: db, id: pid, dir: pdir}
+	if err := p.initEmptyStores(); err != nil {
+		return err
+	}
+	edits := []manifest.Edit{
+		manifest.AddPartition(pid, nil),
+		manifest.NextPart(2),
+	}
+	if !db.opts.DisableWAL {
+		if err := p.newWALLocked(); err != nil {
+			return err
+		}
+		edits = append(edits, manifest.SetWAL(pid, p.walNum))
+	}
+	edits = append(edits, db.nextFileEdit())
+	if err := db.man.Apply(edits...); err != nil {
+		return err
+	}
+	db.router.parts = []*partition{p}
+	return nil
+}
+
+// recover rebuilds all partitions from the manifest state, replaying WALs
+// and hash-index checkpoints.
+func (db *DB) recover(state *manifest.State) error {
+	metas := state.SortedPartitions()
+	parts := make([]*partition, 0, len(metas))
+	for i, meta := range metas {
+		p, err := db.recoverPartition(meta)
+		if err != nil {
+			return err
+		}
+		if i+1 < len(metas) {
+			p.upper = append([]byte(nil), metas[i+1].Lower...)
+		}
+		parts = append(parts, p)
+		for _, l := range meta.Logs {
+			db.logRefs.refs[l]++
+		}
+	}
+	db.router.parts = parts
+	// Sequence: manifest's LastSeq covers flushed data; WAL replay may
+	// have seen higher.
+	for _, p := range parts {
+		if s := p.mem.MaxSeq(); s > db.seq.Load() {
+			db.seq.Store(s)
+		}
+		for _, t := range p.uns.Tables() {
+			if t.Meta.MaxSeq > db.seq.Load() {
+				db.seq.Store(t.Meta.MaxSeq)
+			}
+		}
+	}
+	// Flush recovered memtables so recovery converges to a clean WAL.
+	for _, p := range parts {
+		p.mu.Lock()
+		var err error
+		if !p.mem.Empty() {
+			err = p.flushLocked()
+		} else if !db.opts.DisableWAL && p.wal == nil {
+			err = p.rotateWALLocked()
+		}
+		p.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recoverPartition restores one partition's stores and memtable.
+func (db *DB) recoverPartition(meta *manifest.PartitionMeta) (*partition, error) {
+	pdir := db.partDir(meta.ID)
+	if err := db.fs.MkdirAll(pdir); err != nil {
+		return nil, err
+	}
+	p := &partition{
+		db:    db,
+		id:    meta.ID,
+		dir:   pdir,
+		lower: append([]byte(nil), meta.Lower...),
+	}
+	p.logs = make(map[uint32]bool, len(meta.Logs))
+	for _, l := range meta.Logs {
+		p.logs[l] = true
+	}
+	p.hashCkpt = meta.HashCkpt
+
+	openTable := func(tm manifest.TableMeta) (*sstable.Reader, error) {
+		f, err := db.fs.Open(tableName(pdir, tm.FileNum))
+		if err != nil {
+			return nil, err
+		}
+		return sstable.Open(f)
+	}
+
+	// UnsortedStore: checkpoint + replay.
+	ckpt := ""
+	if meta.HashCkpt != 0 {
+		ckpt = ckptName(pdir, meta.HashCkpt)
+	}
+	uns, err := db.recoverUnsorted(meta, ckpt, openTable)
+	if err != nil {
+		return nil, err
+	}
+	p.uns = uns
+
+	// SortedStore.
+	srt, err := recoverSorted(meta, openTable)
+	if err != nil {
+		return nil, err
+	}
+	p.srt = srt
+
+	p.mem = newMemtable()
+	// WAL replay.
+	if meta.WALNum != 0 && db.fs.Exists(walName(pdir, meta.WALNum)) {
+		if err := p.replayWAL(meta.WALNum); err != nil {
+			return nil, err
+		}
+		p.walNum = meta.WALNum // flushed or rotated by recover()
+	}
+	return p, nil
+}
+
+// Close flushes memtables and releases every resource.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	var first error
+	db.router.Lock()
+	parts := db.router.parts
+	db.router.Unlock()
+	for _, p := range parts {
+		p.mu.Lock()
+		if !p.mem.Empty() {
+			if err := p.flushLocked(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if p.wal != nil {
+			if err := p.wal.Sync(); err != nil && first == nil {
+				first = err
+			}
+			p.wal.Close()
+			p.wal = nil
+		}
+		p.closeTablesLocked()
+		p.mu.Unlock()
+	}
+	if db.pool != nil {
+		db.pool.close()
+	}
+	if db.vl != nil {
+		if err := db.vl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if db.man != nil {
+		if err := db.man.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// partitionFor routes key to its partition (largest lower bound <= key).
+func (db *DB) partitionFor(key []byte) *partition {
+	db.router.RLock()
+	defer db.router.RUnlock()
+	parts := db.router.parts
+	lo, hi := 0, len(parts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if codec.Compare(parts[mid].lower, key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		// Keys below the first partition's lower bound cannot exist (the
+		// first partition's lower is empty), but stay defensive.
+		return parts[0]
+	}
+	return parts[lo-1]
+}
+
+// partitions snapshots the router order.
+func (db *DB) partitions() []*partition {
+	db.router.RLock()
+	defer db.router.RUnlock()
+	return append([]*partition(nil), db.router.parts...)
+}
+
+// releaseLogs drops one reference from each log in nums, removing files
+// whose count reaches zero.
+func (db *DB) releaseLogs(nums []uint32) {
+	db.logRefs.Lock()
+	var dead []uint32
+	for _, n := range nums {
+		db.logRefs.refs[n]--
+		if db.logRefs.refs[n] <= 0 {
+			delete(db.logRefs.refs, n)
+			dead = append(dead, n)
+		}
+	}
+	db.logRefs.Unlock()
+	for _, n := range dead {
+		db.vl.Remove(n) // best effort; orphan sweep handles failures
+	}
+}
+
+// retainLogs adds one reference to each log in nums.
+func (db *DB) retainLogs(nums []uint32) {
+	db.logRefs.Lock()
+	for _, n := range nums {
+		db.logRefs.refs[n]++
+	}
+	db.logRefs.Unlock()
+}
+
+// sweepOrphans deletes files on disk that the recovered state does not
+// reference (outputs of crashed merges/GCs/splits).
+func (db *DB) sweepOrphans() {
+	state := db.man.State()
+	// Partition files.
+	for _, meta := range state.Partitions {
+		pdir := db.partDir(meta.ID)
+		names, err := db.fs.List(pdir)
+		if err != nil {
+			continue
+		}
+		ref := map[string]bool{}
+		for _, t := range meta.Unsorted {
+			ref[filepath.Base(tableName(pdir, t.FileNum))] = true
+		}
+		for _, t := range meta.Sorted {
+			ref[filepath.Base(tableName(pdir, t.FileNum))] = true
+		}
+		if meta.WALNum != 0 {
+			ref[filepath.Base(walName(pdir, meta.WALNum))] = true
+		}
+		if meta.HashCkpt != 0 {
+			ref[filepath.Base(ckptName(pdir, meta.HashCkpt))] = true
+		}
+		// The live partition may have rotated its WAL/checkpoint since the
+		// state snapshot; protect the current ones too.
+		if p := db.findPartition(meta.ID); p != nil {
+			p.mu.RLock()
+			if p.walNum != 0 {
+				ref[filepath.Base(walName(pdir, p.walNum))] = true
+			}
+			if p.hashCkpt != 0 {
+				ref[filepath.Base(ckptName(pdir, p.hashCkpt))] = true
+			}
+			p.mu.RUnlock()
+		}
+		for _, name := range names {
+			if !ref[name] && (strings.HasSuffix(name, ".sst") || strings.HasSuffix(name, ".wal") || strings.HasSuffix(name, ".ckpt")) {
+				db.fs.Remove(filepath.Join(pdir, name))
+			}
+		}
+	}
+	// Unknown partition directories.
+	if names, err := db.fs.List(db.dir); err == nil {
+		for _, name := range names {
+			if !strings.HasPrefix(name, "p") {
+				continue
+			}
+			var id uint32
+			if _, err := fmt.Sscanf(name, "p%d", &id); err != nil {
+				continue
+			}
+			if _, ok := state.Partitions[id]; ok {
+				continue
+			}
+			pdir := filepath.Join(db.dir, name)
+			if inner, err := db.fs.List(pdir); err == nil {
+				for _, f := range inner {
+					db.fs.Remove(filepath.Join(pdir, f))
+				}
+			}
+		}
+	}
+	// Value logs.
+	referenced := map[uint32]bool{}
+	for _, meta := range state.Partitions {
+		for _, l := range meta.Logs {
+			referenced[l] = true
+		}
+	}
+	if names, err := db.fs.List(db.vlogDir()); err == nil {
+		for _, name := range names {
+			n, ok := vlog.ParseLogName(name)
+			if !ok || referenced[n] {
+				continue
+			}
+			if active, isActive := db.vl.ActiveNum(); isActive && n == active {
+				continue
+			}
+			db.vl.Remove(n)
+		}
+	}
+}
+
+// findPartition looks a partition up by ID.
+func (db *DB) findPartition(id uint32) *partition {
+	db.router.RLock()
+	defer db.router.RUnlock()
+	for _, p := range db.router.parts {
+		if p.id == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// Metrics returns a snapshot of engine statistics.
+func (db *DB) Metrics() StatsSnapshot {
+	s := StatsSnapshot{
+		Puts: db.stats.Puts.Load(), Gets: db.stats.Gets.Load(),
+		Deletes: db.stats.Deletes.Load(), Scans: db.stats.Scans.Load(),
+		Flushes: db.stats.Flushes.Load(), Merges: db.stats.Merges.Load(),
+		ScanMerges: db.stats.ScanMerges.Load(), GCs: db.stats.GCs.Load(),
+		Splits:           db.stats.Splits.Load(),
+		GCBytesRewritten: db.stats.GCBytesRewritten.Load(),
+	}
+	for _, p := range db.partitions() {
+		p.mu.RLock()
+		s.Partitions++
+		s.UnsortedTables += p.uns.NumTables()
+		s.SortedTables += p.srt.NumTables()
+		s.HashIndexBytes += p.uns.Index().MemoryBytes()
+		s.UnsortedBytes += p.uns.SizeBytes()
+		s.SortedBytes += p.srt.SizeBytes()
+		for _, t := range p.uns.Tables() {
+			s.TableBlockReads += t.Reader.BlockReads.Load()
+		}
+		for _, t := range p.srt.Tables() {
+			s.TableBlockReads += t.Reader.BlockReads.Load()
+		}
+		p.mu.RUnlock()
+	}
+	s.ValueLogs = len(db.vl.LogNums())
+	s.ValueLogBytes = db.vl.TotalSize()
+	return s
+}
+
+// Counters exposes the underlying file system's I/O accounting.
+func (db *DB) Counters() *vfs.Counters { return db.fs.Counters() }
+
+// ---------------------------------------------------------------------------
+// fetchPool: the fixed worker pool used to fetch scan values in parallel
+// (paper: a 32-thread pool feeding from a worker queue).
+
+type fetchPool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+func newFetchPool(n int) *fetchPool {
+	p := &fetchPool{jobs: make(chan func(), 4*n)}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// run enqueues one job.
+func (p *fetchPool) run(f func()) { p.jobs <- f }
+
+func (p *fetchPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"unikv/internal/manifest"
+	"unikv/internal/record"
+)
+
+// maybeGCLocked runs value-log GC when the partition's dead bytes exceed
+// GCRatio of its referenced log bytes (the paper's greedy policy: GC the
+// partition with the most garbage; with inline scheduling each partition
+// checks itself at its merge points). Requires p.mu held for writing.
+func (p *partition) maybeGCLocked() error {
+	if p.db.opts.DisableKVSeparation {
+		return nil
+	}
+	refBytes := p.logBytesLocked()
+	if refBytes == 0 || float64(p.garbageBytes) < p.db.opts.GCRatio*float64(refBytes) {
+		return nil
+	}
+	return p.gcLocked()
+}
+
+// gcLocked rewrites the partition's live values out of its collectable
+// logs into a fresh dedicated log and rewrites the SortedStore run with
+// updated pointers. Crash consistency follows the paper's protocol:
+//
+//  1. identify valid KV pairs (scan the SortedStore's keys+pointers),
+//  2. read the live values and write them to a new log file,
+//  3. write all keys with new pointers to new SortedStore tables,
+//  4. commit — the manifest batch is the GC_done marker — then delete the
+//     old tables; old logs are removed once no partition references them.
+//
+// A crash before step 4 leaves the old state intact (the GC simply redoes);
+// the orphaned new files are swept at the next open.
+func (p *partition) gcLocked() error {
+	db := p.db
+
+	// Collectable logs: everything the partition references except the
+	// engine-wide active log (still being appended by merges).
+	collect := map[uint32]bool{}
+	activeNum, hasActive := db.vl.ActiveNum()
+	for n := range p.logs {
+		if hasActive && n == activeNum {
+			continue
+		}
+		collect[n] = true
+	}
+	if len(collect) == 0 {
+		return nil
+	}
+
+	d, err := db.vl.NewDedicatedLog(p.id)
+	if err != nil {
+		return err
+	}
+	w := p.newTableWriter(p.dir)
+	it := p.srt.NewIterator()
+	var rewritten int64
+	for ok := it.First(); ok; ok = it.Next() {
+		rec := it.Record()
+		if rec.Kind != record.KindSetPtr {
+			if err := w.add(rec); err != nil {
+				return err
+			}
+			continue
+		}
+		ptr, err := record.DecodePtr(rec.Value)
+		if err != nil {
+			return err
+		}
+		if !collect[ptr.LogNum] {
+			if err := w.add(rec); err != nil {
+				return err
+			}
+			continue
+		}
+		val, err := db.vl.Read(ptr)
+		if err != nil {
+			return err
+		}
+		nptr, err := d.Append(val)
+		if err != nil {
+			return err
+		}
+		rewritten += int64(len(val))
+		if err := w.add(record.Record{
+			Key: rec.Key, Seq: rec.Seq, Kind: record.KindSetPtr,
+			Value: nptr.Encode(nil),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	tables, err := w.finish()
+	if err != nil {
+		return err
+	}
+	nonEmpty, err := d.Finish()
+	if err != nil {
+		return err
+	}
+
+	// New log set: uncollected logs plus the rewrite target.
+	newLogs := map[uint32]bool{}
+	for n := range p.logs {
+		if !collect[n] {
+			newLogs[n] = true
+		}
+	}
+	if nonEmpty {
+		newLogs[d.Num()] = true
+	}
+	oldSorted := p.srt.Tables()
+	oldLogs := p.logs
+	p.logs = newLogs
+
+	if err := db.man.Apply(
+		manifest.SetSorted(p.id, tableMetas(tables)),
+		manifest.SetLogs(p.id, p.logsSliceLocked()),
+		manifest.LastSeq(db.seq.Load()),
+		db.nextFileEdit(),
+	); err != nil {
+		p.logs = oldLogs
+		return err
+	}
+	if nonEmpty {
+		db.retainLogs([]uint32{d.Num()})
+	}
+	p.srt.ReplaceAll(tables)
+	for _, t := range oldSorted {
+		t.Reader.Close()
+		db.fs.Remove(tableName(p.dir, t.Meta.FileNum))
+	}
+	var released []uint32
+	for n := range collect {
+		released = append(released, n)
+	}
+	db.releaseLogs(released)
+	p.garbageBytes = 0
+	db.stats.GCs.Add(1)
+	db.stats.GCBytesRewritten.Add(rewritten)
+	return nil
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"unikv/internal/vfs"
+	"unikv/internal/vlog"
+)
+
+// TestLazyValueSplitLifecycle drives the full shared-log story: a split
+// leaves both children referencing the parent's value logs; each child's
+// GC rewrites its live values into its own logs; once both children have
+// moved on, the shared files are deleted.
+func TestLazyValueSplitLifecycle(t *testing.T) {
+	fs := vfs.NewMem()
+	opts := smallOpts(fs)
+	opts.GCRatio = 0.01 // GC eagerly once any garbage shows up
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Load past the split threshold.
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Metrics().Partitions < 2 {
+		t.Fatalf("no split happened")
+	}
+
+	// Find logs shared by more than one partition.
+	db.logRefs.Lock()
+	shared := map[uint32]int{}
+	for n, refs := range db.logRefs.refs {
+		if refs > 1 {
+			shared[n] = refs
+		}
+	}
+	db.logRefs.Unlock()
+	if len(shared) == 0 {
+		t.Fatal("split left no shared logs — lazy value split untested")
+	}
+	for num := range shared {
+		if !fs.Exists("db/vlog/" + vlog.LogName(num)) {
+			t.Fatalf("shared log %d missing on disk", num)
+		}
+	}
+
+	// Overwrite everything so every partition accumulates garbage and GCs,
+	// rewriting live values out of the shared logs.
+	for round := 0; round < 6; round++ {
+		for i := 0; i < n; i++ {
+			if err := db.Put(key(i), val(i+round*7)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	db.CompactAll()
+	// Force GC in every partition that still has garbage.
+	for _, p := range db.partitions() {
+		p.mu.Lock()
+		err := p.gcLocked()
+		p.mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if db.Metrics().GCs == 0 {
+		t.Fatal("no GC ran")
+	}
+	// Every originally shared log must be unreferenced and deleted now.
+	db.logRefs.Lock()
+	for num := range shared {
+		if refs, ok := db.logRefs.refs[num]; ok && refs > 0 {
+			db.logRefs.Unlock()
+			t.Fatalf("shared log %d still has %d refs after GC everywhere", num, refs)
+		}
+	}
+	db.logRefs.Unlock()
+	for num := range shared {
+		if fs.Exists("db/vlog/" + vlog.LogName(num)) {
+			t.Fatalf("shared log %d not deleted after both children GC'd", num)
+		}
+	}
+
+	// Data intact.
+	for i := 0; i < n; i += 37 {
+		got, err := db.Get(key(i))
+		if err != nil || !bytes.Equal(got, val(i+35)) {
+			t.Fatalf("key %d after lazy split + GC: %q %v", i, got, err)
+		}
+	}
+}
+
+// TestSplitPreservesBoundaryInvariants checks the router invariants after
+// several splits: partitions tile the key space in order, with no overlap
+// and no gaps.
+func TestSplitPreservesBoundaryInvariants(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openSmall(t, fs)
+	defer db.Close()
+	for i := 0; i < 3000; i++ {
+		db.Put(key(i), val(i))
+	}
+	parts := db.partitions()
+	if len(parts) < 3 {
+		t.Skipf("only %d partitions", len(parts))
+	}
+	if len(parts[0].lower) != 0 {
+		t.Fatalf("first partition's lower bound must be empty, got %q", parts[0].lower)
+	}
+	for i, p := range parts {
+		p.mu.RLock()
+		lower, upper := p.lower, p.upper
+		p.mu.RUnlock()
+		if i+1 < len(parts) {
+			next := parts[i+1]
+			if !bytes.Equal(upper, next.lower) {
+				t.Fatalf("gap/overlap between partition %d (upper=%q) and %d (lower=%q)",
+					i, upper, i+1, next.lower)
+			}
+			if bytes.Compare(lower, next.lower) >= 0 {
+				t.Fatalf("partition order broken at %d", i)
+			}
+		} else if upper != nil {
+			t.Fatalf("last partition must be unbounded, got upper=%q", upper)
+		}
+	}
+	// Every partition's tables stay inside its range.
+	for _, p := range parts {
+		p.mu.RLock()
+		for _, tab := range p.srt.Tables() {
+			if len(p.lower) > 0 && bytes.Compare(tab.Meta.Smallest, p.lower) < 0 {
+				t.Fatalf("table below partition lower bound: %q < %q", tab.Meta.Smallest, p.lower)
+			}
+			if p.upper != nil && bytes.Compare(tab.Meta.Largest, p.upper) >= 0 {
+				t.Fatalf("table above partition upper bound: %q >= %q", tab.Meta.Largest, p.upper)
+			}
+		}
+		p.mu.RUnlock()
+	}
+}
+
+// TestSplitDuringConcurrentReads hammers reads while load triggers splits.
+func TestSplitDuringConcurrentReads(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openSmall(t, fs)
+	defer db.Close()
+	for i := 0; i < 500; i++ {
+		db.Put(key(i), val(i))
+	}
+	done := make(chan error, 4)
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		go func(g int) {
+			i := g
+			for {
+				select {
+				case <-stop:
+					done <- nil
+					return
+				default:
+				}
+				i = (i + 13) % 500
+				got, err := db.Get(key(i))
+				if err != nil || !bytes.Equal(got, val(i)) {
+					done <- err
+					return
+				}
+				if _, err := db.Scan(key(i), nil, 10); err != nil {
+					done <- err
+					return
+				}
+			}
+		}(g)
+	}
+	go func() {
+		// Writes to a disjoint key band force splits under the readers.
+		for i := 500; i < 4000; i++ {
+			if err := db.Put(key(i), val(i)); err != nil {
+				done <- err
+				return
+			}
+		}
+		close(stop)
+		done <- nil
+	}()
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Metrics().Splits == 0 {
+		t.Fatal("no splits under concurrency — test vacuous")
+	}
+}

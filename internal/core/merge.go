@@ -1,0 +1,337 @@
+package core
+
+import (
+	"unikv/internal/codec"
+	"unikv/internal/manifest"
+	"unikv/internal/mergeiter"
+	"unikv/internal/record"
+	"unikv/internal/sorted"
+	"unikv/internal/sstable"
+	"unikv/internal/unsorted"
+)
+
+// recIter and mergeIter come from the shared mergeiter package (the
+// baseline LSM engines reuse the same machinery).
+type (
+	recIter   = mergeiter.RecIter
+	mergeIter = mergeiter.Iter
+)
+
+func newMergeIter(iters []recIter) *mergeIter { return mergeiter.New(iters) }
+
+// ---------------------------------------------------------------------------
+// tableWriter emits a series of SortedStore tables capped at
+// TargetTableSize each.
+
+type tableWriter struct {
+	p      *partition
+	dir    string
+	tables []*sorted.Table
+	b      *sstable.Builder
+	f      interface {
+		Close() error
+	}
+	num      uint64
+	fileNums []uint64
+}
+
+func (p *partition) newTableWriter(dir string) *tableWriter {
+	return &tableWriter{p: p, dir: dir}
+}
+
+func (w *tableWriter) add(rec record.Record) error {
+	if w.b == nil {
+		w.num = w.p.db.allocFileNum()
+		f, err := w.p.db.fs.Create(tableName(w.dir, w.num))
+		if err != nil {
+			return err
+		}
+		w.f = f
+		w.b = sstable.NewBuilder(f, sstable.BuilderOptions{BlockSize: w.p.db.opts.BlockSize})
+	}
+	w.b.Add(rec)
+	if w.b.EstimatedSize() >= w.p.db.opts.TargetTableSize {
+		return w.roll()
+	}
+	return nil
+}
+
+// roll finishes the current table and opens its reader.
+func (w *tableWriter) roll() error {
+	if w.b == nil {
+		return nil
+	}
+	props, err := w.b.Finish()
+	if err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	rf, err := w.p.db.fs.Open(tableName(w.dir, w.num))
+	if err != nil {
+		return err
+	}
+	rdr, err := sstable.Open(rf)
+	if err != nil {
+		rf.Close()
+		return err
+	}
+	w.tables = append(w.tables, &sorted.Table{
+		Meta: manifest.TableMeta{
+			FileNum: w.num, Size: props.Size, Count: props.Count,
+			Smallest: props.Smallest, Largest: props.Largest,
+			MinSeq: props.MinSeq, MaxSeq: props.MaxSeq,
+		},
+		Reader: rdr,
+	})
+	w.fileNums = append(w.fileNums, w.num)
+	w.b = nil
+	w.f = nil
+	return nil
+}
+
+// finish flushes the trailing table and returns the run.
+func (w *tableWriter) finish() ([]*sorted.Table, error) {
+	if err := w.roll(); err != nil {
+		return nil, err
+	}
+	return w.tables, nil
+}
+
+// metas extracts the manifest metadata of the written tables.
+func tableMetas(tables []*sorted.Table) []manifest.TableMeta {
+	out := make([]manifest.TableMeta, len(tables))
+	for i, t := range tables {
+		out[i] = t.Meta
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Unsorted → Sorted merge with partial KV separation.
+
+// mergeLocked drains the UnsortedStore into the SortedStore: keys are
+// merge-sorted with the existing run; values of incoming (hot-tier) records
+// are appended to the value log and replaced by pointers; existing pointers
+// are carried through untouched. Requires p.mu held for writing.
+func (p *partition) mergeLocked() error {
+	if p.uns.NumTables() == 0 {
+		return nil
+	}
+	db := p.db
+
+	var iters []recIter
+	for _, t := range p.uns.Tables() {
+		iters = append(iters, t.Reader.NewIterator())
+	}
+	iters = append(iters, p.srt.NewIterator())
+	m := newMergeIter(iters)
+
+	w := p.newTableWriter(p.dir)
+	newLogs := map[uint32]bool{}
+	var lastKey []byte
+	haveLast := false
+	for ok := m.First(); ok; ok = m.Next() {
+		rec := m.Record()
+		if haveLast && codec.Compare(rec.Key, lastKey) == 0 {
+			// Shadowed version: if it pointed into a log, that value is
+			// now garbage.
+			p.accountGarbage(rec)
+			continue
+		}
+		lastKey = append(lastKey[:0], rec.Key...)
+		haveLast = true
+		switch rec.Kind {
+		case record.KindDelete:
+			// The SortedStore is the bottom tier: drop the tombstone.
+			continue
+		case record.KindSetPtr:
+			if err := w.add(rec); err != nil {
+				return err
+			}
+		case record.KindSet:
+			if db.opts.DisableKVSeparation || len(rec.Value) < db.opts.ValueThreshold {
+				if err := w.add(rec); err != nil {
+					return err
+				}
+				continue
+			}
+			ptr, err := db.vl.AppendFor(p.id, rec.Value)
+			if err != nil {
+				return err
+			}
+			newLogs[ptr.LogNum] = true
+			if err := w.add(record.Record{
+				Key: rec.Key, Seq: rec.Seq, Kind: record.KindSetPtr,
+				Value: ptr.Encode(nil),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, it := range iters {
+		if e, ok := it.(interface{ Err() error }); ok {
+			if err := e.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	tables, err := w.finish()
+	if err != nil {
+		return err
+	}
+	if err := db.vl.Sync(); err != nil {
+		return err
+	}
+
+	// Log set: keep everything previously referenced (their pointers were
+	// carried through) plus the logs the new values landed in.
+	var added []uint32
+	for n := range newLogs {
+		if !p.logs[n] {
+			p.logs[n] = true
+			added = append(added, n)
+		}
+	}
+
+	oldUnsorted := p.uns.Tables()
+	oldSorted := p.srt.Tables()
+	oldCkpt := p.hashCkpt
+
+	if err := db.man.Apply(
+		manifest.SetUnsorted(p.id, nil),
+		manifest.SetSorted(p.id, tableMetas(tables)),
+		manifest.SetLogs(p.id, p.logsSliceLocked()),
+		manifest.SetHashCkpt(p.id, 0),
+		manifest.LastSeq(db.seq.Load()),
+		db.nextFileEdit(),
+	); err != nil {
+		return err
+	}
+	db.retainLogs(added)
+
+	// Swap in-memory state, then delete the replaced files.
+	p.uns.Reset()
+	p.srt.ReplaceAll(tables)
+	p.hashCkpt = 0
+	p.flushesSinceCkpt = 0
+	for _, t := range oldUnsorted {
+		t.Reader.Close()
+		db.fs.Remove(tableName(p.dir, t.Meta.FileNum))
+	}
+	for _, t := range oldSorted {
+		t.Reader.Close()
+		db.fs.Remove(tableName(p.dir, t.Meta.FileNum))
+	}
+	if oldCkpt != 0 {
+		db.fs.Remove(ckptName(p.dir, oldCkpt))
+	}
+	db.stats.Merges.Add(1)
+	return nil
+}
+
+// accountGarbage records that rec's value (if log-resident) became dead.
+func (p *partition) accountGarbage(rec record.Record) {
+	if rec.Kind != record.KindSetPtr {
+		return
+	}
+	ptr, err := record.DecodePtr(rec.Value)
+	if err != nil {
+		return
+	}
+	p.db.vl.AddGarbage(ptr.LogNum, int64(ptr.Length)+8)
+	p.garbageBytes += int64(ptr.Length) + 8
+}
+
+// ---------------------------------------------------------------------------
+// Size-based merge (scan optimization): compact all UnsortedStore tables
+// into a single sorted table so scans stop probing every overlapping table.
+// Values stay inline (hot tier keeps KV together) and tombstones are kept
+// (they still shadow the SortedStore).
+
+func (p *partition) scanMergeLocked() error {
+	if p.uns.NumTables() <= 1 {
+		return nil
+	}
+	db := p.db
+
+	var iters []recIter
+	for _, t := range p.uns.Tables() {
+		iters = append(iters, t.Reader.NewIterator())
+	}
+	m := newMergeIter(iters)
+
+	num := db.allocFileNum()
+	name := tableName(p.dir, num)
+	f, err := db.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	b := sstable.NewBuilder(f, sstable.BuilderOptions{BlockSize: db.opts.BlockSize})
+	var lastKey []byte
+	haveLast := false
+	for ok := m.First(); ok; ok = m.Next() {
+		rec := m.Record()
+		if haveLast && codec.Compare(rec.Key, lastKey) == 0 {
+			continue
+		}
+		lastKey = append(lastKey[:0], rec.Key...)
+		haveLast = true
+		b.Add(rec)
+	}
+	for _, it := range iters {
+		if e, ok := it.(interface{ Err() error }); ok {
+			if err := e.Err(); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	props, err := b.Finish()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rf, err := db.fs.Open(name)
+	if err != nil {
+		return err
+	}
+	rdr, err := sstable.Open(rf)
+	if err != nil {
+		rf.Close()
+		return err
+	}
+	meta := manifest.TableMeta{
+		FileNum: num, Size: props.Size, Count: props.Count,
+		Smallest: props.Smallest, Largest: props.Largest,
+		MinSeq: props.MinSeq, MaxSeq: props.MaxSeq,
+	}
+
+	oldTables := p.uns.Tables()
+	oldCkpt := p.hashCkpt
+	if err := db.man.Apply(
+		manifest.SetUnsorted(p.id, []manifest.TableMeta{meta}),
+		manifest.SetHashCkpt(p.id, 0),
+		db.nextFileEdit(),
+	); err != nil {
+		return err
+	}
+	if err := p.uns.ReplaceAll(&unsorted.Table{Meta: meta, Reader: rdr}); err != nil {
+		return err
+	}
+	p.hashCkpt = 0
+	p.flushesSinceCkpt = 0
+	for _, t := range oldTables {
+		t.Reader.Close()
+		db.fs.Remove(tableName(p.dir, t.Meta.FileNum))
+	}
+	if oldCkpt != 0 {
+		db.fs.Remove(ckptName(p.dir, oldCkpt))
+	}
+	db.stats.ScanMerges.Add(1)
+	return nil
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"unikv/internal/vfs"
+)
+
+// TestQuickModel drives the engine with random op sequences (put, delete,
+// get, scan, reopen) and checks every observation against a model map.
+// This is the main end-to-end property test: it routinely crosses flush,
+// scan-merge, merge, GC, and split boundaries because of the tiny limits.
+func TestQuickModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		fs := vfs.NewMem()
+		opts := smallOpts(fs)
+		opts.GCRatio = 0.25
+		db, err := Open("db", opts)
+		if err != nil {
+			return false
+		}
+		defer func() { db.Close() }()
+		model := map[string]string{}
+		keyOf := func() string { return fmt.Sprintf("key-%04d", rnd.Intn(400)) }
+
+		for op := 0; op < 3000; op++ {
+			switch rnd.Intn(10) {
+			case 0, 1, 2, 3, 4: // put
+				k, v := keyOf(), fmt.Sprintf("val-%d-%d", op, rnd.Int63())
+				if err := db.Put([]byte(k), []byte(v)); err != nil {
+					t.Logf("put: %v", err)
+					return false
+				}
+				model[k] = v
+			case 5: // delete
+				k := keyOf()
+				if err := db.Delete([]byte(k)); err != nil {
+					t.Logf("delete: %v", err)
+					return false
+				}
+				delete(model, k)
+			case 6, 7: // get
+				k := keyOf()
+				got, err := db.Get([]byte(k))
+				want, ok := model[k]
+				if ok {
+					if err != nil || string(got) != want {
+						t.Logf("get %s: %q %v want %q", k, got, err, want)
+						return false
+					}
+				} else if err != ErrNotFound {
+					t.Logf("get missing %s: %v", k, err)
+					return false
+				}
+			case 8: // scan
+				start := keyOf()
+				n := rnd.Intn(30) + 1
+				kvs, err := db.Scan([]byte(start), nil, n)
+				if err != nil {
+					t.Logf("scan: %v", err)
+					return false
+				}
+				var wantKeys []string
+				for k := range model {
+					if k >= start {
+						wantKeys = append(wantKeys, k)
+					}
+				}
+				sort.Strings(wantKeys)
+				if len(wantKeys) > n {
+					wantKeys = wantKeys[:n]
+				}
+				if len(kvs) != len(wantKeys) {
+					t.Logf("scan(%s,%d): got %d want %d", start, n, len(kvs), len(wantKeys))
+					return false
+				}
+				for i, kv := range kvs {
+					if string(kv.Key) != wantKeys[i] || string(kv.Value) != model[wantKeys[i]] {
+						t.Logf("scan[%d]: %q=%q want %q=%q", i, kv.Key, kv.Value,
+							wantKeys[i], model[wantKeys[i]])
+						return false
+					}
+				}
+			case 9: // occasionally reopen
+				if op%500 == 499 {
+					if err := db.Close(); err != nil {
+						t.Logf("close: %v", err)
+						return false
+					}
+					db, err = Open("db", opts)
+					if err != nil {
+						t.Logf("reopen: %v", err)
+						return false
+					}
+				}
+			}
+		}
+		// Final full verification.
+		for k, v := range model {
+			got, err := db.Get([]byte(k))
+			if err != nil || string(got) != v {
+				t.Logf("final get %s: %q %v want %q", k, got, err, v)
+				return false
+			}
+		}
+		kvs, err := db.Scan([]byte(""), nil, 0)
+		if err != nil || len(kvs) != len(model) {
+			t.Logf("final scan: %d vs model %d (%v)", len(kvs), len(model), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAblationsStillCorrect runs the same workload under every ablation
+// toggle: disabling an optimization must never change results.
+func TestAblationsStillCorrect(t *testing.T) {
+	variants := map[string]func(*Options){
+		"no-hash-index":    func(o *Options) { o.DisableHashIndex = true },
+		"no-kv-separation": func(o *Options) { o.DisableKVSeparation = true },
+		"no-partitioning":  func(o *Options) { o.DisablePartitioning = true },
+		"no-scan-merge":    func(o *Options) { o.DisableScanMerge = true },
+		"no-prefetch":      func(o *Options) { o.DisableScanPrefetch = true },
+		"no-parallel":      func(o *Options) { o.DisableScanParallel = true },
+		"no-wal":           func(o *Options) { o.DisableWAL = true },
+		"no-hash-ckpt":     func(o *Options) { o.DisableHashCkpt = true },
+	}
+	for name, tweak := range variants {
+		name, tweak := name, tweak
+		t.Run(name, func(t *testing.T) {
+			fs := vfs.NewMem()
+			opts := smallOpts(fs)
+			tweak(&opts)
+			db, err := Open("db", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := map[string]string{}
+			rnd := rand.New(rand.NewSource(7))
+			for op := 0; op < 2500; op++ {
+				k := fmt.Sprintf("key-%04d", rnd.Intn(300))
+				if rnd.Intn(8) == 0 {
+					db.Delete([]byte(k))
+					delete(model, k)
+				} else {
+					v := fmt.Sprintf("val-%d", op)
+					db.Put([]byte(k), []byte(v))
+					model[k] = v
+				}
+			}
+			for k, v := range model {
+				got, err := db.Get([]byte(k))
+				if err != nil || string(got) != v {
+					t.Fatalf("get %s: %q %v want %q", k, got, err, v)
+				}
+			}
+			kvs, err := db.Scan(nil, nil, 0)
+			if err != nil {
+				// nil start with nil end and limit 0 means limit=1<<30.
+				t.Fatal(err)
+			}
+			if len(kvs) != len(model) {
+				t.Fatalf("scan %d vs model %d", len(kvs), len(model))
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Reopen (skip strict check for no-WAL: unflushed data may be
+			// lost by design — but flushed data must remain).
+			db2, err := Open("db", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db2.Close()
+			if !opts.DisableWAL {
+				for k, v := range model {
+					got, err := db2.Get([]byte(k))
+					if err != nil || string(got) != v {
+						t.Fatalf("reopen get %s: %q %v want %q", k, got, err, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBinaryKeysAndValues pushes random binary data through all tiers.
+func TestBinaryKeysAndValues(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openSmall(t, fs)
+	defer db.Close()
+
+	rnd := rand.New(rand.NewSource(3))
+	type pair struct{ k, v []byte }
+	var pairs []pair
+	seen := map[string]bool{}
+	for i := 0; i < 400; i++ {
+		k := make([]byte, rnd.Intn(40)+1)
+		rnd.Read(k)
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		v := make([]byte, rnd.Intn(400))
+		rnd.Read(v)
+		pairs = append(pairs, pair{k, v})
+		if err := db.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.CompactAll()
+	for _, p := range pairs {
+		got, err := db.Get(p.k)
+		if err != nil || !bytes.Equal(got, p.v) {
+			t.Fatalf("binary key %x: %v", p.k, err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package core implements the UniKV engine — the paper's primary
+// contribution. It composes the substrates (memtable, WAL, SSTables, the
+// two-level hash index, value logs, manifest) into the two-tier
+// differentiated-indexing design with partial KV separation, dynamic range
+// partitioning, scan optimization, and crash consistency.
+package core
+
+import (
+	"unikv/internal/vfs"
+)
+
+// Options tunes the engine. The zero value is usable; Sanitize fills
+// defaults matching the paper's configuration scaled to test sizes.
+type Options struct {
+	// MemtableSize flushes the memtable once it reaches this many bytes.
+	MemtableSize int64
+	// UnsortedLimit caps a partition's UnsortedStore; reaching it triggers
+	// the merge into the SortedStore (paper: configured from available
+	// memory, since the hash index grows with the UnsortedStore).
+	UnsortedLimit int64
+	// ScanMergeLimit is the UnsortedStore table count that triggers the
+	// size-based merge (scan optimization).
+	ScanMergeLimit int
+	// PartitionSizeLimit splits a partition once its data (sorted +
+	// unsorted + owned log bytes) exceeds this many bytes.
+	PartitionSizeLimit int64
+	// GCRatio triggers value-log GC in a partition when its dead bytes
+	// exceed GCRatio × its referenced log bytes.
+	GCRatio float64
+	// MaxLogSize rotates the shared value log at this size.
+	MaxLogSize int64
+	// TargetTableSize bounds SortedStore tables produced by merges.
+	TargetTableSize int64
+	// BlockSize overrides the SSTable data-block size.
+	BlockSize int
+	// HashBuckets sizes each partition's hash index (first-level buckets).
+	HashBuckets int
+	// ScanWorkers sizes the parallel value-fetch pool (paper: 32 threads).
+	ScanWorkers int
+	// ValueThreshold enables selective KV separation: values smaller than
+	// this many bytes stay inline in the SortedStore instead of moving to
+	// a value log (the paper's suggested mitigation for small-KV
+	// workloads, where pointer overhead and the extra log I/O outweigh
+	// the merge savings). 0 separates every value (the paper's base
+	// design).
+	ValueThreshold int
+	// SyncWrites fsyncs the WAL on every write (off: fsync at rotation,
+	// like LevelDB's default).
+	SyncWrites bool
+	// DisableWAL skips the write-ahead log entirely.
+	DisableWAL bool
+
+	// Ablation toggles (experiment fig11). Each disables one of the
+	// paper's techniques.
+	DisableHashIndex     bool // probe unsorted tables newest-first instead
+	DisableKVSeparation  bool // keep values inline in the SortedStore
+	DisablePartitioning  bool // never split; the single partition grows
+	DisableScanMerge     bool // never run the size-based merge
+	DisableScanPrefetch  bool // no value-log readahead on scans
+	DisableScanParallel  bool // fetch scan values serially
+	HashCheckpointEvery  int  // flushes between hash-index checkpoints (0 = derive from UnsortedLimit/2)
+	DisableHashCkpt      bool // never checkpoint the hash index
+	DisableOrphanCleanup bool // keep orphan files at open (debugging)
+
+	// FS overrides the file system (tests and I/O-accounted benchmarks).
+	FS vfs.FS
+}
+
+// Sanitize fills in defaults and returns the completed options.
+func (o Options) Sanitize() Options {
+	if o.MemtableSize <= 0 {
+		o.MemtableSize = 4 << 20
+	}
+	if o.UnsortedLimit <= 0 {
+		o.UnsortedLimit = 8 * o.MemtableSize
+	}
+	if o.ScanMergeLimit <= 0 {
+		o.ScanMergeLimit = 8
+	}
+	if o.PartitionSizeLimit <= 0 {
+		o.PartitionSizeLimit = 8 * o.UnsortedLimit
+	}
+	if o.GCRatio <= 0 {
+		o.GCRatio = 0.3
+	}
+	if o.MaxLogSize <= 0 {
+		o.MaxLogSize = 8 << 20
+	}
+	if o.TargetTableSize <= 0 {
+		o.TargetTableSize = 2 << 20
+	}
+	if o.HashBuckets <= 0 {
+		// ~1 bucket per expected entry at 100 B per KV pair, 80 % direct
+		// utilization (paper's sizing discussion).
+		o.HashBuckets = int(o.UnsortedLimit / 100)
+		if o.HashBuckets < 1024 {
+			o.HashBuckets = 1024
+		}
+	}
+	if o.ScanWorkers <= 0 {
+		o.ScanWorkers = 32
+	}
+	if o.HashCheckpointEvery <= 0 {
+		// Paper: checkpoint every UnsortedLimit/2 worth of flushes.
+		n := int(o.UnsortedLimit / (2 * o.MemtableSize))
+		if n < 1 {
+			n = 1
+		}
+		o.HashCheckpointEvery = n
+	}
+	if o.FS == nil {
+		o.FS = vfs.NewOS()
+	}
+	return o
+}

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"io"
+	"sync"
+
+	"unikv/internal/codec"
+	"unikv/internal/manifest"
+	"unikv/internal/memtable"
+	"unikv/internal/record"
+	"unikv/internal/sorted"
+	"unikv/internal/sstable"
+	"unikv/internal/unsorted"
+	"unikv/internal/wal"
+)
+
+// partition is one range partition: memtable + WAL + UnsortedStore +
+// SortedStore + references to value logs. Its RWMutex serializes writers
+// and structural changes (flush/merge/GC/split) against readers.
+type partition struct {
+	db    *DB
+	id    uint32
+	dir   string
+	lower []byte // inclusive; nil/empty = -inf
+	upper []byte // exclusive; nil = +inf
+
+	mu       sync.RWMutex
+	mem      *memtable.Memtable
+	wal      *wal.Writer
+	walNum   uint64
+	uns      *unsorted.Store
+	srt      *sorted.Store
+	logs     map[uint32]bool // referenced value logs
+	hashCkpt uint64          // current checkpoint file number (0 = none)
+
+	flushesSinceCkpt int
+	garbageBytes     int64 // dead value bytes attributed to this partition
+}
+
+// covers reports whether key belongs to this partition.
+func (p *partition) covers(key []byte) bool {
+	if codec.Compare(key, p.lower) < 0 && len(p.lower) > 0 {
+		return false
+	}
+	if p.upper != nil && codec.Compare(key, p.upper) >= 0 {
+		return false
+	}
+	return true
+}
+
+func newMemtable() *memtable.Memtable { return memtable.New() }
+
+// initEmptyStores sets up fresh in-memory components.
+func (p *partition) initEmptyStores() error {
+	p.mem = newMemtable()
+	p.uns = unsorted.New(p.db.opts.HashBuckets)
+	p.uns.DisableIndex = p.db.opts.DisableHashIndex
+	p.srt = sorted.New()
+	p.logs = make(map[uint32]bool)
+	return nil
+}
+
+// newWALLocked creates a fresh WAL file (no manifest commit; callers batch
+// the SetWAL edit).
+func (p *partition) newWALLocked() error {
+	num := p.db.allocFileNum()
+	f, err := p.db.fs.Create(walName(p.dir, num))
+	if err != nil {
+		return err
+	}
+	p.wal = wal.NewWriter(f)
+	p.walNum = num
+	return nil
+}
+
+// rotateWALLocked swaps in a fresh WAL and commits the pointer change. The
+// old file is removed after the commit.
+func (p *partition) rotateWALLocked() error {
+	oldNum := p.walNum
+	if p.wal != nil {
+		if err := p.wal.Sync(); err != nil {
+			return err
+		}
+		p.wal.Close()
+		p.wal = nil
+	}
+	if err := p.newWALLocked(); err != nil {
+		return err
+	}
+	if err := p.db.man.Apply(
+		manifest.SetWAL(p.id, p.walNum),
+		manifest.LastSeq(p.db.seq.Load()),
+		p.db.nextFileEdit(),
+	); err != nil {
+		return err
+	}
+	if oldNum != 0 {
+		p.db.fs.Remove(walName(p.dir, oldNum))
+	}
+	return nil
+}
+
+// replayWAL loads the partition's WAL into the memtable.
+func (p *partition) replayWAL(num uint64) error {
+	f, err := p.db.fs.Open(walName(p.dir, num))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := wal.NewReader(f)
+	for {
+		data, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for len(data) > 0 {
+			var rec record.Record
+			rec, data, err = record.Decode(data)
+			if err != nil {
+				// Torn batch tail inside a record payload: stop replay
+				// here (everything before is intact).
+				return nil
+			}
+			p.mem.Put(rec.Clone())
+		}
+	}
+}
+
+// put applies one record. It returns true when the partition wants a split
+// (checked by DB.Put, which owns the router lock ordering).
+func (p *partition) put(rec record.Record) (wantSplit bool, err error) {
+	if p.wal != nil {
+		if err := p.wal.AddRecord(rec.Encode(nil)); err != nil {
+			return false, err
+		}
+		if p.db.opts.SyncWrites {
+			if err := p.wal.Sync(); err != nil {
+				return false, err
+			}
+		}
+	}
+	p.mem.Put(rec)
+	return p.afterWriteLocked()
+}
+
+// putBatch applies several records with one WAL record — they become
+// durable atomically within this partition.
+func (p *partition) putBatch(recs []record.Record) (wantSplit bool, err error) {
+	if p.wal != nil {
+		var buf []byte
+		for _, rec := range recs {
+			buf = rec.Encode(buf)
+		}
+		if err := p.wal.AddRecord(buf); err != nil {
+			return false, err
+		}
+		if p.db.opts.SyncWrites {
+			if err := p.wal.Sync(); err != nil {
+				return false, err
+			}
+		}
+	}
+	for _, rec := range recs {
+		p.mem.Put(rec)
+	}
+	return p.afterWriteLocked()
+}
+
+// afterWriteLocked runs the inline scheduling that follows a write: flush
+// at MemtableSize, merge at UnsortedLimit (then maybe GC, then report a
+// split wish), size-based scan merge at ScanMergeLimit.
+func (p *partition) afterWriteLocked() (wantSplit bool, err error) {
+	if p.mem.Size() < p.db.opts.MemtableSize {
+		return false, nil
+	}
+	if err := p.flushLocked(); err != nil {
+		return false, err
+	}
+	if p.uns.SizeBytes() >= p.db.opts.UnsortedLimit {
+		if err := p.mergeLocked(); err != nil {
+			return false, err
+		}
+		if err := p.maybeGCLocked(); err != nil {
+			return false, err
+		}
+		return p.sizeLocked() >= p.db.opts.PartitionSizeLimit && !p.db.opts.DisablePartitioning, nil
+	}
+	if !p.db.opts.DisableScanMerge && p.uns.NumTables() >= p.db.opts.ScanMergeLimit {
+		if err := p.scanMergeLocked(); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// logBytesLocked estimates the value-log bytes attributable to this
+// partition: each referenced log's size divided by its number of
+// referencing partitions (a log shared after a split counts half to each
+// child until their lazy value splits disentangle it).
+func (p *partition) logBytesLocked() int64 {
+	var size int64
+	p.db.logRefs.Lock()
+	for n := range p.logs {
+		refs := p.db.logRefs.refs[n]
+		if refs < 1 {
+			refs = 1
+		}
+		size += p.db.vl.SizeOf(n) / int64(refs)
+	}
+	p.db.logRefs.Unlock()
+	return size
+}
+
+// sizeLocked returns the partition's data footprint: table bytes, memtable
+// bytes, and its attributed share of the value-log bytes.
+func (p *partition) sizeLocked() int64 {
+	return p.uns.SizeBytes() + p.srt.SizeBytes() + p.mem.Size() + p.logBytesLocked()
+}
+
+// flushLocked writes the memtable to a new UnsortedStore table, commits it,
+// rotates the WAL, and checkpoints the hash index on schedule.
+func (p *partition) flushLocked() error {
+	if p.mem.Empty() {
+		return nil
+	}
+	num := p.db.allocFileNum()
+	name := tableName(p.dir, num)
+	f, err := p.db.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	b := sstable.NewBuilder(f, sstable.BuilderOptions{BlockSize: p.db.opts.BlockSize})
+	var keys [][]byte
+	it := p.mem.NewIterator()
+	var last []byte
+	for ok := it.First(); ok; ok = it.Next() {
+		rec := it.Record()
+		if last != nil && codec.Compare(rec.Key, last) == 0 {
+			continue // older version of the same key
+		}
+		last = rec.Key
+		b.Add(rec)
+		keys = append(keys, rec.Key)
+	}
+	props, err := b.Finish()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rf, err := p.db.fs.Open(name)
+	if err != nil {
+		return err
+	}
+	rdr, err := sstable.Open(rf)
+	if err != nil {
+		rf.Close()
+		return err
+	}
+	meta := manifest.TableMeta{
+		FileNum: num, Size: props.Size, Count: props.Count,
+		Smallest: props.Smallest, Largest: props.Largest,
+		MinSeq: props.MinSeq, MaxSeq: props.MaxSeq,
+	}
+
+	// Rotate the WAL under the same commit so replay never duplicates the
+	// flushed data.
+	oldWAL := p.walNum
+	edits := []manifest.Edit{
+		manifest.AddUnsorted(p.id, meta),
+		manifest.LastSeq(p.db.seq.Load()),
+	}
+	if p.wal != nil {
+		p.wal.Sync()
+		p.wal.Close()
+		p.wal = nil
+	}
+	if !p.db.opts.DisableWAL {
+		if err := p.newWALLocked(); err != nil {
+			return err
+		}
+		edits = append(edits, manifest.SetWAL(p.id, p.walNum))
+	}
+	edits = append(edits, p.db.nextFileEdit())
+	if err := p.db.man.Apply(edits...); err != nil {
+		return err
+	}
+	if oldWAL != 0 {
+		p.db.fs.Remove(walName(p.dir, oldWAL))
+	}
+	if err := p.uns.AddTable(&unsorted.Table{Meta: meta, Reader: rdr}, keys); err != nil {
+		return err
+	}
+	p.mem = newMemtable()
+	p.db.stats.Flushes.Add(1)
+
+	// Periodic hash-index checkpoint (paper: every UnsortedLimit/2 worth
+	// of flushed tables).
+	p.flushesSinceCkpt++
+	if !p.db.opts.DisableHashCkpt && p.flushesSinceCkpt >= p.db.opts.HashCheckpointEvery {
+		if err := p.checkpointHashLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpointHashLocked persists the hash index and commits the pointer.
+func (p *partition) checkpointHashLocked() error {
+	num := p.db.allocFileNum()
+	if err := p.uns.Checkpoint(p.db.fs, ckptName(p.dir, num)); err != nil {
+		return err
+	}
+	old := p.hashCkpt
+	if err := p.db.man.Apply(
+		manifest.SetHashCkpt(p.id, num),
+		p.db.nextFileEdit(),
+	); err != nil {
+		return err
+	}
+	p.hashCkpt = num
+	p.flushesSinceCkpt = 0
+	if old != 0 {
+		p.db.fs.Remove(ckptName(p.dir, old))
+	}
+	return nil
+}
+
+// closeTablesLocked releases all table readers (Close path).
+func (p *partition) closeTablesLocked() {
+	for _, t := range p.uns.Tables() {
+		t.Reader.Close()
+	}
+	for _, t := range p.srt.Tables() {
+		t.Reader.Close()
+	}
+}
+
+// logsSliceLocked returns the referenced log set as a sorted slice for
+// manifest edits.
+func (p *partition) logsSliceLocked() []uint32 {
+	out := make([]uint32, 0, len(p.logs))
+	for n := range p.logs {
+		out = append(out, n)
+	}
+	// insertion sort; sets are small
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// recoverUnsorted restores a partition's UnsortedStore.
+func (db *DB) recoverUnsorted(
+	meta *manifest.PartitionMeta,
+	ckpt string,
+	openTable func(manifest.TableMeta) (*sstable.Reader, error),
+) (*unsorted.Store, error) {
+	if db.opts.DisableHashIndex {
+		s := unsorted.New(db.opts.HashBuckets)
+		s.DisableIndex = true
+		for _, tm := range meta.Unsorted {
+			rdr, err := openTable(tm)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.AddTable(&unsorted.Table{Meta: tm, Reader: rdr}, nil); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	return unsorted.Recover(db.fs, db.opts.HashBuckets, meta.Unsorted, ckpt, openTable)
+}
+
+// recoverSorted restores a partition's SortedStore.
+func recoverSorted(
+	meta *manifest.PartitionMeta,
+	openTable func(manifest.TableMeta) (*sstable.Reader, error),
+) (*sorted.Store, error) {
+	s := sorted.New()
+	tables := make([]*sorted.Table, 0, len(meta.Sorted))
+	for _, tm := range meta.Sorted {
+		rdr, err := openTable(tm)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, &sorted.Table{Meta: tm, Reader: rdr})
+	}
+	s.ReplaceAll(tables)
+	return s, nil
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"sync"
+
+	"unikv/internal/codec"
+	"unikv/internal/record"
+)
+
+// Get returns the value stored for key, or ErrNotFound.
+//
+// Read path (paper §Design): memtable → UnsortedStore via the hash index →
+// SortedStore via boundary-key binary search; a pointer record is then
+// dereferenced into the value log.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	db.stats.Gets.Add(1)
+	for {
+		p := db.partitionFor(key)
+		p.mu.RLock()
+		if !p.covers(key) {
+			p.mu.RUnlock()
+			continue
+		}
+		val, err := p.getLocked(key)
+		p.mu.RUnlock()
+		return val, err
+	}
+}
+
+// getLocked performs the tiered lookup. Requires p.mu held (read).
+func (p *partition) getLocked(key []byte) ([]byte, error) {
+	if rec, ok := p.mem.Get(key); ok {
+		return p.resolve(rec)
+	}
+	if rec, ok, err := p.uns.Get(key); err != nil {
+		return nil, err
+	} else if ok {
+		return p.resolve(rec)
+	}
+	if rec, ok, err := p.srt.Get(key); err != nil {
+		return nil, err
+	} else if ok {
+		return p.resolve(rec)
+	}
+	return nil, ErrNotFound
+}
+
+// resolve materializes a record into its user value.
+func (p *partition) resolve(rec record.Record) ([]byte, error) {
+	switch rec.Kind {
+	case record.KindDelete:
+		return nil, ErrNotFound
+	case record.KindSet:
+		return append([]byte(nil), rec.Value...), nil
+	case record.KindSetPtr:
+		ptr, err := record.DecodePtr(rec.Value)
+		if err != nil {
+			return nil, err
+		}
+		// vl.Read returns a freshly allocated (or prefetch-copied) buffer;
+		// no further copy is needed.
+		return p.db.vl.Read(ptr)
+	}
+	return nil, codec.ErrCorrupt
+}
+
+// KV is one scan result.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan returns up to limit pairs with start <= key < end, in key order.
+// end == nil means no upper bound; limit <= 0 means no count bound (then
+// end must be non-nil).
+//
+// The scan follows the paper: locate the covering partition by boundary
+// keys, merge the memtable / UnsortedStore / SortedStore iterators by
+// repeated smallest-key selection, then fetch pointed-to values with
+// readahead and the parallel fetch pool. Results from consecutive
+// partitions are concatenated (ranges are disjoint and ordered, so no
+// re-sort is needed).
+func (db *DB) Scan(start, end []byte, limit int) ([]KV, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	if limit <= 0 && end == nil {
+		limit = 1 << 30 // "no bound" still terminates at the key space end
+	}
+	db.stats.Scans.Add(1)
+	var out []KV
+	cursor := start
+	for {
+		p := db.partitionFor(cursor)
+		p.mu.RLock()
+		if !p.covers(cursor) {
+			p.mu.RUnlock()
+			continue
+		}
+		want := 0
+		if limit > 0 {
+			want = limit - len(out)
+		}
+		kvs, err := p.scanLocked(cursor, end, want)
+		next := p.upper
+		p.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, kvs...)
+		if limit > 0 && len(out) >= limit {
+			return out[:limit], nil
+		}
+		if next == nil {
+			return out, nil
+		}
+		if end != nil && codec.Compare(next, end) >= 0 {
+			return out, nil
+		}
+		cursor = next
+	}
+}
+
+// scanLocked collects up to n pairs in [start, end) from this partition.
+// Requires p.mu held (read).
+func (p *partition) scanLocked(start, end []byte, n int) ([]KV, error) {
+	var iters []recIter
+	iters = append(iters, p.mem.NewIterator())
+	for _, t := range p.uns.Tables() {
+		iters = append(iters, t.Reader.NewIterator())
+	}
+	iters = append(iters, p.srt.NewIterator())
+	m := newMergeIter(iters)
+
+	type pending struct {
+		idx int
+		ptr record.ValuePtr
+	}
+	var out []KV
+	var fetches []pending
+	var lastKey []byte
+	haveLast := false
+	for ok := m.Seek(start); ok; ok = m.Next() {
+		rec := m.Record()
+		if end != nil && codec.Compare(rec.Key, end) >= 0 {
+			break
+		}
+		if haveLast && codec.Compare(rec.Key, lastKey) == 0 {
+			continue
+		}
+		lastKey = append(lastKey[:0], rec.Key...)
+		haveLast = true
+		switch rec.Kind {
+		case record.KindDelete:
+			continue
+		case record.KindSet:
+			out = append(out, KV{
+				Key:   append([]byte(nil), rec.Key...),
+				Value: append([]byte(nil), rec.Value...),
+			})
+		case record.KindSetPtr:
+			ptr, err := record.DecodePtr(rec.Value)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, KV{Key: append([]byte(nil), rec.Key...)})
+			fetches = append(fetches, pending{idx: len(out) - 1, ptr: ptr})
+		}
+		if n > 0 && len(out) >= n {
+			break
+		}
+	}
+	for _, it := range iters {
+		if e, ok := it.(interface{ Err() error }); ok {
+			if err := e.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(fetches) == 0 {
+		return out, nil
+	}
+
+	// Readahead: issue one prefetch over the contiguous region of the log
+	// holding most pointers (paper: readahead from the first key's value).
+	// Freshly merged data has key-ordered values, so the region is dense;
+	// after updates, pointers scatter — skip the prefetch when the spanning
+	// region is much larger than the bytes actually wanted (readahead would
+	// drag in mostly-dead data).
+	if !p.db.opts.DisableScanPrefetch {
+		counts := map[uint32]int{}
+		for _, f := range fetches {
+			counts[f.ptr.LogNum]++
+		}
+		bestLog, bestN := uint32(0), 0
+		for l, c := range counts {
+			if c > bestN {
+				bestLog, bestN = l, c
+			}
+		}
+		if bestN > 1 {
+			var lo, hi, want int64 = 1 << 62, 0, 0
+			for _, f := range fetches {
+				if f.ptr.LogNum != bestLog {
+					continue
+				}
+				if int64(f.ptr.Offset) < lo {
+					lo = int64(f.ptr.Offset)
+				}
+				if e := int64(f.ptr.Offset) + 8 + int64(f.ptr.Length); e > hi {
+					hi = e
+				}
+				want += 8 + int64(f.ptr.Length)
+			}
+			if span := hi - lo; span <= 4*want || span <= 64<<10 {
+				p.db.vl.Prefetch(bestLog, lo, span) // best effort
+			}
+		}
+	}
+
+	// Value fetch: chunks of pointers are dispatched to the fixed worker
+	// pool (paper: a fixed number of value addresses is inserted into the
+	// worker queue and sleeping threads fetch them in parallel). Small
+	// fetch sets run inline — dispatch would cost more than it saves.
+	fetchOne := func(f pending) error {
+		val, err := p.db.vl.Read(f.ptr)
+		if err != nil {
+			return err
+		}
+		out[f.idx].Value = val
+		return nil
+	}
+	const chunkSize = 16
+	if p.db.opts.DisableScanParallel || len(fetches) <= chunkSize {
+		for _, f := range fetches {
+			if err := fetchOne(f); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	nChunks := (len(fetches) + chunkSize - 1) / chunkSize
+	var wg sync.WaitGroup
+	errs := make([]error, nChunks)
+	wg.Add(nChunks)
+	for c := 0; c < nChunks; c++ {
+		c := c
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > len(fetches) {
+			hi = len(fetches)
+		}
+		p.db.pool.run(func() {
+			defer wg.Done()
+			for _, f := range fetches[lo:hi] {
+				if err := fetchOne(f); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		})
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+)
+
+// VerifyIntegrity re-reads and checksum-verifies every table block and
+// every sealed value-log record in the database. It returns the first
+// corruption found, or nil. The log currently receiving appends is skipped
+// (its tail is in flux); close and reopen the DB to cover everything.
+//
+// Partitions are verified one at a time under their read lock, so
+// concurrent reads proceed and writes to other partitions are unaffected.
+func (db *DB) VerifyIntegrity() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	activeNum, hasActive := db.vl.ActiveNum()
+	logs := map[uint32]bool{}
+	for _, p := range db.partitions() {
+		p.mu.RLock()
+		for _, t := range p.uns.Tables() {
+			if err := t.Reader.VerifyChecksums(); err != nil {
+				p.mu.RUnlock()
+				return fmt.Errorf("partition %d unsorted table %d: %w", p.id, t.Meta.FileNum, err)
+			}
+		}
+		for _, t := range p.srt.Tables() {
+			if err := t.Reader.VerifyChecksums(); err != nil {
+				p.mu.RUnlock()
+				return fmt.Errorf("partition %d sorted table %d: %w", p.id, t.Meta.FileNum, err)
+			}
+		}
+		for n := range p.logs {
+			logs[n] = true
+		}
+		p.mu.RUnlock()
+	}
+	for n := range logs {
+		if hasActive && n == activeNum {
+			continue
+		}
+		if _, err := db.vl.VerifyLog(n); err != nil {
+			return fmt.Errorf("value log %d: %w", n, err)
+		}
+	}
+	return nil
+}

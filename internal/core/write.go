@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+
+	"unikv/internal/record"
+)
+
+// ErrKeyTooLarge guards the uint16/uint32 fields in on-disk formats.
+var ErrKeyTooLarge = errors.New("unikv: key or value too large")
+
+const (
+	maxKeyLen   = 1 << 16
+	maxValueLen = 1 << 30
+)
+
+// Put inserts or overwrites key with value.
+func (db *DB) Put(key, value []byte) error {
+	db.stats.Puts.Add(1)
+	return db.apply(key, value, record.KindSet)
+}
+
+// Delete removes key (writes a tombstone).
+func (db *DB) Delete(key []byte) error {
+	db.stats.Deletes.Add(1)
+	return db.apply(key, nil, record.KindDelete)
+}
+
+// apply routes one write to its partition, retrying if a concurrent split
+// moves the boundary, and runs the split the partition requests.
+func (db *DB) apply(key, value []byte, kind record.Kind) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if len(key) == 0 || len(key) >= maxKeyLen || len(value) >= maxValueLen {
+		return ErrKeyTooLarge
+	}
+	rec := record.Record{
+		Key:   append([]byte(nil), key...),
+		Seq:   db.seq.Add(1),
+		Kind:  kind,
+		Value: append([]byte(nil), value...),
+	}
+	for {
+		p := db.partitionFor(key)
+		p.mu.Lock()
+		if !p.covers(key) {
+			p.mu.Unlock()
+			continue
+		}
+		wantSplit, err := p.put(rec)
+		p.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if wantSplit {
+			return db.splitPartition(p)
+		}
+		return nil
+	}
+}
+
+// Flush forces the partition memtables to disk (tests, benchmarks, and
+// clean shutdown sequencing).
+func (db *DB) Flush() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	for _, p := range db.partitions() {
+		p.mu.Lock()
+		err := p.flushLocked()
+		p.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompactAll drains every partition's UnsortedStore into its SortedStore
+// (benchmarks use it to measure steady-state reads).
+func (db *DB) CompactAll() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	for _, p := range db.partitions() {
+		p.mu.Lock()
+		err := p.flushLocked()
+		if err == nil {
+			err = p.mergeLocked()
+		}
+		p.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

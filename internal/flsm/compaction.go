@@ -1,0 +1,180 @@
+package flsm
+
+import (
+	"unikv/internal/codec"
+	"unikv/internal/memtable"
+	"unikv/internal/mergeiter"
+	"unikv/internal/record"
+	"unikv/internal/sstable"
+)
+
+// flushLocked writes the memtable as a fresh single-table run in L0.
+func (db *DB) flushLocked() error {
+	it := db.mem.NewIterator()
+	var recs []record.Record
+	var last []byte
+	for ok := it.First(); ok; ok = it.Next() {
+		rec := it.Record()
+		if last != nil && codec.Compare(rec.Key, last) == 0 {
+			continue
+		}
+		last = rec.Key
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	t, err := db.writeTable(recs)
+	if err != nil {
+		return err
+	}
+	// Newest run first.
+	db.levels[0] = append([]run{{t}}, db.levels[0]...)
+	db.mem = memtable.New()
+	db.flushes.Add(1)
+	if db.logw != nil {
+		if err := db.newWALLocked(); err != nil {
+			return err
+		}
+	}
+	return db.saveVersion()
+}
+
+func (db *DB) writeTable(recs []record.Record) (*table, error) {
+	num := db.nextFile
+	db.nextFile++
+	f, err := db.fs.Create(db.tableName(num))
+	if err != nil {
+		return nil, err
+	}
+	b := sstable.NewBuilder(f, sstable.BuilderOptions{
+		BloomBitsPerKey: db.cfg.BloomBitsPerKey,
+		BlockSize:       db.cfg.BlockSize,
+	})
+	for _, rec := range recs {
+		b.Add(rec)
+	}
+	props, err := b.Finish()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return db.openTable(num, props)
+}
+
+func (db *DB) openTable(num uint64, props sstable.Props) (*table, error) {
+	rf, err := db.fs.Open(db.tableName(num))
+	if err != nil {
+		return nil, err
+	}
+	rdr, err := sstable.Open(rf)
+	if err != nil {
+		rf.Close()
+		return nil, err
+	}
+	return &table{
+		fileNum: num, size: props.Size, count: props.Count,
+		smallest: props.Smallest, largest: props.Largest, rdr: rdr,
+	}, nil
+}
+
+// maybeCompactLocked merges any level holding RunsPerLevel runs into a
+// single run appended to the next level, never touching that level's
+// existing runs (fragmented compaction).
+func (db *DB) maybeCompactLocked() error {
+	for {
+		compacted := false
+		for lev := 0; lev < NumLevels-1; lev++ {
+			if len(db.levels[lev]) >= db.cfg.RunsPerLevel {
+				if err := db.compactLevelLocked(lev); err != nil {
+					return err
+				}
+				compacted = true
+				break
+			}
+		}
+		if !compacted {
+			return nil
+		}
+	}
+}
+
+// compactLevelLocked merge-sorts all runs of lev into one run at lev+1.
+// Tombstones are dropped only when no deeper level holds data.
+func (db *DB) compactLevelLocked(lev int) error {
+	runs := db.levels[lev]
+	if len(runs) == 0 {
+		return nil
+	}
+	dropTombstones := true
+	for l := lev + 1; l < NumLevels; l++ {
+		if len(db.levels[l]) > 0 {
+			dropTombstones = false
+			break
+		}
+	}
+
+	var iters []mergeiter.RecIter
+	for _, r := range runs {
+		iters = append(iters, newRunIter(r))
+	}
+	d := mergeiter.NewDedup(mergeiter.New(iters))
+
+	var out run
+	var batch []record.Record
+	var batchBytes int64
+	emit := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		t, err := db.writeTable(batch)
+		if err != nil {
+			return err
+		}
+		out = append(out, t)
+		batch = batch[:0]
+		batchBytes = 0
+		return nil
+	}
+	for ok := d.First(); ok; ok = d.Next() {
+		rec := d.Record()
+		if rec.Kind == record.KindDelete && dropTombstones {
+			continue
+		}
+		batch = append(batch, rec.Clone())
+		batchBytes += int64(len(rec.Key) + len(rec.Value) + 16)
+		if batchBytes >= db.cfg.TargetTableSize {
+			if err := emit(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := emit(); err != nil {
+		return err
+	}
+
+	// Install. Data flows down a whole level at a time, so the merged run
+	// is newer than every run already at lev+1 (those arrived from earlier
+	// compactions): prepend to keep newest-first probe order.
+	if len(out) > 0 {
+		db.levels[lev+1] = append([]run{out}, db.levels[lev+1]...)
+	}
+	db.levels[lev] = nil
+	if err := db.saveVersion(); err != nil {
+		return err
+	}
+	for _, r := range runs {
+		for _, t := range r {
+			t.rdr.Close()
+			db.fs.Remove(db.tableName(t.fileNum))
+		}
+	}
+	db.compactions.Add(1)
+	return nil
+}

@@ -1,0 +1,236 @@
+package flsm
+
+import (
+	"io"
+
+	"unikv/internal/codec"
+	"unikv/internal/record"
+	"unikv/internal/sstable"
+	"unikv/internal/wal"
+)
+
+// runIter concatenates one run's non-overlapping tables into a stream.
+type runIter struct {
+	r   run
+	ti  int
+	it  *sstable.Iterator
+	err error
+}
+
+func newRunIter(r run) *runIter { return &runIter{r: r, ti: -1} }
+
+func (l *runIter) Valid() bool           { return l.it != nil && l.it.Valid() }
+func (l *runIter) Record() record.Record { return l.it.Record() }
+func (l *runIter) Err() error            { return l.err }
+
+func (l *runIter) First() bool {
+	l.ti = -1
+	l.it = nil
+	return l.Next()
+}
+
+func (l *runIter) Next() bool {
+	if l.err != nil {
+		return false
+	}
+	if l.it != nil && l.it.Next() {
+		return true
+	}
+	for {
+		if l.it != nil {
+			if err := l.it.Err(); err != nil {
+				l.err = err
+				return false
+			}
+		}
+		l.ti++
+		if l.ti >= len(l.r) {
+			l.it = nil
+			return false
+		}
+		l.it = l.r[l.ti].rdr.NewIterator()
+		if l.it.First() {
+			return true
+		}
+	}
+}
+
+func (l *runIter) Seek(target []byte) bool {
+	if l.err != nil {
+		return false
+	}
+	lo, hi := 0, len(l.r)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if codec.Compare(l.r[mid].largest, target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(l.r) {
+		l.it = nil
+		l.ti = len(l.r)
+		return false
+	}
+	l.ti = lo
+	l.it = l.r[lo].rdr.NewIterator()
+	if l.it.Seek(target) {
+		return true
+	}
+	if err := l.it.Err(); err != nil {
+		l.err = err
+		return false
+	}
+	return l.Next()
+}
+
+// ---------------------------------------------------------------------------
+// WAL + version persistence.
+
+func (db *DB) newWALLocked() error {
+	old := db.walNum
+	if db.logw != nil {
+		db.logw.Sync()
+		db.logw.Close()
+		db.logw = nil
+	}
+	num := db.nextFile
+	db.nextFile++
+	f, err := db.fs.Create(db.walName(num))
+	if err != nil {
+		return err
+	}
+	db.logw = wal.NewWriter(f)
+	db.walNum = num
+	if old != 0 {
+		db.fs.Remove(db.walName(old))
+	}
+	return nil
+}
+
+func (db *DB) replayWAL() error {
+	f, err := db.fs.Open(db.walName(db.walNum))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := wal.NewReader(f)
+	for {
+		data, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for len(data) > 0 {
+			var rec record.Record
+			rec, data, err = record.Decode(data)
+			if err != nil {
+				return nil
+			}
+			rec = rec.Clone()
+			db.mem.Put(rec)
+			if rec.Seq > db.seq {
+				db.seq = rec.Seq
+			}
+		}
+	}
+}
+
+const versionMagic uint64 = 0x756e696b76666c73 // "unikvfls"
+
+func (db *DB) saveVersion() error {
+	var buf []byte
+	buf = codec.PutUint64(buf, versionMagic)
+	buf = codec.PutUvarint(buf, db.nextFile)
+	buf = codec.PutUvarint(buf, db.seq)
+	buf = codec.PutUvarint(buf, db.walNum)
+	for lev := 0; lev < NumLevels; lev++ {
+		buf = codec.PutUvarint(buf, uint64(len(db.levels[lev])))
+		for _, r := range db.levels[lev] {
+			buf = codec.PutUvarint(buf, uint64(len(r)))
+			for _, t := range r {
+				buf = codec.PutUvarint(buf, t.fileNum)
+				buf = codec.PutUvarint(buf, uint64(t.size))
+				buf = codec.PutUvarint(buf, uint64(t.count))
+				buf = codec.PutBytes(buf, t.smallest)
+				buf = codec.PutBytes(buf, t.largest)
+			}
+		}
+	}
+	buf = codec.PutUint32(buf, codec.MaskChecksum(codec.Checksum(buf)))
+	return db.fs.WriteFile(db.versionName(), buf)
+}
+
+func (db *DB) loadVersion() error {
+	data, err := db.fs.ReadFile(db.versionName())
+	if err != nil {
+		return err
+	}
+	if len(data) < 12 {
+		return codec.ErrCorrupt
+	}
+	body, crcB := data[:len(data)-4], data[len(data)-4:]
+	want, _, _ := codec.Uint32(crcB)
+	if codec.MaskChecksum(codec.Checksum(body)) != want {
+		return codec.ErrCorrupt
+	}
+	var magic uint64
+	if magic, body, err = codec.Uint64(body); err != nil || magic != versionMagic {
+		return codec.ErrCorrupt
+	}
+	if db.nextFile, body, err = codec.Uvarint(body); err != nil {
+		return err
+	}
+	if db.seq, body, err = codec.Uvarint(body); err != nil {
+		return err
+	}
+	if db.walNum, body, err = codec.Uvarint(body); err != nil {
+		return err
+	}
+	for lev := 0; lev < NumLevels; lev++ {
+		var nRuns uint64
+		if nRuns, body, err = codec.Uvarint(body); err != nil {
+			return err
+		}
+		for ri := uint64(0); ri < nRuns; ri++ {
+			var nTables uint64
+			if nTables, body, err = codec.Uvarint(body); err != nil {
+				return err
+			}
+			var r run
+			for ti := uint64(0); ti < nTables; ti++ {
+				var fileNum, size, count uint64
+				var smallest, largest []byte
+				if fileNum, body, err = codec.Uvarint(body); err != nil {
+					return err
+				}
+				if size, body, err = codec.Uvarint(body); err != nil {
+					return err
+				}
+				if count, body, err = codec.Uvarint(body); err != nil {
+					return err
+				}
+				if smallest, body, err = codec.Bytes(body); err != nil {
+					return err
+				}
+				if largest, body, err = codec.Bytes(body); err != nil {
+					return err
+				}
+				t, err := db.openTable(fileNum, sstable.Props{
+					Size: int64(size), Count: int(count),
+					Smallest: append([]byte(nil), smallest...),
+					Largest:  append([]byte(nil), largest...),
+				})
+				if err != nil {
+					return err
+				}
+				r = append(r, t)
+			}
+			db.levels[lev] = append(db.levels[lev], r)
+		}
+	}
+	return nil
+}

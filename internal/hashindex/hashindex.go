@@ -1,0 +1,339 @@
+// Package hashindex implements UniKV's lightweight two-level in-memory hash
+// index over the UnsortedStore (paper §Design, "Hash indexing").
+//
+// The index maps a key to the UnsortedStore table that holds its newest
+// version. Each bucket has one direct slot plus an overflow chain; an insert
+// probes buckets h_1(key)%N .. h_n(key)%N (cuckoo-style multi-choice) for a
+// free direct slot and otherwise chains an overflow entry onto bucket
+// h_n(key)%N. A lookup probes in the reverse order, h_n .. h_1, checking
+// chain entries newest-first before the direct slot, so the most recently
+// inserted version of a key is always found first (slot occupancy is
+// monotone between rebuilds, so newer entries can only land at
+// higher-numbered probes or in chains).
+//
+// Each entry costs 8 bytes — <keyTag(2B), tableID(2B), pointer(4B)> — the
+// paper's budget. keyTag is the top 16 bits of an (n+1)-th hash and filters
+// candidates; false positives are resolved by reading the key from the
+// candidate table. The pointer is the chain link (an arena index here; the
+// paper chains file-format entries the same way).
+//
+// For crash recovery the index is checkpointed to disk (paper: every
+// UnsortedLimit/2 flushes) and reloaded + replayed on open.
+package hashindex
+
+import (
+	"errors"
+	"sync"
+
+	"unikv/internal/codec"
+	"unikv/internal/vfs"
+)
+
+// DefaultNumHash is the number of candidate buckets probed per key.
+const DefaultNumHash = 4
+
+// ErrBadCheckpoint reports an unreadable checkpoint file.
+var ErrBadCheckpoint = errors.New("hashindex: corrupt checkpoint")
+
+// bucket is the first level: one inline entry plus an overflow chain head.
+type bucket struct {
+	used  bool
+	tag   uint16
+	table uint16
+	head  uint32 // 1-based arena index; 0 = nil
+}
+
+// overflow is a chained (second-level) entry.
+type overflow struct {
+	tag   uint16
+	table uint16
+	next  uint32 // 1-based arena index; 0 = nil
+}
+
+// Index is the two-level hash index. It is safe for concurrent use.
+type Index struct {
+	mu      sync.RWMutex
+	buckets []bucket
+	arena   []overflow
+	numHash int
+	count   int
+}
+
+// New creates an index with nBuckets first-level buckets and numHash probe
+// functions (DefaultNumHash if numHash <= 0). Size nBuckets near the
+// expected number of live entries for ~80 % direct-slot utilization.
+func New(nBuckets, numHash int) *Index {
+	if nBuckets < 16 {
+		nBuckets = 16
+	}
+	if numHash <= 0 {
+		numHash = DefaultNumHash
+	}
+	if numHash > maxNumHash {
+		numHash = maxNumHash
+	}
+	return &Index{buckets: make([]bucket, nBuckets), numHash: numHash}
+}
+
+// hashSeeds provides independent 64-bit mixes; seed i drives h_{i+1}.
+var hashSeeds = [...]uint64{
+	0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb,
+	0xd6e8feb86659fd93, 0xa5a5a5a5a5a5a5a5, 0xc2b2ae3d27d4eb4f,
+	0x165667b19e3779f9, 0x27d4eb2f165667c5,
+}
+
+// baseHash is an FNV-1a 64 over the key.
+func baseHash(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// mix finalizes base with a seed (splitmix64 finalizer).
+func mix(base, seed uint64) uint64 {
+	z := base ^ seed
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// maxNumHash bounds the probe count so hash results fit a stack array.
+const maxNumHash = len(hashSeeds) - 1
+
+// hashes fills bs with the n bucket indices (h_1..h_n) and returns the
+// probe slice and the keyTag (h_{n+1}). bs must have maxNumHash capacity.
+func (x *Index) hashes(key []byte, bs *[maxNumHash]uint32) ([]uint32, uint16) {
+	base := baseHash(key)
+	n := x.numHash
+	for i := 0; i < n; i++ {
+		bs[i] = uint32(mix(base, hashSeeds[i]) % uint64(len(x.buckets)))
+	}
+	tag := uint16(mix(base, hashSeeds[n]) >> 48)
+	return bs[:n], tag
+}
+
+// Insert records that key's newest version lives in table.
+func (x *Index) Insert(key []byte, table uint16) {
+	var arr [maxNumHash]uint32
+	bs, tag := x.hashes(key, &arr)
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	// Probe h_1..h_n for a free direct slot.
+	for _, bi := range bs {
+		b := &x.buckets[bi]
+		if !b.used {
+			b.used = true
+			b.tag = tag
+			b.table = table
+			x.count++
+			return
+		}
+	}
+	// All full: chain onto bucket h_n, newest at the head.
+	bi := bs[len(bs)-1]
+	x.arena = append(x.arena, overflow{tag: tag, table: table, next: x.buckets[bi].head})
+	x.buckets[bi].head = uint32(len(x.arena)) // 1-based
+	x.count++
+}
+
+// Lookup calls fn with each candidate tableID, newest insertion first,
+// until fn returns true (found) or candidates are exhausted. It returns
+// whether fn stopped the search.
+func (x *Index) Lookup(key []byte, fn func(table uint16) bool) bool {
+	var arr [maxNumHash]uint32
+	bs, tag := x.hashes(key, &arr)
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	for i := len(bs) - 1; i >= 0; i-- {
+		b := &x.buckets[bs[i]]
+		// Overflow chain first (strictly newer than any direct slot probed
+		// at or below this bucket), newest-first.
+		for ai := b.head; ai != 0; ai = x.arena[ai-1].next {
+			e := &x.arena[ai-1]
+			if e.tag == tag && fn(e.table) {
+				return true
+			}
+		}
+		if b.used && b.tag == tag && fn(b.table) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset drops all entries (used when the UnsortedStore drains into the
+// SortedStore and all tables disappear at once).
+func (x *Index) Reset() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for i := range x.buckets {
+		x.buckets[i] = bucket{}
+	}
+	x.arena = x.arena[:0]
+	x.count = 0
+}
+
+// Count returns the number of live entries.
+func (x *Index) Count() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.count
+}
+
+// MemoryBytes reports the index's memory footprint: 8 bytes per bucket and
+// per overflow entry (the tab-mem experiment's metric).
+func (x *Index) MemoryBytes() int64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return int64(len(x.buckets))*8 + int64(len(x.arena))*8
+}
+
+// Utilization returns the fraction of direct slots in use.
+func (x *Index) Utilization() float64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	used := 0
+	for i := range x.buckets {
+		if x.buckets[i].used {
+			used++
+		}
+	}
+	return float64(used) / float64(len(x.buckets))
+}
+
+// OverflowLen returns the number of chained entries.
+func (x *Index) OverflowLen() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.arena)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing.
+
+const checkpointMagic uint64 = 0x756e696b76686169 // "unikvhai"
+
+// Marshal serializes the index (with a trailing checksum) for embedding in
+// a larger checkpoint file.
+func (x *Index) Marshal() []byte {
+	buf := x.marshalBody()
+	return codec.PutUint32(buf, codec.MaskChecksum(codec.Checksum(buf)))
+}
+
+// Unmarshal restores an index serialized by Marshal.
+func Unmarshal(data []byte) (*Index, error) {
+	return unmarshalChecked(data)
+}
+
+// Save writes an atomic checkpoint of the index to name.
+func (x *Index) Save(fs vfs.FS, name string) error {
+	return fs.WriteFile(name, x.Marshal())
+}
+
+// marshalBody serializes the index without the checksum.
+func (x *Index) marshalBody() []byte {
+	x.mu.RLock()
+	var buf []byte
+	buf = codec.PutUint64(buf, checkpointMagic)
+	buf = codec.PutUvarint(buf, uint64(x.numHash))
+	buf = codec.PutUvarint(buf, uint64(len(x.buckets)))
+	buf = codec.PutUvarint(buf, uint64(len(x.arena)))
+	for i := range x.buckets {
+		b := &x.buckets[i]
+		u := byte(0)
+		if b.used {
+			u = 1
+		}
+		buf = append(buf, u)
+		buf = codec.PutUint32(buf, uint32(b.tag)|uint32(b.table)<<16)
+		buf = codec.PutUint32(buf, b.head)
+	}
+	for i := range x.arena {
+		e := &x.arena[i]
+		buf = codec.PutUint32(buf, uint32(e.tag)|uint32(e.table)<<16)
+		buf = codec.PutUint32(buf, e.next)
+	}
+	x.mu.RUnlock()
+	return buf
+}
+
+// Load restores an index from a checkpoint written by Save.
+func Load(fs vfs.FS, name string) (*Index, error) {
+	data, err := fs.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return unmarshalChecked(data)
+}
+
+// unmarshalChecked validates the checksum and decodes the index.
+func unmarshalChecked(data []byte) (*Index, error) {
+	var err error
+	if len(data) < 12 {
+		return nil, ErrBadCheckpoint
+	}
+	body, crcB := data[:len(data)-4], data[len(data)-4:]
+	want, _, _ := codec.Uint32(crcB)
+	if codec.MaskChecksum(codec.Checksum(body)) != want {
+		return nil, ErrBadCheckpoint
+	}
+	var magic uint64
+	if magic, body, err = codec.Uint64(body); err != nil || magic != checkpointMagic {
+		return nil, ErrBadCheckpoint
+	}
+	var numHash, nBuckets, nArena uint64
+	if numHash, body, err = codec.Uvarint(body); err != nil {
+		return nil, ErrBadCheckpoint
+	}
+	if nBuckets, body, err = codec.Uvarint(body); err != nil {
+		return nil, ErrBadCheckpoint
+	}
+	if nArena, body, err = codec.Uvarint(body); err != nil {
+		return nil, ErrBadCheckpoint
+	}
+	x := &Index{
+		buckets: make([]bucket, nBuckets),
+		arena:   make([]overflow, nArena),
+		numHash: int(numHash),
+	}
+	for i := range x.buckets {
+		if len(body) < 9 {
+			return nil, ErrBadCheckpoint
+		}
+		used := body[0] == 1
+		body = body[1:]
+		var packed, head uint32
+		if packed, body, err = codec.Uint32(body); err != nil {
+			return nil, ErrBadCheckpoint
+		}
+		if head, body, err = codec.Uint32(body); err != nil {
+			return nil, ErrBadCheckpoint
+		}
+		x.buckets[i] = bucket{used: used, tag: uint16(packed), table: uint16(packed >> 16), head: head}
+		if used {
+			x.count++
+		}
+	}
+	for i := range x.arena {
+		var packed, next uint32
+		if packed, body, err = codec.Uint32(body); err != nil {
+			return nil, ErrBadCheckpoint
+		}
+		if next, body, err = codec.Uint32(body); err != nil {
+			return nil, ErrBadCheckpoint
+		}
+		x.arena[i] = overflow{tag: uint16(packed), table: uint16(packed >> 16), next: next}
+		x.count++
+	}
+	if len(body) != 0 {
+		return nil, ErrBadCheckpoint
+	}
+	return x, nil
+}

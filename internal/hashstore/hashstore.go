@@ -1,0 +1,362 @@
+// Package hashstore implements a SkimpyStash-class hash-indexed log store:
+// the motivation baseline for the paper's Fig. 1. All data lives in one
+// append-only log; an in-memory directory of hash buckets holds only the
+// head offset of a per-bucket chain whose links are embedded in the log
+// records themselves (SkimpyStash's trick for ~1 byte of RAM per key).
+//
+// The design point it demonstrates: point reads cost one random I/O per
+// chain hop, and chains grow linearly with dataset size over a fixed
+// bucket directory — so read (and with read-modify checks, write)
+// throughput degrades as the store grows, which is why a hash index alone
+// does not scale and UniKV pairs it with an LSM-organized cold tier. Range
+// scans are unsupported, the other motivating limitation.
+package hashstore
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"sync"
+
+	"unikv/internal/codec"
+	"unikv/internal/vfs"
+)
+
+// ErrNotFound is returned by Get for absent keys.
+var ErrNotFound = errors.New("hashstore: key not found")
+
+// ErrNoScan is returned by range operations: hash indexes cannot scan.
+var ErrNoScan = errors.New("hashstore: range scans unsupported")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("hashstore: closed")
+
+// Config tunes the store.
+type Config struct {
+	// Buckets fixes the directory size; chain length ≈ keys/Buckets.
+	Buckets int
+	// SyncWrites fsyncs the log per write.
+	SyncWrites bool
+	// FS overrides the file system.
+	FS vfs.FS
+}
+
+func (c Config) sanitize() Config {
+	if c.Buckets <= 0 {
+		c.Buckets = 1 << 15
+	}
+	if c.FS == nil {
+		c.FS = vfs.NewOS()
+	}
+	return c
+}
+
+// DB is a hash-indexed log store.
+type DB struct {
+	cfg Config
+	fs  vfs.FS
+	dir string
+
+	mu      sync.RWMutex
+	logw    vfs.File
+	logr    vfs.File
+	off     int64
+	buckets []int64 // head offset per bucket; -1 = empty
+	count   int
+	closed  bool
+
+	// pending holds rebuilt key→value data between rebuild and rewrite at
+	// open time.
+	pending map[string][]byte
+}
+
+const logName = "store.log"
+
+// record framing:
+//
+//	prevOffset (8B; ^0 = end of chain) | tombstone (1B) |
+//	keyLen (uvarint) | key | valLen (uvarint) | value | crc (4B)
+const endOfChain = int64(-1)
+
+// Open opens the store, rebuilding the directory by scanning the log.
+func Open(dir string, cfg Config) (*DB, error) {
+	cfg = cfg.sanitize()
+	db := &DB{cfg: cfg, fs: cfg.FS, dir: dir}
+	if err := db.fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	db.buckets = make([]int64, cfg.Buckets)
+	for i := range db.buckets {
+		db.buckets[i] = endOfChain
+	}
+	name := filepath.Join(dir, logName)
+	if db.fs.Exists(name) {
+		if err := db.rebuild(name); err != nil {
+			return nil, err
+		}
+		// Continue appending: copy surviving log into a fresh file would
+		// be wasteful; instead reopen for append by rewriting is not
+		// supported by vfs.Create (truncates). Rebuild into memory and
+		// rewrite compactly (the store is a motivation baseline; reopening
+		// is rare and this doubles as its compaction).
+		if err := db.rewrite(name); err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
+	f, err := db.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	db.logw = f
+	r, err := db.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	db.logr = r
+	return db, nil
+}
+
+// hash picks the bucket for key.
+func (db *DB) hash(key []byte) int {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h % uint64(len(db.buckets)))
+}
+
+// encodeRecord frames one record.
+func encodeRecord(prev int64, tombstone bool, key, value []byte) []byte {
+	var buf []byte
+	buf = codec.PutUint64(buf, uint64(prev))
+	t := byte(0)
+	if tombstone {
+		t = 1
+	}
+	buf = append(buf, t)
+	buf = codec.PutBytes(buf, key)
+	buf = codec.PutBytes(buf, value)
+	return codec.PutUint32(buf, codec.MaskChecksum(codec.Checksum(buf)))
+}
+
+// Put appends a record and repoints the bucket head.
+func (db *DB) Put(key, value []byte) error { return db.append(key, value, false) }
+
+// Delete appends a tombstone.
+func (db *DB) Delete(key []byte) error { return db.append(key, nil, true) }
+
+func (db *DB) append(key, value []byte, tombstone bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	b := db.hash(key)
+	rec := encodeRecord(db.buckets[b], tombstone, key, value)
+	if _, err := db.logw.Write(rec); err != nil {
+		return err
+	}
+	if db.cfg.SyncWrites {
+		if err := db.logw.Sync(); err != nil {
+			return err
+		}
+	}
+	db.buckets[b] = db.off
+	db.off += int64(len(rec))
+	db.count++
+	return nil
+}
+
+// Get walks the bucket chain newest-first; each hop is one random log read.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	off := db.buckets[db.hash(key)]
+	for off != endOfChain {
+		prev, tombstone, k, v, err := db.readRecord(off)
+		if err != nil {
+			return nil, err
+		}
+		if codec.Compare(k, key) == 0 {
+			if tombstone {
+				return nil, ErrNotFound
+			}
+			return append([]byte(nil), v...), nil
+		}
+		off = prev
+	}
+	return nil, ErrNotFound
+}
+
+// readRecord decodes the record at off.
+func (db *DB) readRecord(off int64) (prev int64, tombstone bool, key, value []byte, err error) {
+	// Read a generous fixed chunk, then decode; re-read larger if the
+	// value did not fit (values are usually ≤ 4 KiB here).
+	buf := make([]byte, 4096)
+	n, rerr := db.logr.ReadAt(buf, off)
+	if rerr != nil && rerr != io.EOF {
+		return 0, false, nil, nil, rerr
+	}
+	buf = buf[:n]
+	dec := func(buf []byte) (int64, bool, []byte, []byte, bool) {
+		if len(buf) < 9 {
+			return 0, false, nil, nil, false
+		}
+		p, rest, _ := codec.Uint64(buf)
+		t := rest[0] == 1
+		rest = rest[1:]
+		k, rest, err := codec.Bytes(rest)
+		if err != nil {
+			return 0, false, nil, nil, false
+		}
+		v, _, err := codec.Bytes(rest)
+		if err != nil {
+			return 0, false, nil, nil, false
+		}
+		return int64(p), t, k, v, true
+	}
+	if p, t, k, v, ok := dec(buf); ok {
+		return p, t, k, v, nil
+	}
+	// Retry with a larger window (oversized value).
+	size, err := db.logr.Size()
+	if err != nil {
+		return 0, false, nil, nil, err
+	}
+	big := make([]byte, size-off)
+	if _, err := db.logr.ReadAt(big, off); err != nil && err != io.EOF {
+		return 0, false, nil, nil, err
+	}
+	if p, t, k, v, ok := dec(big); ok {
+		return p, t, k, v, nil
+	}
+	return 0, false, nil, nil, codec.ErrCorrupt
+}
+
+// Scan is unsupported: the motivating limitation of pure hash indexes.
+func (db *DB) Scan(start, end []byte, limit int) ([]struct{ Key, Value []byte }, error) {
+	return nil, ErrNoScan
+}
+
+// Count returns the number of appended records (all versions).
+func (db *DB) Count() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.count
+}
+
+// ChainStats returns the mean chain length — the degradation driver.
+func (db *DB) ChainStats() float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	used := 0
+	for _, h := range db.buckets {
+		if h != endOfChain {
+			used++
+		}
+	}
+	if used == 0 {
+		return 0
+	}
+	return float64(db.count) / float64(used)
+}
+
+// Close releases the store.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var first error
+	if db.logw != nil {
+		if err := db.logw.Sync(); err != nil {
+			first = err
+		}
+		db.logw.Close()
+	}
+	if db.logr != nil {
+		db.logr.Close()
+	}
+	return first
+}
+
+// rebuild scans an existing log into memory (key → latest value).
+func (db *DB) rebuild(name string) error {
+	data, err := db.fs.ReadFile(name)
+	if err != nil {
+		return err
+	}
+	db.pending = map[string][]byte{}
+	for len(data) > 0 {
+		if len(data) < 13 {
+			break // torn tail
+		}
+		start := data
+		_, rest, _ := codec.Uint64(data)
+		tomb := rest[0] == 1
+		rest = rest[1:]
+		k, rest, err := codec.Bytes(rest)
+		if err != nil {
+			break
+		}
+		v, rest, err := codec.Bytes(rest)
+		if err != nil {
+			break
+		}
+		if len(rest) < 4 {
+			break
+		}
+		recLen := len(start) - len(rest) + 4
+		body := start[:recLen-4]
+		want, _, _ := codec.Uint32(rest)
+		if codec.MaskChecksum(codec.Checksum(body)) != want {
+			break
+		}
+		if tomb {
+			delete(db.pending, string(k))
+		} else {
+			db.pending[string(k)] = append([]byte(nil), v...)
+		}
+		data = rest[4:]
+	}
+	return nil
+}
+
+// rewrite compacts the rebuilt data into a fresh log.
+func (db *DB) rewrite(name string) error {
+	f, err := db.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	db.logw = f
+	db.off = 0
+	db.count = 0
+	for k, v := range db.pending {
+		b := db.hash([]byte(k))
+		rec := encodeRecord(db.buckets[b], false, []byte(k), v)
+		if _, err := db.logw.Write(rec); err != nil {
+			return err
+		}
+		db.buckets[b] = db.off
+		db.off += int64(len(rec))
+		db.count++
+	}
+	db.pending = nil
+	if err := db.logw.Sync(); err != nil {
+		return err
+	}
+	r, err := db.fs.Open(name)
+	if err != nil {
+		return err
+	}
+	db.logr = r
+	return nil
+}

@@ -1,0 +1,201 @@
+package hashstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"unikv/internal/vfs"
+)
+
+func openTestStore(t *testing.T, fs vfs.FS, buckets int) *DB {
+	t.Helper()
+	db, err := Open("hs", Config{Buckets: buckets, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPutGet(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openTestStore(t, fs, 64)
+	defer db.Close()
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		v := []byte(fmt.Sprintf("val-%04d", i))
+		if err := db.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		got, err := db.Get(k)
+		if err != nil || string(got) != fmt.Sprintf("val-%04d", i) {
+			t.Fatalf("%s: %q %v", k, got, err)
+		}
+	}
+	if _, err := db.Get([]byte("missing")); err != ErrNotFound {
+		t.Fatalf("%v", err)
+	}
+	if db.Count() != 500 {
+		t.Fatalf("Count=%d", db.Count())
+	}
+}
+
+func TestOverwriteNewestWins(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openTestStore(t, fs, 8)
+	defer db.Close()
+	for i := 0; i < 10; i++ {
+		db.Put([]byte("k"), []byte(fmt.Sprintf("v%d", i)))
+	}
+	got, err := db.Get([]byte("k"))
+	if err != nil || string(got) != "v9" {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openTestStore(t, fs, 8)
+	defer db.Close()
+	db.Put([]byte("k"), []byte("v"))
+	db.Delete([]byte("k"))
+	if _, err := db.Get([]byte("k")); err != ErrNotFound {
+		t.Fatalf("%v", err)
+	}
+}
+
+func TestChainGrowth(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openTestStore(t, fs, 16)
+	defer db.Close()
+	for i := 0; i < 1600; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte("v"))
+	}
+	if db.ChainStats() < 50 {
+		t.Fatalf("chains should be ~100 long: %f", db.ChainStats())
+	}
+	// Reads still correct despite long chains.
+	for _, i := range []int{0, 799, 1599} {
+		if _, err := db.Get([]byte(fmt.Sprintf("key-%05d", i))); err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+	}
+}
+
+// TestReadCostGrowsWithSize is the Fig.1 mechanism in miniature: the bytes
+// read per lookup grow with the dataset over a fixed directory.
+func TestReadCostGrowsWithSize(t *testing.T) {
+	cost := func(n int) int64 {
+		fs := vfs.NewMem()
+		db := openTestStore(t, fs, 32)
+		defer db.Close()
+		for i := 0; i < n; i++ {
+			db.Put([]byte(fmt.Sprintf("key-%06d", i)), bytes.Repeat([]byte("v"), 100))
+		}
+		before := fs.Counters().BytesRead.Load()
+		for i := 0; i < 200; i++ {
+			db.Get([]byte(fmt.Sprintf("key-%06d", i*n/200)))
+		}
+		return fs.Counters().BytesRead.Load() - before
+	}
+	small, large := cost(200), cost(3200)
+	if large < 4*small {
+		t.Fatalf("lookup cost should grow with N: small=%d large=%d", small, large)
+	}
+}
+
+func TestNoScan(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openTestStore(t, fs, 8)
+	defer db.Close()
+	if _, err := db.Scan([]byte("a"), []byte("z"), 10); err != ErrNoScan {
+		t.Fatalf("%v", err)
+	}
+}
+
+func TestReopenCompacts(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openTestStore(t, fs, 32)
+	for i := 0; i < 300; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", i%50)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	for i := 0; i < 10; i++ {
+		db.Delete([]byte(fmt.Sprintf("key-%04d", i)))
+	}
+	db.Close()
+
+	db2 := openTestStore(t, fs, 32)
+	defer db2.Close()
+	// Compacted: only live keys remain.
+	if db2.Count() != 40 {
+		t.Fatalf("Count=%d want 40", db2.Count())
+	}
+	for i := 10; i < 50; i++ {
+		got, err := db2.Get([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("key %d empty", i)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := db2.Get([]byte(fmt.Sprintf("key-%04d", i))); err != ErrNotFound {
+			t.Fatalf("deleted key %d resurrected", i)
+		}
+	}
+}
+
+func TestClosed(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openTestStore(t, fs, 8)
+	db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Fatalf("%v", err)
+	}
+	if _, err := db.Get([]byte("k")); err != ErrClosed {
+		t.Fatalf("%v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openTestStore(t, fs, 8)
+	defer db.Close()
+	big := bytes.Repeat([]byte("x"), 10000) // larger than the 4 KiB read window
+	db.Put([]byte("big"), big)
+	db.Put([]byte("after"), []byte("small"))
+	got, err := db.Get([]byte("big"))
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("large value: len=%d err=%v", len(got), err)
+	}
+}
+
+func TestReopenTornLog(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openTestStore(t, fs, 32)
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Close()
+	// Tear bytes off the log tail: recovery keeps the intact prefix.
+	data, _ := fs.ReadFile("hs/store.log")
+	fs.WriteFile("hs/store.log", data[:len(data)-7])
+	db2 := openTestStore(t, fs, 32)
+	defer db2.Close()
+	if db2.Count() < 90 {
+		t.Fatalf("recovered only %d records", db2.Count())
+	}
+	for i := 0; i < db2.Count()-5; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		if _, err := db2.Get(k); err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+	}
+}

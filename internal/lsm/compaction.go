@@ -1,0 +1,366 @@
+package lsm
+
+import (
+	"unikv/internal/codec"
+	"unikv/internal/memtable"
+	"unikv/internal/mergeiter"
+	"unikv/internal/record"
+	"unikv/internal/sstable"
+)
+
+// flushLocked writes the memtable to a new L0 table.
+func (db *DB) flushLocked() error {
+	it := db.mem.NewIterator()
+	var recs []record.Record
+	var last []byte
+	for ok := it.First(); ok; ok = it.Next() {
+		rec := it.Record()
+		if last != nil && codec.Compare(rec.Key, last) == 0 {
+			continue
+		}
+		last = rec.Key
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	t, err := db.writeTable(recs)
+	if err != nil {
+		return err
+	}
+	db.levels[0] = append(db.levels[0], t)
+	db.mem = memtable.New()
+	db.flushes.Add(1)
+	if db.logw != nil {
+		if err := db.newWALLocked(); err != nil {
+			return err
+		}
+	}
+	return db.saveVersion()
+}
+
+// writeTable persists recs (already sorted, deduped) as one table.
+func (db *DB) writeTable(recs []record.Record) (*table, error) {
+	num := db.nextFile
+	db.nextFile++
+	name := db.tableName(num)
+	f, err := db.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	b := sstable.NewBuilder(f, sstable.BuilderOptions{
+		BloomBitsPerKey: db.cfg.BloomBitsPerKey,
+		BlockSize:       db.cfg.BlockSize,
+	})
+	for _, rec := range recs {
+		b.Add(rec)
+	}
+	props, err := b.Finish()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return db.openTable(num, props)
+}
+
+func (db *DB) openTable(num uint64, props sstable.Props) (*table, error) {
+	rf, err := db.fs.Open(db.tableName(num))
+	if err != nil {
+		return nil, err
+	}
+	rdr, err := sstable.Open(rf)
+	if err != nil {
+		rf.Close()
+		return nil, err
+	}
+	return &table{
+		fileNum: num, size: props.Size, count: props.Count,
+		smallest: props.Smallest, largest: props.Largest, rdr: rdr,
+	}, nil
+}
+
+// levelTarget returns level lev's size budget.
+func (db *DB) levelTarget(lev int) int64 {
+	t := db.cfg.LevelSizeBase
+	for i := 1; i < lev; i++ {
+		t *= int64(db.cfg.LevelMultiplier)
+	}
+	return t
+}
+
+func levelBytes(tables []*table) int64 {
+	var n int64
+	for _, t := range tables {
+		n += t.size
+	}
+	return n
+}
+
+// maybeCompactLocked runs compactions until the tree satisfies its shape
+// invariants (the synchronous analogue of LevelDB's background thread).
+func (db *DB) maybeCompactLocked() error {
+	for {
+		if len(db.levels[0]) >= db.cfg.L0CompactTrigger {
+			if err := db.compactLocked(0); err != nil {
+				return err
+			}
+			continue
+		}
+		compacted := false
+		for lev := 1; lev < NumLevels-1; lev++ {
+			if levelBytes(db.levels[lev]) > db.levelTarget(lev) {
+				if err := db.compactLocked(lev); err != nil {
+					return err
+				}
+				compacted = true
+				break
+			}
+		}
+		if !compacted {
+			return nil
+		}
+	}
+}
+
+// overlaps reports range intersection.
+func overlaps(t *table, lo, hi []byte) bool {
+	return codec.Compare(t.largest, lo) >= 0 && codec.Compare(t.smallest, hi) <= 0
+}
+
+// compactLocked merges level lev into lev+1. For lev == 0 all L0 tables
+// participate (they overlap); deeper levels pick one table round-robin.
+func (db *DB) compactLocked(lev int) error {
+	var inputs []*table
+	var lo, hi []byte
+	if lev == 0 {
+		if len(db.levels[0]) == 0 {
+			return nil
+		}
+		inputs = append(inputs, db.levels[0]...)
+		for _, t := range inputs {
+			if lo == nil || codec.Compare(t.smallest, lo) < 0 {
+				lo = t.smallest
+			}
+			if hi == nil || codec.Compare(t.largest, hi) > 0 {
+				hi = t.largest
+			}
+		}
+	} else {
+		tables := db.levels[lev]
+		if len(tables) == 0 {
+			return nil
+		}
+		// Round-robin cursor: first table past the last compacted key.
+		pick := tables[0]
+		if cur := db.cursor[lev]; cur != nil {
+			for _, t := range tables {
+				if codec.Compare(t.smallest, cur) > 0 {
+					pick = t
+					break
+				}
+			}
+		}
+		inputs = append(inputs, pick)
+		lo, hi = pick.smallest, pick.largest
+		db.cursor[lev] = append([]byte(nil), pick.largest...)
+	}
+
+	next := lev + 1
+	var overlapping []*table
+	var keep []*table
+	for _, t := range db.levels[next] {
+		if overlaps(t, lo, hi) {
+			overlapping = append(overlapping, t)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+
+	// Tombstones can be dropped when nothing deeper can hold the key.
+	dropTombstones := true
+	for l := next + 1; l < NumLevels; l++ {
+		for _, t := range db.levels[l] {
+			if overlaps(t, lo, hi) {
+				dropTombstones = false
+			}
+		}
+	}
+
+	// Merge: inputs ordered newest-first for seq precedence is handled by
+	// the seq-aware merge itself.
+	var iters []mergeiter.RecIter
+	for _, t := range inputs {
+		iters = append(iters, t.rdr.NewIterator())
+	}
+	for _, t := range overlapping {
+		iters = append(iters, t.rdr.NewIterator())
+	}
+	d := mergeiter.NewDedup(mergeiter.New(iters))
+
+	var out []*table
+	var batch []record.Record
+	var batchBytes int64
+	emit := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		t, err := db.writeTable(batch)
+		if err != nil {
+			return err
+		}
+		out = append(out, t)
+		batch = batch[:0]
+		batchBytes = 0
+		return nil
+	}
+	for ok := d.First(); ok; ok = d.Next() {
+		rec := d.Record()
+		if rec.Kind == record.KindDelete && dropTombstones {
+			continue
+		}
+		batch = append(batch, rec.Clone())
+		batchBytes += int64(len(rec.Key) + len(rec.Value) + 16)
+		if batchBytes >= db.cfg.TargetTableSize {
+			if err := emit(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := emit(); err != nil {
+		return err
+	}
+
+	// Install: new level contents sorted by smallest key.
+	merged := append(keep, out...)
+	sortTables(merged)
+	db.levels[next] = merged
+	if lev == 0 {
+		db.levels[0] = nil
+	} else {
+		var rest []*table
+		for _, t := range db.levels[lev] {
+			if t != inputs[0] {
+				rest = append(rest, t)
+			}
+		}
+		db.levels[lev] = rest
+	}
+	if err := db.saveVersion(); err != nil {
+		return err
+	}
+	for _, t := range inputs {
+		t.rdr.Close()
+		db.fs.Remove(db.tableName(t.fileNum))
+	}
+	for _, t := range overlapping {
+		t.rdr.Close()
+		db.fs.Remove(db.tableName(t.fileNum))
+	}
+	db.compactions.Add(1)
+	return nil
+}
+
+func sortTables(tables []*table) {
+	for i := 1; i < len(tables); i++ {
+		for j := i; j > 0 && codec.Compare(tables[j].smallest, tables[j-1].smallest) < 0; j-- {
+			tables[j], tables[j-1] = tables[j-1], tables[j]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Version persistence: a small atomically replaced snapshot of the tree
+// shape plus counters (the baseline's analogue of a MANIFEST; structural
+// changes are rare enough that full snapshots are cheap at this scale).
+
+const versionMagic uint64 = 0x756e696b766c736d // "unikvlsm"
+
+func (db *DB) saveVersion() error {
+	var buf []byte
+	buf = codec.PutUint64(buf, versionMagic)
+	buf = codec.PutUvarint(buf, db.nextFile)
+	buf = codec.PutUvarint(buf, db.seq)
+	buf = codec.PutUvarint(buf, db.walNum)
+	for lev := 0; lev < NumLevels; lev++ {
+		buf = codec.PutUvarint(buf, uint64(len(db.levels[lev])))
+		for _, t := range db.levels[lev] {
+			buf = codec.PutUvarint(buf, t.fileNum)
+			buf = codec.PutUvarint(buf, uint64(t.size))
+			buf = codec.PutUvarint(buf, uint64(t.count))
+			buf = codec.PutBytes(buf, t.smallest)
+			buf = codec.PutBytes(buf, t.largest)
+		}
+	}
+	buf = codec.PutUint32(buf, codec.MaskChecksum(codec.Checksum(buf)))
+	return db.fs.WriteFile(db.versionName(), buf)
+}
+
+func (db *DB) loadVersion() error {
+	data, err := db.fs.ReadFile(db.versionName())
+	if err != nil {
+		return err
+	}
+	if len(data) < 12 {
+		return codec.ErrCorrupt
+	}
+	body, crcB := data[:len(data)-4], data[len(data)-4:]
+	want, _, _ := codec.Uint32(crcB)
+	if codec.MaskChecksum(codec.Checksum(body)) != want {
+		return codec.ErrCorrupt
+	}
+	var magic uint64
+	if magic, body, err = codec.Uint64(body); err != nil || magic != versionMagic {
+		return codec.ErrCorrupt
+	}
+	if db.nextFile, body, err = codec.Uvarint(body); err != nil {
+		return err
+	}
+	if db.seq, body, err = codec.Uvarint(body); err != nil {
+		return err
+	}
+	if db.walNum, body, err = codec.Uvarint(body); err != nil {
+		return err
+	}
+	for lev := 0; lev < NumLevels; lev++ {
+		var n uint64
+		if n, body, err = codec.Uvarint(body); err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			var fileNum, size, count uint64
+			var smallest, largest []byte
+			if fileNum, body, err = codec.Uvarint(body); err != nil {
+				return err
+			}
+			if size, body, err = codec.Uvarint(body); err != nil {
+				return err
+			}
+			if count, body, err = codec.Uvarint(body); err != nil {
+				return err
+			}
+			if smallest, body, err = codec.Bytes(body); err != nil {
+				return err
+			}
+			if largest, body, err = codec.Bytes(body); err != nil {
+				return err
+			}
+			t, err := db.openTable(fileNum, sstable.Props{
+				Size: int64(size), Count: int(count),
+				Smallest: append([]byte(nil), smallest...),
+				Largest:  append([]byte(nil), largest...),
+			})
+			if err != nil {
+				return err
+			}
+			db.levels[lev] = append(db.levels[lev], t)
+		}
+	}
+	db.sweepOrphans()
+	return nil
+}

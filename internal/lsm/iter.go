@@ -1,0 +1,144 @@
+package lsm
+
+import (
+	"unikv/internal/codec"
+	"unikv/internal/mergeiter"
+	"unikv/internal/record"
+	"unikv/internal/sstable"
+)
+
+// levelIter concatenates a sorted level's non-overlapping tables into one
+// stream.
+type levelIter struct {
+	tables []*table
+	ti     int
+	it     *sstable.Iterator
+	err    error
+}
+
+func newLevelIter(tables []*table) *levelIter {
+	return &levelIter{tables: tables, ti: -1}
+}
+
+func (l *levelIter) Valid() bool { return l.it != nil && l.it.Valid() }
+
+func (l *levelIter) Record() record.Record { return l.it.Record() }
+
+func (l *levelIter) Err() error { return l.err }
+
+func (l *levelIter) First() bool {
+	l.ti = -1
+	l.it = nil
+	return l.Next()
+}
+
+func (l *levelIter) Next() bool {
+	if l.err != nil {
+		return false
+	}
+	if l.it != nil && l.it.Next() {
+		return true
+	}
+	for {
+		if l.it != nil {
+			if err := l.it.Err(); err != nil {
+				l.err = err
+				return false
+			}
+		}
+		l.ti++
+		if l.ti >= len(l.tables) {
+			l.it = nil
+			return false
+		}
+		l.it = l.tables[l.ti].rdr.NewIterator()
+		if l.it.First() {
+			l.tables[l.ti].accesses.Add(1)
+			return true
+		}
+	}
+}
+
+func (l *levelIter) Seek(target []byte) bool {
+	if l.err != nil {
+		return false
+	}
+	lo, hi := 0, len(l.tables)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if codec.Compare(l.tables[mid].largest, target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(l.tables) {
+		l.it = nil
+		l.ti = len(l.tables)
+		return false
+	}
+	l.ti = lo
+	l.it = l.tables[lo].rdr.NewIterator()
+	l.tables[lo].accesses.Add(1)
+	if l.it.Seek(target) {
+		return true
+	}
+	if err := l.it.Err(); err != nil {
+		l.err = err
+		return false
+	}
+	return l.Next()
+}
+
+// KV is one scan result.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan returns up to limit pairs with start <= key < end, merging the
+// memtable, every L0 table, and one concatenated iterator per deeper
+// level — LevelDB's iterator stack.
+func (db *DB) Scan(start, end []byte, limit int) ([]KV, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if limit <= 0 && end == nil {
+		limit = 1 << 30
+	}
+	var iters []mergeiter.RecIter
+	iters = append(iters, db.mem.NewIterator())
+	for _, t := range db.levels[0] {
+		t.accesses.Add(1)
+		iters = append(iters, t.rdr.NewIterator())
+	}
+	for lev := 1; lev < NumLevels; lev++ {
+		if len(db.levels[lev]) > 0 {
+			iters = append(iters, newLevelIter(db.levels[lev]))
+		}
+	}
+	d := mergeiter.NewDedup(mergeiter.New(iters))
+	var out []KV
+	for ok := d.Seek(start); ok; ok = d.Next() {
+		rec := d.Record()
+		if end != nil && codec.Compare(rec.Key, end) >= 0 {
+			break
+		}
+		if rec.Kind == record.KindDelete {
+			continue
+		}
+		out = append(out, KV{
+			Key:   append([]byte(nil), rec.Key...),
+			Value: append([]byte(nil), rec.Value...),
+		})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

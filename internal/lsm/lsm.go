@@ -1,0 +1,505 @@
+// Package lsm implements a leveled LSM-tree key-value store — the
+// LevelDB-class baseline the paper compares against. It reuses the same
+// memtable/WAL/SSTable substrates as UniKV but organizes tables into
+// exponentially sized levels with Bloom filters and leveled compaction:
+// the design whose multi-level reads and compaction rewrites UniKV's
+// unified index is built to avoid.
+//
+// Config presets approximate LevelDB (small write buffer, single
+// synchronous compaction, 10× level fanout), RocksDB (larger buffers and
+// files), and HyperLevelDB (higher L0 tolerance, lazier compaction) at a
+// chosen scale. They reproduce those systems' architectural behaviours,
+// not vendor tuning.
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"unikv/internal/codec"
+	"unikv/internal/memtable"
+	"unikv/internal/record"
+	"unikv/internal/sstable"
+	"unikv/internal/vfs"
+	"unikv/internal/wal"
+)
+
+// ErrNotFound is returned by Get for absent keys.
+var ErrNotFound = errors.New("lsm: key not found")
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("lsm: closed")
+
+// NumLevels is the fixed level count (L0..L6), as in LevelDB.
+const NumLevels = 7
+
+// Config tunes the tree.
+type Config struct {
+	// Name labels the preset in experiment output.
+	Name string
+	// MemtableSize flushes the write buffer at this many bytes.
+	MemtableSize int64
+	// L0CompactTrigger compacts L0 into L1 at this many L0 tables.
+	L0CompactTrigger int
+	// LevelSizeBase is L1's target size; level L targets
+	// LevelSizeBase × LevelMultiplier^(L-1).
+	LevelSizeBase int64
+	// LevelMultiplier is the per-level fanout (10 in LevelDB).
+	LevelMultiplier int
+	// TargetTableSize bounds output tables.
+	TargetTableSize int64
+	// BloomBitsPerKey configures per-table Bloom filters (10 ≈ 1 % FPR).
+	BloomBitsPerKey int
+	// BlockSize overrides the SSTable block size.
+	BlockSize int
+	// SyncWrites fsyncs the WAL per write.
+	SyncWrites bool
+	// DisableWAL skips write-ahead logging.
+	DisableWAL bool
+	// FS overrides the file system.
+	FS vfs.FS
+}
+
+// ConfigLevelDB approximates LevelDB v1.20 defaults, scaled by scale
+// (1.0 = the real defaults; benches use small fractions).
+func ConfigLevelDB(scale float64) Config {
+	return Config{
+		Name:             "leveldb",
+		MemtableSize:     int64(4 << 20 * scale),
+		L0CompactTrigger: 4,
+		LevelSizeBase:    int64(10 << 20 * scale),
+		LevelMultiplier:  10,
+		TargetTableSize:  int64(2 << 20 * scale),
+		BloomBitsPerKey:  10,
+	}
+}
+
+// ConfigRocksDB approximates RocksDB defaults at the given scale: bigger
+// write buffer and files, same leveled shape.
+func ConfigRocksDB(scale float64) Config {
+	return Config{
+		Name:             "rocksdb",
+		MemtableSize:     int64(8 << 20 * scale),
+		L0CompactTrigger: 4,
+		LevelSizeBase:    int64(32 << 20 * scale),
+		LevelMultiplier:  10,
+		TargetTableSize:  int64(8 << 20 * scale),
+		BloomBitsPerKey:  10,
+	}
+}
+
+// ConfigHyperLevelDB approximates HyperLevelDB: LevelDB with a much higher
+// L0 tolerance and lazier compaction, trading read cost for write
+// throughput.
+func ConfigHyperLevelDB(scale float64) Config {
+	return Config{
+		Name:             "hyperleveldb",
+		MemtableSize:     int64(4 << 20 * scale),
+		L0CompactTrigger: 8,
+		LevelSizeBase:    int64(20 << 20 * scale),
+		LevelMultiplier:  10,
+		TargetTableSize:  int64(4 << 20 * scale),
+		BloomBitsPerKey:  10,
+	}
+}
+
+func (c Config) sanitize() Config {
+	if c.MemtableSize <= 0 {
+		c.MemtableSize = 4 << 20
+	}
+	if c.L0CompactTrigger <= 0 {
+		c.L0CompactTrigger = 4
+	}
+	if c.LevelSizeBase <= 0 {
+		c.LevelSizeBase = 10 << 20
+	}
+	if c.LevelMultiplier <= 0 {
+		c.LevelMultiplier = 10
+	}
+	if c.TargetTableSize <= 0 {
+		c.TargetTableSize = 2 << 20
+	}
+	if c.FS == nil {
+		c.FS = vfs.NewOS()
+	}
+	return c
+}
+
+// table is one on-disk SSTable plus access accounting for the
+// access-frequency experiment (fig2).
+type table struct {
+	fileNum  uint64
+	size     int64
+	count    int
+	smallest []byte
+	largest  []byte
+	rdr      *sstable.Reader
+	accesses atomic.Int64
+}
+
+// DB is a leveled LSM-tree store.
+type DB struct {
+	cfg Config
+	fs  vfs.FS
+	dir string
+
+	mu       sync.RWMutex
+	mem      *memtable.Memtable
+	logw     *wal.Writer
+	walNum   uint64
+	levels   [NumLevels][]*table // L0 in flush order (oldest first); L1+ key-sorted
+	nextFile uint64
+	seq      uint64
+	cursor   [NumLevels][]byte // round-robin compaction cursors
+
+	flushes     atomic.Int64
+	compactions atomic.Int64
+	closed      bool
+}
+
+// Open opens (creating if necessary) a store in dir.
+func Open(dir string, cfg Config) (*DB, error) {
+	cfg = cfg.sanitize()
+	db := &DB{cfg: cfg, fs: cfg.FS, dir: dir, nextFile: 1}
+	if err := db.fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	db.mem = memtable.New()
+	if db.fs.Exists(db.versionName()) {
+		if err := db.loadVersion(); err != nil {
+			return nil, err
+		}
+	}
+	// Replay the WAL, then start a fresh one.
+	if db.walNum != 0 && db.fs.Exists(db.walName(db.walNum)) {
+		if err := db.replayWAL(); err != nil {
+			return nil, err
+		}
+	}
+	if !db.mem.Empty() {
+		if err := db.flushLocked(); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.DisableWAL {
+		if err := db.newWALLocked(); err != nil {
+			return nil, err
+		}
+		if err := db.saveVersion(); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func (db *DB) versionName() string { return filepath.Join(db.dir, "VERSION") }
+func (db *DB) walName(n uint64) string {
+	return filepath.Join(db.dir, fmt.Sprintf("%08d.wal", n))
+}
+func (db *DB) tableName(n uint64) string {
+	return filepath.Join(db.dir, fmt.Sprintf("%08d.sst", n))
+}
+
+// Put inserts or overwrites a key.
+func (db *DB) Put(key, value []byte) error {
+	return db.apply(record.Record{Key: append([]byte(nil), key...),
+		Kind: record.KindSet, Value: append([]byte(nil), value...)})
+}
+
+// Delete writes a tombstone.
+func (db *DB) Delete(key []byte) error {
+	return db.apply(record.Record{Key: append([]byte(nil), key...), Kind: record.KindDelete})
+}
+
+func (db *DB) apply(rec record.Record) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.seq++
+	rec.Seq = db.seq
+	if db.logw != nil {
+		if err := db.logw.AddRecord(rec.Encode(nil)); err != nil {
+			return err
+		}
+		if db.cfg.SyncWrites {
+			if err := db.logw.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	db.mem.Put(rec)
+	if db.mem.Size() >= db.cfg.MemtableSize {
+		if err := db.flushLocked(); err != nil {
+			return err
+		}
+		if err := db.maybeCompactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the value for key. Read path: memtable, then L0 tables
+// newest-first, then one candidate table per deeper level — each gated by
+// its Bloom filter (the multi-level read amplification UniKV removes).
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if rec, ok := db.mem.Get(key); ok {
+		return resolve(rec)
+	}
+	// L0: overlapping tables, newest (last-flushed) first.
+	l0 := db.levels[0]
+	for i := len(l0) - 1; i >= 0; i-- {
+		t := l0[i]
+		if codec.Compare(key, t.smallest) < 0 || codec.Compare(key, t.largest) > 0 {
+			continue
+		}
+		if !t.rdr.MayContain(key) {
+			continue
+		}
+		t.accesses.Add(1)
+		rec, ok, err := t.rdr.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return resolve(rec)
+		}
+	}
+	for lev := 1; lev < NumLevels; lev++ {
+		t := findTable(db.levels[lev], key)
+		if t == nil {
+			continue
+		}
+		if !t.rdr.MayContain(key) {
+			continue
+		}
+		t.accesses.Add(1)
+		rec, ok, err := t.rdr.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return resolve(rec)
+		}
+	}
+	return nil, ErrNotFound
+}
+
+func resolve(rec record.Record) ([]byte, error) {
+	if rec.Kind == record.KindDelete {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), rec.Value...), nil
+}
+
+// findTable binary-searches a sorted level for the table covering key.
+func findTable(tables []*table, key []byte) *table {
+	lo, hi := 0, len(tables)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if codec.Compare(tables[mid].largest, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(tables) || codec.Compare(key, tables[lo].smallest) < 0 {
+		return nil
+	}
+	return tables[lo]
+}
+
+// Flush forces the memtable to L0.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.mem.Empty() {
+		return nil
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	return db.maybeCompactLocked()
+}
+
+// Compact drives compaction until every level is within its target.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if !db.mem.Empty() {
+		if err := db.flushLocked(); err != nil {
+			return err
+		}
+	}
+	return db.maybeCompactLocked()
+}
+
+// Close flushes and releases everything.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	var first error
+	if !db.mem.Empty() {
+		if err := db.flushLocked(); err != nil {
+			first = err
+		}
+	}
+	if db.logw != nil {
+		db.logw.Sync()
+		db.logw.Close()
+		db.logw = nil
+	}
+	for lev := range db.levels {
+		for _, t := range db.levels[lev] {
+			t.rdr.Close()
+		}
+	}
+	db.closed = true
+	return first
+}
+
+// Stats reports tree shape and access counts.
+type Stats struct {
+	Name        string
+	Flushes     int64
+	Compactions int64
+	Levels      []LevelStats
+}
+
+// LevelStats describes one level.
+type LevelStats struct {
+	Level    int
+	Tables   int
+	Bytes    int64
+	Accesses int64
+}
+
+// Stats returns a snapshot.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := Stats{Name: db.cfg.Name, Flushes: db.flushes.Load(), Compactions: db.compactions.Load()}
+	for lev := range db.levels {
+		ls := LevelStats{Level: lev, Tables: len(db.levels[lev])}
+		for _, t := range db.levels[lev] {
+			ls.Bytes += t.size
+			ls.Accesses += t.accesses.Load()
+		}
+		s.Levels = append(s.Levels, ls)
+	}
+	return s
+}
+
+// TableAccesses returns per-table access counts ordered from L0 outward —
+// the series behind the paper's Fig. 2.
+func (db *DB) TableAccesses() []int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []int64
+	for lev := range db.levels {
+		tables := db.levels[lev]
+		if lev == 0 {
+			// Newest first, matching "lower ID = closer to memory".
+			for i := len(tables) - 1; i >= 0; i-- {
+				out = append(out, tables[i].accesses.Load())
+			}
+			continue
+		}
+		for _, t := range tables {
+			out = append(out, t.accesses.Load())
+		}
+	}
+	return out
+}
+
+// newWALLocked starts a fresh WAL file.
+func (db *DB) newWALLocked() error {
+	old := db.walNum
+	if db.logw != nil {
+		db.logw.Sync()
+		db.logw.Close()
+		db.logw = nil
+	}
+	num := db.nextFile
+	db.nextFile++
+	f, err := db.fs.Create(db.walName(num))
+	if err != nil {
+		return err
+	}
+	db.logw = wal.NewWriter(f)
+	db.walNum = num
+	if old != 0 {
+		db.fs.Remove(db.walName(old))
+	}
+	return nil
+}
+
+func (db *DB) replayWAL() error {
+	f, err := db.fs.Open(db.walName(db.walNum))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := wal.NewReader(f)
+	for {
+		data, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for len(data) > 0 {
+			var rec record.Record
+			rec, data, err = record.Decode(data)
+			if err != nil {
+				return nil
+			}
+			rec = rec.Clone()
+			db.mem.Put(rec)
+			if rec.Seq > db.seq {
+				db.seq = rec.Seq
+			}
+		}
+	}
+}
+
+// sweepOrphans removes table files not referenced by the current version.
+func (db *DB) sweepOrphans() {
+	names, err := db.fs.List(db.dir)
+	if err != nil {
+		return
+	}
+	ref := map[string]bool{}
+	for lev := range db.levels {
+		for _, t := range db.levels[lev] {
+			ref[filepath.Base(db.tableName(t.fileNum))] = true
+		}
+	}
+	for _, name := range names {
+		if strings.HasSuffix(name, ".sst") && !ref[name] {
+			db.fs.Remove(filepath.Join(db.dir, name))
+		}
+	}
+}

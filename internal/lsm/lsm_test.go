@@ -1,0 +1,322 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"unikv/internal/vfs"
+)
+
+func smallCfg(fs vfs.FS) Config {
+	return Config{
+		Name:             "test",
+		MemtableSize:     2 << 10,
+		L0CompactTrigger: 4,
+		LevelSizeBase:    16 << 10,
+		LevelMultiplier:  4,
+		TargetTableSize:  8 << 10,
+		BloomBitsPerKey:  10,
+		FS:               fs,
+	}
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func val(i int) []byte {
+	return []byte(fmt.Sprintf("value-%06d-%s", i, bytes.Repeat([]byte("w"), 40)))
+}
+
+func TestPutGet(t *testing.T) {
+	fs := vfs.NewMem()
+	db, err := Open("lsm", smallCfg(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 1500
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := db.Stats()
+	if s.Flushes == 0 || s.Compactions == 0 {
+		t.Fatalf("no tree activity: %+v", s)
+	}
+	deep := false
+	for _, ls := range s.Levels[2:] {
+		if ls.Tables > 0 {
+			deep = true
+		}
+	}
+	if !deep {
+		t.Fatalf("data never reached L2+: %+v", s.Levels)
+	}
+	for i := 0; i < n; i++ {
+		got, err := db.Get(key(i))
+		if err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("key %d: %v", i, err)
+		}
+	}
+	if _, err := db.Get([]byte("absent")); err != ErrNotFound {
+		t.Fatalf("%v", err)
+	}
+}
+
+func TestOverwriteDelete(t *testing.T) {
+	fs := vfs.NewMem()
+	db, _ := Open("lsm", smallCfg(fs))
+	defer db.Close()
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 300; i++ {
+			db.Put(key(i), []byte(fmt.Sprintf("round-%d-%d", round, i)))
+		}
+	}
+	for i := 0; i < 300; i += 3 {
+		db.Delete(key(i))
+	}
+	db.Compact()
+	for i := 0; i < 300; i++ {
+		got, err := db.Get(key(i))
+		if i%3 == 0 {
+			if err != ErrNotFound {
+				t.Fatalf("deleted key %d: %v", i, err)
+			}
+			continue
+		}
+		if err != nil || string(got) != fmt.Sprintf("round-3-%d", i) {
+			t.Fatalf("key %d: %q %v", i, got, err)
+		}
+	}
+}
+
+func TestScan(t *testing.T) {
+	fs := vfs.NewMem()
+	db, _ := Open("lsm", smallCfg(fs))
+	defer db.Close()
+	perm := rand.New(rand.NewSource(1)).Perm(800)
+	for _, i := range perm {
+		db.Put(key(i), val(i))
+	}
+	kvs, err := db.Scan(key(100), nil, 60)
+	if err != nil || len(kvs) != 60 {
+		t.Fatalf("%d %v", len(kvs), err)
+	}
+	for j, kv := range kvs {
+		if !bytes.Equal(kv.Key, key(100+j)) {
+			t.Fatalf("scan[%d]=%q", j, kv.Key)
+		}
+		if !bytes.Equal(kv.Value, val(100+j)) {
+			t.Fatalf("scan[%d] value mismatch", j)
+		}
+	}
+	kvs, _ = db.Scan(key(0), key(10), 0)
+	if len(kvs) != 10 {
+		t.Fatalf("range scan %d", len(kvs))
+	}
+}
+
+func TestReopen(t *testing.T) {
+	fs := vfs.NewMem()
+	db, _ := Open("lsm", smallCfg(fs))
+	for i := 0; i < 900; i++ {
+		db.Put(key(i), val(i))
+	}
+	db.Close()
+	db2, err := Open("lsm", smallCfg(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < 900; i++ {
+		got, err := db2.Get(key(i))
+		if err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("key %d after reopen: %v", i, err)
+		}
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	fs := vfs.NewMem()
+	cfg := smallCfg(fs)
+	cfg.MemtableSize = 1 << 20 // no flushes
+	cfg.SyncWrites = true
+	db, _ := Open("lsm", cfg)
+	for i := 0; i < 40; i++ {
+		db.Put(key(i), val(i))
+	}
+	// Abandon without Close: WAL must carry the data.
+	db2, err := Open("lsm", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < 40; i++ {
+		got, err := db2.Get(key(i))
+		if err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("key %d from WAL: %v", i, err)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, cfg := range []Config{ConfigLevelDB(1), ConfigRocksDB(1), ConfigHyperLevelDB(1)} {
+		c := cfg.sanitize()
+		if c.MemtableSize <= 0 || c.L0CompactTrigger <= 0 || c.Name == "" {
+			t.Fatalf("bad preset %+v", c)
+		}
+	}
+	if ConfigHyperLevelDB(1).L0CompactTrigger <= ConfigLevelDB(1).L0CompactTrigger {
+		t.Fatal("HyperLevelDB preset should tolerate more L0 tables")
+	}
+}
+
+func TestAccessCountsSkew(t *testing.T) {
+	fs := vfs.NewMem()
+	db, _ := Open("lsm", smallCfg(fs))
+	defer db.Close()
+	for i := 0; i < 1200; i++ {
+		db.Put(key(i), val(i))
+	}
+	// Zipf-ish reads over a hot prefix.
+	zipf := rand.NewZipf(rand.New(rand.NewSource(2)), 1.1, 1, 1199)
+	for i := 0; i < 3000; i++ {
+		db.Get(key(int(zipf.Uint64())))
+	}
+	acc := db.TableAccesses()
+	if len(acc) == 0 {
+		t.Fatal("no tables")
+	}
+	var total int64
+	for _, a := range acc {
+		total += a
+	}
+	if total == 0 {
+		t.Fatal("no accesses recorded")
+	}
+}
+
+func TestQuickModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		fs := vfs.NewMem()
+		db, err := Open("lsm", smallCfg(fs))
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		model := map[string]string{}
+		for op := 0; op < 2000; op++ {
+			k := fmt.Sprintf("key-%04d", rnd.Intn(250))
+			switch rnd.Intn(8) {
+			case 0:
+				db.Delete([]byte(k))
+				delete(model, k)
+			default:
+				v := fmt.Sprintf("v-%d", op)
+				db.Put([]byte(k), []byte(v))
+				model[k] = v
+			}
+		}
+		for k, v := range model {
+			got, err := db.Get([]byte(k))
+			if err != nil || string(got) != v {
+				return false
+			}
+		}
+		// Scan agreement.
+		kvs, err := db.Scan([]byte(""), nil, 0)
+		if err != nil || len(kvs) != len(model) {
+			return false
+		}
+		var keys []string
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, kv := range kvs {
+			if string(kv.Key) != keys[i] || string(kv.Value) != model[keys[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptVersionRejected(t *testing.T) {
+	fs := vfs.NewMem()
+	db, _ := Open("lsm", smallCfg(fs))
+	for i := 0; i < 200; i++ {
+		db.Put(key(i), val(i))
+	}
+	db.Close()
+	data, _ := fs.ReadFile("lsm/VERSION")
+	data[10] ^= 0xff
+	fs.WriteFile("lsm/VERSION", data)
+	if _, err := Open("lsm", smallCfg(fs)); err == nil {
+		t.Fatal("corrupt VERSION accepted")
+	}
+}
+
+func TestOrphanSweep(t *testing.T) {
+	fs := vfs.NewMem()
+	db, _ := Open("lsm", smallCfg(fs))
+	for i := 0; i < 500; i++ {
+		db.Put(key(i), val(i))
+	}
+	db.Close()
+	// Plant an orphan table file.
+	fs.WriteFile("lsm/99999999.sst", []byte("junk"))
+	db2, err := Open("lsm", smallCfg(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if fs.Exists("lsm/99999999.sst") {
+		t.Fatal("orphan table not swept")
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	fs := vfs.NewMem()
+	db, _ := Open("lsm", smallCfg(fs))
+	defer db.Close()
+	for i := 0; i < 600; i++ {
+		db.Put(key(i), val(i))
+	}
+	s := db.Stats()
+	if s.Name != "test" || len(s.Levels) != NumLevels {
+		t.Fatalf("%+v", s)
+	}
+	var bytes int64
+	for _, ls := range s.Levels {
+		bytes += ls.Bytes
+	}
+	if bytes == 0 {
+		t.Fatal("no bytes accounted")
+	}
+}
+
+func TestClosedOps(t *testing.T) {
+	fs := vfs.NewMem()
+	db, _ := Open("lsm", smallCfg(fs))
+	db.Close()
+	if err := db.Put(key(1), val(1)); err != ErrClosed {
+		t.Fatalf("%v", err)
+	}
+	if _, err := db.Get(key(1)); err != ErrClosed {
+		t.Fatalf("%v", err)
+	}
+	if _, err := db.Scan(nil, nil, 1); err != ErrClosed {
+		t.Fatalf("%v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package mergeiter provides the k-way merging iterator shared by the
+// UniKV engine and the baseline LSM engines: it interleaves several
+// (key asc, seq desc)-ordered record streams into one globally ordered
+// stream. The first record per key is therefore always the newest version.
+package mergeiter
+
+import (
+	"unikv/internal/codec"
+	"unikv/internal/record"
+)
+
+// RecIter is the common shape of memtable, sstable, and run iterators.
+type RecIter interface {
+	First() bool
+	Seek(target []byte) bool
+	Next() bool
+	Valid() bool
+	Record() record.Record
+}
+
+// Iter merges several RecIters. With the handful of inputs typical here a
+// linear selection per step beats heap bookkeeping.
+type Iter struct {
+	iters []RecIter
+	cur   int
+}
+
+// New builds a merging iterator over iters.
+func New(iters []RecIter) *Iter { return &Iter{iters: iters, cur: -1} }
+
+// Less orders (ka, sa) before (kb, sb) in merge order: key ascending,
+// sequence descending.
+func Less(ka []byte, sa uint64, kb []byte, sb uint64) bool {
+	if c := codec.Compare(ka, kb); c != 0 {
+		return c < 0
+	}
+	return sa > sb
+}
+
+func (m *Iter) pick() bool {
+	m.cur = -1
+	for i, it := range m.iters {
+		if !it.Valid() {
+			continue
+		}
+		if m.cur < 0 {
+			m.cur = i
+			continue
+		}
+		a, b := it.Record(), m.iters[m.cur].Record()
+		if Less(a.Key, a.Seq, b.Key, b.Seq) {
+			m.cur = i
+		}
+	}
+	return m.cur >= 0
+}
+
+// First positions at the globally smallest record.
+func (m *Iter) First() bool {
+	for _, it := range m.iters {
+		it.First()
+	}
+	return m.pick()
+}
+
+// Seek positions at the first record with key >= target.
+func (m *Iter) Seek(target []byte) bool {
+	for _, it := range m.iters {
+		it.Seek(target)
+	}
+	return m.pick()
+}
+
+// Next advances to the following record.
+func (m *Iter) Next() bool {
+	if m.cur >= 0 {
+		m.iters[m.cur].Next()
+	}
+	return m.pick()
+}
+
+// Valid reports whether the iterator is on a record.
+func (m *Iter) Valid() bool { return m.cur >= 0 }
+
+// Record returns the current record.
+func (m *Iter) Record() record.Record { return m.iters[m.cur].Record() }
+
+// Err returns the first error any input iterator reported (inputs that
+// don't expose Err are assumed infallible).
+func (m *Iter) Err() error {
+	for _, it := range m.iters {
+		if e, ok := it.(interface{ Err() error }); ok {
+			if err := e.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Dedup wraps an Iter, yielding only the newest version of each key.
+type Dedup struct {
+	m        *Iter
+	lastKey  []byte
+	haveLast bool
+}
+
+// NewDedup wraps m.
+func NewDedup(m *Iter) *Dedup { return &Dedup{m: m} }
+
+// First positions at the newest version of the smallest key.
+func (d *Dedup) First() bool {
+	d.haveLast = false
+	if !d.m.First() {
+		return false
+	}
+	d.remember()
+	return true
+}
+
+// Seek positions at the newest version of the first key >= target.
+func (d *Dedup) Seek(target []byte) bool {
+	d.haveLast = false
+	if !d.m.Seek(target) {
+		return false
+	}
+	d.remember()
+	return true
+}
+
+// Next advances to the newest version of the next distinct key.
+func (d *Dedup) Next() bool {
+	for d.m.Next() {
+		if !d.haveLast || codec.Compare(d.m.Record().Key, d.lastKey) != 0 {
+			d.remember()
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Dedup) remember() {
+	d.lastKey = append(d.lastKey[:0], d.m.Record().Key...)
+	d.haveLast = true
+}
+
+// Valid reports whether the iterator is on a record.
+func (d *Dedup) Valid() bool { return d.m.Valid() }
+
+// Record returns the current record.
+func (d *Dedup) Record() record.Record { return d.m.Record() }
+
+// Err propagates input errors.
+func (d *Dedup) Err() error { return d.m.Err() }

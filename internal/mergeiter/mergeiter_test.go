@@ -1,0 +1,163 @@
+package mergeiter
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"unikv/internal/record"
+)
+
+// sliceIter is an in-memory RecIter over pre-sorted records.
+type sliceIter struct {
+	recs []record.Record
+	pos  int
+}
+
+func (s *sliceIter) First() bool { s.pos = 0; return s.pos < len(s.recs) }
+func (s *sliceIter) Next() bool  { s.pos++; return s.pos < len(s.recs) }
+func (s *sliceIter) Valid() bool { return s.pos >= 0 && s.pos < len(s.recs) }
+func (s *sliceIter) Seek(t []byte) bool {
+	s.pos = sort.Search(len(s.recs), func(i int) bool {
+		return bytes.Compare(s.recs[i].Key, t) >= 0
+	})
+	return s.pos < len(s.recs)
+}
+func (s *sliceIter) Record() record.Record { return s.recs[s.pos] }
+
+func mk(key string, seq uint64) record.Record {
+	return record.Record{Key: []byte(key), Seq: seq, Kind: record.KindSet,
+		Value: []byte(fmt.Sprintf("%s@%d", key, seq))}
+}
+
+func TestMergeOrder(t *testing.T) {
+	a := &sliceIter{recs: []record.Record{mk("a", 1), mk("c", 3), mk("e", 5)}}
+	b := &sliceIter{recs: []record.Record{mk("b", 2), mk("c", 9), mk("d", 4)}}
+	m := New([]RecIter{a, b})
+	var got []string
+	for ok := m.First(); ok; ok = m.Next() {
+		got = append(got, fmt.Sprintf("%s@%d", m.Record().Key, m.Record().Seq))
+	}
+	want := []string{"a@1", "b@2", "c@9", "c@3", "d@4", "e@5"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("at %d: %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestMergeSeek(t *testing.T) {
+	a := &sliceIter{recs: []record.Record{mk("a", 1), mk("m", 2), mk("z", 3)}}
+	b := &sliceIter{recs: []record.Record{mk("c", 4), mk("n", 5)}}
+	m := New([]RecIter{a, b})
+	if !m.Seek([]byte("m")) || string(m.Record().Key) != "m" {
+		t.Fatalf("Seek(m): %q", m.Record().Key)
+	}
+	if !m.Next() || string(m.Record().Key) != "n" {
+		t.Fatalf("next after seek")
+	}
+	if m.Seek([]byte("zz")) {
+		t.Fatal("seek past end")
+	}
+}
+
+func TestDedupNewestWins(t *testing.T) {
+	a := &sliceIter{recs: []record.Record{mk("k", 5), mk("x", 1)}}
+	b := &sliceIter{recs: []record.Record{mk("k", 9), mk("k", 2)}}
+	d := NewDedup(New([]RecIter{a, b}))
+	if !d.First() {
+		t.Fatal("empty")
+	}
+	if d.Record().Seq != 9 || string(d.Record().Key) != "k" {
+		t.Fatalf("first: %s@%d", d.Record().Key, d.Record().Seq)
+	}
+	if !d.Next() || string(d.Record().Key) != "x" {
+		t.Fatalf("second")
+	}
+	if d.Next() {
+		t.Fatal("phantom third")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	m := New([]RecIter{&sliceIter{}, &sliceIter{}})
+	if m.First() || m.Valid() {
+		t.Fatal("empty merge valid")
+	}
+	m2 := New(nil)
+	if m2.First() {
+		t.Fatal("no-input merge valid")
+	}
+	d := NewDedup(New([]RecIter{&sliceIter{}}))
+	if d.First() {
+		t.Fatal("empty dedup valid")
+	}
+}
+
+// TestQuickAgainstSort merges random pre-sorted runs and checks against a
+// globally sorted reference, both raw and deduped.
+func TestQuickAgainstSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		nIters := rnd.Intn(6) + 1
+		var all []record.Record
+		var iters []RecIter
+		seq := uint64(1)
+		for i := 0; i < nIters; i++ {
+			n := rnd.Intn(50)
+			var recs []record.Record
+			for j := 0; j < n; j++ {
+				recs = append(recs, mk(fmt.Sprintf("key-%03d", rnd.Intn(60)), seq))
+				seq++
+			}
+			sort.Slice(recs, func(a, b int) bool {
+				return Less(recs[a].Key, recs[a].Seq, recs[b].Key, recs[b].Seq)
+			})
+			iters = append(iters, &sliceIter{recs: recs})
+			all = append(all, recs...)
+		}
+		sort.Slice(all, func(a, b int) bool {
+			return Less(all[a].Key, all[a].Seq, all[b].Key, all[b].Seq)
+		})
+		m := New(iters)
+		i := 0
+		for ok := m.First(); ok; ok = m.Next() {
+			r := m.Record()
+			if i >= len(all) || !bytes.Equal(r.Key, all[i].Key) || r.Seq != all[i].Seq {
+				return false
+			}
+			i++
+		}
+		if i != len(all) || m.Err() != nil {
+			return false
+		}
+		// Dedup: newest per key.
+		want := map[string]uint64{}
+		for _, r := range all {
+			if s, ok := want[string(r.Key)]; !ok || r.Seq > s {
+				want[string(r.Key)] = r.Seq
+			}
+		}
+		for _, it := range iters {
+			it.(*sliceIter).pos = 0
+		}
+		d := NewDedup(New(iters))
+		n := 0
+		for ok := d.First(); ok; ok = d.Next() {
+			if want[string(d.Record().Key)] != d.Record().Seq {
+				return false
+			}
+			n++
+		}
+		return n == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

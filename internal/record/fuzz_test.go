@@ -1,0 +1,50 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: arbitrary bytes must never panic the decoder, and valid
+// encodings must round-trip.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Record{Key: []byte("k"), Seq: 1, Kind: KindSet, Value: []byte("v")}.Encode(nil))
+	f.Add(Record{Key: []byte("key"), Seq: 1 << 60, Kind: KindDelete}.Encode(nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, _, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Semantic round-trip (byte equality would be too strict: varints
+		// admit redundant encodings like 0x80 0x00 for zero).
+		enc := rec.Encode(nil)
+		rec2, rest2, err := Decode(enc)
+		if err != nil || len(rest2) != 0 {
+			t.Fatalf("re-encoded record does not decode: %v", err)
+		}
+		if !bytes.Equal(rec.Key, rec2.Key) || !bytes.Equal(rec.Value, rec2.Value) ||
+			rec.Seq != rec2.Seq || rec.Kind != rec2.Kind {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", rec, rec2)
+		}
+	})
+}
+
+// FuzzDecodePtr: arbitrary pointer bytes must never panic.
+func FuzzDecodePtr(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(ValuePtr{1, 2, 3, 4}.Encode(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ptr, err := DecodePtr(data)
+		if err != nil {
+			return
+		}
+		if len(data) >= EncodedPtrLen {
+			enc := ptr.Encode(nil)
+			if !bytes.Equal(enc, data[:EncodedPtrLen]) {
+				t.Fatalf("pointer re-encode mismatch")
+			}
+		}
+	})
+}

@@ -1,0 +1,128 @@
+// Package record defines the logical KV record shared by the memtable, WAL,
+// UnsortedStore, and SortedStore: a user key, a monotonically increasing
+// sequence number, a kind (set / delete / set-with-value-pointer), and a
+// value payload.
+//
+// UniKV's partial KV separation means a record's "value" is either the user
+// value itself (memtable, WAL, UnsortedStore — hot data kept together) or an
+// encoded ValuePtr into a partition value log (SortedStore — cold data,
+// KV-separated).
+package record
+
+import (
+	"fmt"
+
+	"unikv/internal/codec"
+)
+
+// Kind discriminates record payloads.
+type Kind uint8
+
+const (
+	// KindSet is a put carrying the user value inline.
+	KindSet Kind = 1
+	// KindDelete is a tombstone; the value is empty.
+	KindDelete Kind = 2
+	// KindSetPtr is a put whose value field is an encoded ValuePtr into a
+	// value log (SortedStore entries after partial KV separation).
+	KindSetPtr Kind = 3
+)
+
+// Record is one versioned KV operation.
+type Record struct {
+	Key   []byte
+	Seq   uint64
+	Kind  Kind
+	Value []byte
+}
+
+// Encode appends the record's wire form to dst:
+//
+//	varint keyLen | key | varint seq | kind | varint valLen | value
+func (r Record) Encode(dst []byte) []byte {
+	dst = codec.PutBytes(dst, r.Key)
+	dst = codec.PutUvarint(dst, r.Seq)
+	dst = append(dst, byte(r.Kind))
+	dst = codec.PutBytes(dst, r.Value)
+	return dst
+}
+
+// Decode parses one record from src, returning it and the remaining bytes.
+// The record's slices alias src.
+func Decode(src []byte) (Record, []byte, error) {
+	var r Record
+	var err error
+	r.Key, src, err = codec.Bytes(src)
+	if err != nil {
+		return r, nil, err
+	}
+	r.Seq, src, err = codec.Uvarint(src)
+	if err != nil {
+		return r, nil, err
+	}
+	if len(src) < 1 {
+		return r, nil, codec.ErrCorrupt
+	}
+	r.Kind = Kind(src[0])
+	src = src[1:]
+	if r.Kind != KindSet && r.Kind != KindDelete && r.Kind != KindSetPtr {
+		return r, nil, codec.ErrCorrupt
+	}
+	r.Value, src, err = codec.Bytes(src)
+	if err != nil {
+		return r, nil, err
+	}
+	return r, src, nil
+}
+
+// Clone deep-copies the record so it no longer aliases decoder buffers.
+func (r Record) Clone() Record {
+	c := r
+	c.Key = append([]byte(nil), r.Key...)
+	c.Value = append([]byte(nil), r.Value...)
+	return c
+}
+
+// ValuePtr locates a value inside a partition's value-log files. It mirrors
+// the paper's four-field pointer <partition, logNumber, offset, length>.
+type ValuePtr struct {
+	Partition uint32
+	LogNum    uint32
+	Offset    uint32
+	Length    uint32
+}
+
+// EncodedPtrLen is the fixed wire size of a ValuePtr.
+const EncodedPtrLen = 16
+
+// Encode appends the pointer's fixed-width wire form to dst.
+func (p ValuePtr) Encode(dst []byte) []byte {
+	dst = codec.PutUint32(dst, p.Partition)
+	dst = codec.PutUint32(dst, p.LogNum)
+	dst = codec.PutUint32(dst, p.Offset)
+	dst = codec.PutUint32(dst, p.Length)
+	return dst
+}
+
+// DecodePtr parses a ValuePtr from src.
+func DecodePtr(src []byte) (ValuePtr, error) {
+	var p ValuePtr
+	var err error
+	if p.Partition, src, err = codec.Uint32(src); err != nil {
+		return p, err
+	}
+	if p.LogNum, src, err = codec.Uint32(src); err != nil {
+		return p, err
+	}
+	if p.Offset, src, err = codec.Uint32(src); err != nil {
+		return p, err
+	}
+	if p.Length, _, err = codec.Uint32(src); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+func (p ValuePtr) String() string {
+	return fmt.Sprintf("ptr{p%d log%d @%d +%d}", p.Partition, p.LogNum, p.Offset, p.Length)
+}

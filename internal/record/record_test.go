@@ -1,0 +1,105 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	f := func(key, value []byte, seq uint64, kindSel uint8) bool {
+		kind := []Kind{KindSet, KindDelete, KindSetPtr}[int(kindSel)%3]
+		r := Record{Key: key, Seq: seq, Kind: kind, Value: value}
+		enc := r.Encode(nil)
+		got, rest, err := Decode(enc)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return bytes.Equal(got.Key, key) && bytes.Equal(got.Value, value) &&
+			got.Seq == seq && got.Kind == kind
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordDecodeSequence(t *testing.T) {
+	var enc []byte
+	recs := []Record{
+		{Key: []byte("a"), Seq: 1, Kind: KindSet, Value: []byte("va")},
+		{Key: []byte("b"), Seq: 2, Kind: KindDelete},
+		{Key: []byte("c"), Seq: 3, Kind: KindSetPtr, Value: ValuePtr{1, 2, 3, 4}.Encode(nil)},
+	}
+	for _, r := range recs {
+		enc = r.Encode(enc)
+	}
+	for i := range recs {
+		var got Record
+		var err error
+		got, enc, err = Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Key, recs[i].Key) || got.Seq != recs[i].Seq || got.Kind != recs[i].Kind {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got, recs[i])
+		}
+	}
+	if len(enc) != 0 {
+		t.Fatalf("leftover: %d bytes", len(enc))
+	}
+}
+
+func TestRecordDecodeCorrupt(t *testing.T) {
+	r := Record{Key: []byte("key"), Seq: 9, Kind: KindSet, Value: []byte("value")}
+	enc := r.Encode(nil)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Invalid kind byte.
+	bad := Record{Key: []byte("k"), Seq: 1, Kind: Kind(99), Value: nil}.Encode(nil)
+	if _, _, err := Decode(bad); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+}
+
+func TestRecordClone(t *testing.T) {
+	buf := []byte("shared-key-and-value")
+	r := Record{Key: buf[:6], Seq: 5, Kind: KindSet, Value: buf[7:]}
+	c := r.Clone()
+	buf[0] = 'X'
+	if c.Key[0] == 'X' {
+		t.Fatal("clone aliases original buffer")
+	}
+}
+
+func TestValuePtrRoundTrip(t *testing.T) {
+	f := func(p, l, o, n uint32) bool {
+		ptr := ValuePtr{Partition: p, LogNum: l, Offset: o, Length: n}
+		enc := ptr.Encode(nil)
+		if len(enc) != EncodedPtrLen {
+			return false
+		}
+		got, err := DecodePtr(enc)
+		return err == nil && got == ptr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuePtrShort(t *testing.T) {
+	ptr := ValuePtr{1, 2, 3, 4}
+	enc := ptr.Encode(nil)
+	if _, err := DecodePtr(enc[:EncodedPtrLen-1]); err == nil {
+		t.Fatal("short pointer accepted")
+	}
+}
+
+func TestValuePtrString(t *testing.T) {
+	s := ValuePtr{1, 2, 3, 4}.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

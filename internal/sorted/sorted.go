@@ -1,0 +1,172 @@
+// Package sorted implements UniKV's SortedStore: one fully sorted run of
+// SSTables per partition, holding keys and value pointers after partial KV
+// separation. There are no Bloom filters and no levels: a point lookup
+// binary-searches the in-memory table boundary keys, touching at most one
+// table and (index blocks being memory-resident) one data-block I/O — the
+// paper's headline read-path property.
+package sorted
+
+import (
+	"unikv/internal/codec"
+	"unikv/internal/manifest"
+	"unikv/internal/record"
+	"unikv/internal/sstable"
+)
+
+// Table is one SortedStore table.
+type Table struct {
+	Meta   manifest.TableMeta
+	Reader *sstable.Reader
+}
+
+// Store is the SortedStore of one partition. The caller serializes
+// mutations (ReplaceAll); reads are safe concurrently with each other.
+type Store struct {
+	tables []*Table // key order, non-overlapping
+	size   int64
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{} }
+
+// ReplaceAll installs a new sorted run (the merge and GC paths always
+// rewrite the run wholesale).
+func (s *Store) ReplaceAll(tables []*Table) {
+	s.tables = tables
+	s.size = 0
+	for _, t := range tables {
+		s.size += t.Meta.Size
+	}
+}
+
+// Tables returns the run's tables in key order.
+func (s *Store) Tables() []*Table { return s.tables }
+
+// NumTables returns the number of tables.
+func (s *Store) NumTables() int { return len(s.tables) }
+
+// SizeBytes returns the total table bytes (keys + pointers only; values
+// live in the value logs).
+func (s *Store) SizeBytes() int64 { return s.size }
+
+// tableFor returns the index of the single table that may contain key, or
+// -1. Because tables are non-overlapping and sorted, this is a binary
+// search over boundary keys.
+func (s *Store) tableFor(key []byte) int {
+	lo, hi := 0, len(s.tables)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if codec.Compare(s.tables[mid].Meta.Largest, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(s.tables) {
+		return -1
+	}
+	if codec.Compare(key, s.tables[lo].Meta.Smallest) < 0 {
+		return -1
+	}
+	return lo
+}
+
+// Get returns the record for key (typically a KindSetPtr whose value is an
+// encoded record.ValuePtr, or a tombstone).
+func (s *Store) Get(key []byte) (record.Record, bool, error) {
+	i := s.tableFor(key)
+	if i < 0 {
+		return record.Record{}, false, nil
+	}
+	return s.tables[i].Reader.Get(key)
+}
+
+// Iterator walks the sorted run across table boundaries.
+type Iterator struct {
+	s   *Store
+	ti  int
+	it  *sstable.Iterator
+	err error
+}
+
+// NewIterator returns an iterator positioned before the first record.
+func (s *Store) NewIterator() *Iterator {
+	return &Iterator{s: s, ti: -1}
+}
+
+// Valid reports whether the iterator is on a record.
+func (it *Iterator) Valid() bool { return it.it != nil && it.it.Valid() }
+
+// Record returns the current record.
+func (it *Iterator) Record() record.Record { return it.it.Record() }
+
+// Err returns the first error encountered.
+func (it *Iterator) Err() error { return it.err }
+
+// First positions at the run's first record.
+func (it *Iterator) First() bool {
+	it.ti = -1
+	it.it = nil
+	return it.Next()
+}
+
+// Next advances to the following record.
+func (it *Iterator) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	if it.it != nil && it.it.Next() {
+		return true
+	}
+	for {
+		if it.it != nil {
+			if err := it.it.Err(); err != nil {
+				it.err = err
+				return false
+			}
+		}
+		it.ti++
+		if it.ti >= len(it.s.tables) {
+			it.it = nil
+			return false
+		}
+		it.it = it.s.tables[it.ti].Reader.NewIterator()
+		if it.it.First() {
+			return true
+		}
+	}
+}
+
+// Seek positions at the first record with key >= target.
+func (it *Iterator) Seek(target []byte) bool {
+	if it.err != nil {
+		return false
+	}
+	// Find the first table whose largest >= target.
+	lo, hi := 0, len(it.s.tables)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if codec.Compare(it.s.tables[mid].Meta.Largest, target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(it.s.tables) {
+		it.it = nil
+		it.ti = len(it.s.tables)
+		return false
+	}
+	it.ti = lo
+	it.it = it.s.tables[lo].Reader.NewIterator()
+	if it.it.Seek(target) {
+		return true
+	}
+	if err := it.it.Err(); err != nil {
+		it.err = err
+		return false
+	}
+	// target is past this table's data (can't happen with consistent
+	// metadata, but stay safe): continue into the next table.
+	return it.Next()
+}

@@ -1,0 +1,85 @@
+package sstable
+
+// Bloom filter in LevelDB's style: a single filter over all table keys,
+// k probes derived from one 32-bit hash by double hashing. The baseline
+// LSM engines use it; UniKV tables are built with BloomBitsPerKey = 0
+// because the unified index makes per-table filters redundant (a design
+// point the paper calls out explicitly).
+
+// bloomHash is LevelDB's hash function over keys (a Murmur-like scheme).
+func bloomHash(key []byte) uint32 {
+	const (
+		seed = 0xbc9f1d34
+		m    = 0xc6a4a793
+	)
+	h := uint32(seed) ^ uint32(len(key))*m
+	for ; len(key) >= 4; key = key[4:] {
+		h += uint32(key[0]) | uint32(key[1])<<8 | uint32(key[2])<<16 | uint32(key[3])<<24
+		h *= m
+		h ^= h >> 16
+	}
+	switch len(key) {
+	case 3:
+		h += uint32(key[2]) << 16
+		fallthrough
+	case 2:
+		h += uint32(key[1]) << 8
+		fallthrough
+	case 1:
+		h += uint32(key[0])
+		h *= m
+		h ^= h >> 24
+	}
+	return h
+}
+
+// buildBloom constructs a filter for the given key hashes with
+// bitsPerKey bits of budget per key. The last byte stores k.
+func buildBloom(hashes []uint32, bitsPerKey int) []byte {
+	k := int(float64(bitsPerKey) * 0.69)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	bits := len(hashes) * bitsPerKey
+	if bits < 64 {
+		bits = 64
+	}
+	nBytes := (bits + 7) / 8
+	bits = nBytes * 8
+	filter := make([]byte, nBytes+1)
+	filter[nBytes] = byte(k)
+	for _, h := range hashes {
+		delta := h>>17 | h<<15
+		for j := 0; j < k; j++ {
+			bit := h % uint32(bits)
+			filter[bit/8] |= 1 << (bit % 8)
+			h += delta
+		}
+	}
+	return filter
+}
+
+// bloomMayContain reports whether key may be in the filter.
+func bloomMayContain(filter, key []byte) bool {
+	if len(filter) < 2 {
+		return true
+	}
+	bits := uint32((len(filter) - 1) * 8)
+	k := filter[len(filter)-1]
+	if k > 30 {
+		return true
+	}
+	h := bloomHash(key)
+	delta := h>>17 | h<<15
+	for j := byte(0); j < k; j++ {
+		bit := h % bits
+		if filter[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}

@@ -1,0 +1,221 @@
+// Package sstable implements the sorted-string-table file format used by
+// every on-disk store in this repository: the UnsortedStore and SortedStore
+// of UniKV (which disables Bloom filters — the unified index replaces them)
+// and the leveled/fragmented baseline LSM engines (which enable them).
+//
+// Layout:
+//
+//	data block 0 | crc | data block 1 | crc | ... | meta block | crc |
+//	index block | crc | footer
+//
+// Data blocks hold consecutive record.Record encodings and target
+// BlockSize bytes. The index block stores, per data block, the last key,
+// file offset, and payload length; a reader keeps it in memory so a point
+// lookup costs one binary search plus one block read. The meta block holds
+// entry count, sequence bounds, smallest/largest key, and the optional
+// Bloom filter.
+package sstable
+
+import (
+	"unikv/internal/codec"
+	"unikv/internal/record"
+	"unikv/internal/vfs"
+)
+
+// BlockSize is the target size of a data block (the paper's 4 KiB unit).
+const BlockSize = 4096
+
+const (
+	footerLen         = 8 + 4 + 8 + 4 + 8
+	tableMagic uint64 = 0x756e696b76737374 // "unikvsst"
+)
+
+// BuilderOptions configures table construction.
+type BuilderOptions struct {
+	// BloomBitsPerKey > 0 adds a Bloom filter with that many bits per key.
+	// UniKV stores use 0; baseline LSMs use 10.
+	BloomBitsPerKey int
+	// BlockSize overrides the default data-block size when > 0.
+	BlockSize int
+}
+
+// Builder writes a table. Add must be called in strictly increasing
+// (key asc, seq desc) order.
+type Builder struct {
+	f    vfs.File
+	opts BuilderOptions
+
+	block     []byte
+	blockN    int
+	offsets   []uint16 // start offset of each record within the block
+	offset    uint64
+	index     []byte
+	numBlocks int
+
+	count    int
+	smallest []byte
+	largest  []byte
+	minSeq   uint64
+	maxSeq   uint64
+
+	keyHashes []uint32
+	lastKey   []byte
+
+	err error
+}
+
+// NewBuilder starts a table in f.
+func NewBuilder(f vfs.File, opts BuilderOptions) *Builder {
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = BlockSize
+	}
+	return &Builder{f: f, opts: opts, minSeq: ^uint64(0)}
+}
+
+// Add appends one record.
+func (b *Builder) Add(r record.Record) {
+	if b.err != nil {
+		return
+	}
+	if b.count == 0 {
+		b.smallest = append([]byte(nil), r.Key...)
+	}
+	b.largest = append(b.largest[:0], r.Key...)
+	if r.Seq < b.minSeq {
+		b.minSeq = r.Seq
+	}
+	if r.Seq > b.maxSeq {
+		b.maxSeq = r.Seq
+	}
+	b.count++
+	if b.opts.BloomBitsPerKey > 0 {
+		b.keyHashes = append(b.keyHashes, bloomHash(r.Key))
+	}
+
+	b.offsets = append(b.offsets, uint16(len(b.block)))
+	b.block = r.Encode(b.block)
+	b.blockN++
+	b.lastKey = append(b.lastKey[:0], r.Key...)
+	// Flush at the size target, and always before a record would start
+	// past the uint16 offset range.
+	if len(b.block) >= b.opts.BlockSize || len(b.block) > 0xf000 {
+		b.flushBlock()
+	}
+}
+
+// flushBlock writes the pending data block and records it in the index.
+// The block payload is the concatenated records followed by a trailer of
+// per-record start offsets (uint16 LE each) and the record count (uint16
+// LE), enabling intra-block binary search (LevelDB's restart points with a
+// restart interval of 1).
+func (b *Builder) flushBlock() {
+	if b.blockN == 0 || b.err != nil {
+		return
+	}
+	for _, off := range b.offsets {
+		b.block = append(b.block, byte(off), byte(off>>8))
+	}
+	n := uint16(len(b.offsets))
+	b.block = append(b.block, byte(n), byte(n>>8))
+	b.offsets = b.offsets[:0]
+	payloadLen := len(b.block)
+	b.index = codec.PutBytes(b.index, b.lastKey)
+	b.index = codec.PutUint64(b.index, b.offset)
+	b.index = codec.PutUint32(b.index, uint32(payloadLen))
+
+	b.err = b.writeChecked(b.block)
+	b.offset += uint64(payloadLen) + 4
+	b.block = b.block[:0]
+	b.blockN = 0
+	b.numBlocks++
+}
+
+// writeChecked writes payload followed by its masked CRC.
+func (b *Builder) writeChecked(payload []byte) error {
+	if _, err := b.f.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	c := codec.MaskChecksum(codec.Checksum(payload))
+	crc[0] = byte(c)
+	crc[1] = byte(c >> 8)
+	crc[2] = byte(c >> 16)
+	crc[3] = byte(c >> 24)
+	_, err := b.f.Write(crc[:])
+	return err
+}
+
+// Count returns the number of records added so far.
+func (b *Builder) Count() int { return b.count }
+
+// EstimatedSize returns the bytes written plus the pending block.
+func (b *Builder) EstimatedSize() int64 { return int64(b.offset) + int64(len(b.block)) }
+
+// Finish flushes remaining data and writes meta, index, and footer. The
+// file is synced. Finish returns table statistics for the caller's
+// metadata (manifest entries).
+func (b *Builder) Finish() (Props, error) {
+	b.flushBlock()
+	if b.err != nil {
+		return Props{}, b.err
+	}
+
+	// Meta block.
+	var meta []byte
+	meta = codec.PutUvarint(meta, uint64(b.count))
+	meta = codec.PutUvarint(meta, b.minSeq)
+	meta = codec.PutUvarint(meta, b.maxSeq)
+	meta = codec.PutBytes(meta, b.smallest)
+	meta = codec.PutBytes(meta, b.largest)
+	var filter []byte
+	if b.opts.BloomBitsPerKey > 0 && len(b.keyHashes) > 0 {
+		filter = buildBloom(b.keyHashes, b.opts.BloomBitsPerKey)
+	}
+	meta = codec.PutBytes(meta, filter)
+	metaOff := b.offset
+	if err := b.writeChecked(meta); err != nil {
+		return Props{}, err
+	}
+	b.offset += uint64(len(meta)) + 4
+
+	// Index block.
+	indexOff := b.offset
+	if err := b.writeChecked(b.index); err != nil {
+		return Props{}, err
+	}
+	b.offset += uint64(len(b.index)) + 4
+
+	// Footer.
+	var footer []byte
+	footer = codec.PutUint64(footer, indexOff)
+	footer = codec.PutUint32(footer, uint32(len(b.index)))
+	footer = codec.PutUint64(footer, metaOff)
+	footer = codec.PutUint32(footer, uint32(len(meta)))
+	footer = codec.PutUint64(footer, tableMagic)
+	if _, err := b.f.Write(footer); err != nil {
+		return Props{}, err
+	}
+	b.offset += uint64(len(footer))
+
+	if err := b.f.Sync(); err != nil {
+		return Props{}, err
+	}
+	return Props{
+		Count:    b.count,
+		MinSeq:   b.minSeq,
+		MaxSeq:   b.maxSeq,
+		Smallest: b.smallest,
+		Largest:  append([]byte(nil), b.largest...),
+		Size:     int64(b.offset),
+	}, nil
+}
+
+// Props summarizes a finished table.
+type Props struct {
+	Count    int
+	MinSeq   uint64
+	MaxSeq   uint64
+	Smallest []byte
+	Largest  []byte
+	Size     int64
+}

@@ -1,0 +1,46 @@
+package sstable
+
+import (
+	"testing"
+
+	"unikv/internal/record"
+	"unikv/internal/vfs"
+)
+
+// FuzzOpen: arbitrary file bytes must never panic Open or subsequent reads.
+func FuzzOpen(f *testing.F) {
+	// Seed with a real table.
+	fs := vfs.NewMem()
+	fh, _ := fs.Create("seed")
+	b := NewBuilder(fh, BuilderOptions{BloomBitsPerKey: 10})
+	for i := 0; i < 50; i++ {
+		b.Add(record.Record{Key: []byte{byte(i)}, Seq: uint64(i + 1), Kind: record.KindSet, Value: []byte("v")})
+	}
+	b.Finish()
+	fh.Close()
+	seed, _ := fs.ReadFile("seed")
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(make([]byte, footerLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs := vfs.NewMem()
+		fs.WriteFile("t.sst", data)
+		fh, _ := fs.Open("t.sst")
+		r, err := Open(fh)
+		if err != nil {
+			fh.Close()
+			return
+		}
+		defer r.Close()
+		// Exercise the read paths; they may error but must not panic.
+		r.Get([]byte("k"))
+		r.MayContain([]byte("k"))
+		it := r.NewIterator()
+		n := 0
+		for ok := it.First(); ok && n < 10000; ok = it.Next() {
+			n++
+		}
+		it.Seek([]byte("zz"))
+	})
+}

@@ -1,0 +1,338 @@
+package sstable
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"unikv/internal/codec"
+	"unikv/internal/record"
+	"unikv/internal/vfs"
+)
+
+// ErrCorruptTable reports a malformed or checksum-failing table file.
+var ErrCorruptTable = errors.New("sstable: corrupt table")
+
+// blockHandle locates a data block inside the file.
+type blockHandle struct {
+	lastKey []byte
+	offset  uint64
+	length  uint32
+}
+
+// Reader serves point lookups and iteration over one table. The index and
+// meta blocks are held in memory (the paper assumes index metadata is
+// cached); data blocks are read on demand.
+type Reader struct {
+	f      vfs.File
+	index  []blockHandle
+	filter []byte
+
+	count    int
+	minSeq   uint64
+	maxSeq   uint64
+	smallest []byte
+	largest  []byte
+	size     int64
+
+	// BlockReads counts data-block fetches, powering the read-amplification
+	// and access-frequency experiments.
+	BlockReads atomic.Int64
+}
+
+// Open loads the footer, meta, and index of the table in f.
+func Open(f vfs.File) (*Reader, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size < footerLen {
+		return nil, ErrCorruptTable
+	}
+	var footer [footerLen]byte
+	if _, err := f.ReadAt(footer[:], size-footerLen); err != nil {
+		return nil, err
+	}
+	rest := footer[:]
+	var indexOff uint64
+	var indexLen uint32
+	var metaOff uint64
+	var metaLen uint32
+	var magic uint64
+	if indexOff, rest, err = codec.Uint64(rest); err != nil {
+		return nil, err
+	}
+	if indexLen, rest, err = codec.Uint32(rest); err != nil {
+		return nil, err
+	}
+	if metaOff, rest, err = codec.Uint64(rest); err != nil {
+		return nil, err
+	}
+	if metaLen, rest, err = codec.Uint32(rest); err != nil {
+		return nil, err
+	}
+	if magic, _, err = codec.Uint64(rest); err != nil {
+		return nil, err
+	}
+	if magic != tableMagic {
+		return nil, ErrCorruptTable
+	}
+
+	r := &Reader{f: f, size: size}
+
+	meta, err := r.readChecked(metaOff, metaLen)
+	if err != nil {
+		return nil, err
+	}
+	var count, minSeq, maxSeq uint64
+	if count, meta, err = codec.Uvarint(meta); err != nil {
+		return nil, err
+	}
+	if minSeq, meta, err = codec.Uvarint(meta); err != nil {
+		return nil, err
+	}
+	if maxSeq, meta, err = codec.Uvarint(meta); err != nil {
+		return nil, err
+	}
+	var smallest, largest, filter []byte
+	if smallest, meta, err = codec.Bytes(meta); err != nil {
+		return nil, err
+	}
+	if largest, meta, err = codec.Bytes(meta); err != nil {
+		return nil, err
+	}
+	if filter, _, err = codec.Bytes(meta); err != nil {
+		return nil, err
+	}
+	r.count = int(count)
+	r.minSeq = minSeq
+	r.maxSeq = maxSeq
+	r.smallest = append([]byte(nil), smallest...)
+	r.largest = append([]byte(nil), largest...)
+	r.filter = append([]byte(nil), filter...)
+
+	index, err := r.readChecked(indexOff, indexLen)
+	if err != nil {
+		return nil, err
+	}
+	for len(index) > 0 {
+		var h blockHandle
+		var key []byte
+		if key, index, err = codec.Bytes(index); err != nil {
+			return nil, err
+		}
+		if h.offset, index, err = codec.Uint64(index); err != nil {
+			return nil, err
+		}
+		if h.length, index, err = codec.Uint32(index); err != nil {
+			return nil, err
+		}
+		h.lastKey = append([]byte(nil), key...)
+		r.index = append(r.index, h)
+	}
+	return r, nil
+}
+
+// readChecked reads a payload and verifies its trailing CRC. Bounds come
+// from the footer or index, which a corrupted file controls, so they are
+// validated against the file size before allocating.
+func (r *Reader) readChecked(off uint64, length uint32) ([]byte, error) {
+	if off > uint64(r.size) || uint64(length)+4 > uint64(r.size)-off {
+		return nil, ErrCorruptTable
+	}
+	buf := make([]byte, int(length)+4)
+	if _, err := r.f.ReadAt(buf, int64(off)); err != nil {
+		return nil, fmt.Errorf("sstable: read @%d+%d: %w", off, length, err)
+	}
+	payload := buf[:length]
+	want := codec.UnmaskChecksum(uint32(buf[length]) | uint32(buf[length+1])<<8 |
+		uint32(buf[length+2])<<16 | uint32(buf[length+3])<<24)
+	if codec.Checksum(payload) != want {
+		return nil, ErrCorruptTable
+	}
+	return payload, nil
+}
+
+// readBlock fetches data block i.
+func (r *Reader) readBlock(i int) ([]byte, error) {
+	h := r.index[i]
+	r.BlockReads.Add(1)
+	return r.readChecked(h.offset, h.length)
+}
+
+// parsedBlock provides random access to a block's records via the offset
+// trailer written by the builder.
+type parsedBlock struct {
+	data    []byte // record region
+	offsets []byte // 2 bytes LE per record
+	n       int
+}
+
+// parseBlock validates and splits a block payload.
+func parseBlock(block []byte) (parsedBlock, error) {
+	if len(block) < 2 {
+		return parsedBlock{}, ErrCorruptTable
+	}
+	n := int(block[len(block)-2]) | int(block[len(block)-1])<<8
+	trailer := 2 + 2*n
+	if n == 0 || trailer > len(block) {
+		return parsedBlock{}, ErrCorruptTable
+	}
+	return parsedBlock{
+		data:    block[:len(block)-trailer],
+		offsets: block[len(block)-trailer : len(block)-2],
+		n:       n,
+	}, nil
+}
+
+// at returns the byte offset of record i.
+func (p parsedBlock) at(i int) int {
+	return int(p.offsets[2*i]) | int(p.offsets[2*i+1])<<8
+}
+
+// keyAt decodes just the key of record i.
+func (p parsedBlock) keyAt(i int) ([]byte, error) {
+	off := p.at(i)
+	if off >= len(p.data) {
+		return nil, ErrCorruptTable
+	}
+	key, _, err := codec.Bytes(p.data[off:])
+	return key, err
+}
+
+// recordAt decodes record i.
+func (p parsedBlock) recordAt(i int) (record.Record, error) {
+	off := p.at(i)
+	if off >= len(p.data) {
+		return record.Record{}, ErrCorruptTable
+	}
+	rec, _, err := record.Decode(p.data[off:])
+	return rec, err
+}
+
+// search returns the index of the first record with key >= target (n if
+// none). Records are (key asc, seq desc), so the hit is the newest version.
+func (p parsedBlock) search(target []byte) (int, error) {
+	lo, hi := 0, p.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k, err := p.keyAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if codec.Compare(k, target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// blockFor returns the index of the first block whose lastKey >= key, or
+// len(index) if key is past the table.
+func (r *Reader) blockFor(key []byte) int {
+	lo, hi := 0, len(r.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if codec.Compare(r.index[mid].lastKey, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the newest record for key in this table.
+func (r *Reader) Get(key []byte) (record.Record, bool, error) {
+	if codec.Compare(key, r.smallest) < 0 || codec.Compare(key, r.largest) > 0 {
+		return record.Record{}, false, nil
+	}
+	if len(r.filter) > 0 && !bloomMayContain(r.filter, key) {
+		return record.Record{}, false, nil
+	}
+	bi := r.blockFor(key)
+	if bi >= len(r.index) {
+		return record.Record{}, false, nil
+	}
+	block, err := r.readBlock(bi)
+	if err != nil {
+		return record.Record{}, false, err
+	}
+	pb, err := parseBlock(block)
+	if err != nil {
+		return record.Record{}, false, err
+	}
+	i, err := pb.search(key)
+	if err != nil {
+		return record.Record{}, false, err
+	}
+	if i >= pb.n {
+		return record.Record{}, false, nil
+	}
+	rec, err := pb.recordAt(i)
+	if err != nil {
+		return record.Record{}, false, err
+	}
+	if codec.Compare(rec.Key, key) != 0 {
+		return record.Record{}, false, nil
+	}
+	// The block buffer is freshly allocated per read, so the record may
+	// alias it safely.
+	return rec, true, nil
+}
+
+// MayContain consults the Bloom filter (true when absent or no filter).
+func (r *Reader) MayContain(key []byte) bool {
+	if len(r.filter) == 0 {
+		return true
+	}
+	return bloomMayContain(r.filter, key)
+}
+
+// Count returns the number of records in the table.
+func (r *Reader) Count() int { return r.count }
+
+// Smallest returns the table's smallest key.
+func (r *Reader) Smallest() []byte { return r.smallest }
+
+// Largest returns the table's largest key.
+func (r *Reader) Largest() []byte { return r.largest }
+
+// MaxSeq returns the largest sequence number stored.
+func (r *Reader) MaxSeq() uint64 { return r.maxSeq }
+
+// MinSeq returns the smallest sequence number stored.
+func (r *Reader) MinSeq() uint64 { return r.minSeq }
+
+// Size returns the file size in bytes.
+func (r *Reader) Size() int64 { return r.size }
+
+// NumBlocks returns the number of data blocks.
+func (r *Reader) NumBlocks() int { return len(r.index) }
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// VerifyChecksums reads every data block (plus the already-validated meta
+// and index blocks) and reports the first corruption found. Used by the
+// unikv-ctl verify command.
+func (r *Reader) VerifyChecksums() error {
+	for i := range r.index {
+		block, err := r.readBlock(i)
+		if err != nil {
+			return fmt.Errorf("block %d: %w", i, err)
+		}
+		pb, err := parseBlock(block)
+		if err != nil {
+			return fmt.Errorf("block %d: %w", i, err)
+		}
+		for j := 0; j < pb.n; j++ {
+			if _, err := pb.recordAt(j); err != nil {
+				return fmt.Errorf("block %d record %d: %w", i, j, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,471 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"unikv/internal/record"
+	"unikv/internal/vfs"
+)
+
+func buildTable(t *testing.T, fs vfs.FS, name string, opts BuilderOptions, recs []record.Record) *Reader {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(f, opts)
+	for _, r := range recs {
+		b.Add(r)
+	}
+	props, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if props.Count != len(recs) {
+		t.Fatalf("props.Count=%d want %d", props.Count, len(recs))
+	}
+	rf, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func sortedRecords(n int, valSize int) []record.Record {
+	recs := make([]record.Record, n)
+	for i := 0; i < n; i++ {
+		recs[i] = record.Record{
+			Key:   []byte(fmt.Sprintf("key-%06d", i)),
+			Seq:   uint64(i + 1),
+			Kind:  record.KindSet,
+			Value: bytes.Repeat([]byte{byte('a' + i%26)}, valSize),
+		}
+	}
+	return recs
+}
+
+func TestBuildAndGet(t *testing.T) {
+	fs := vfs.NewMem()
+	recs := sortedRecords(1000, 64)
+	r := buildTable(t, fs, "t.sst", BuilderOptions{}, recs)
+	defer r.Close()
+
+	if r.Count() != 1000 {
+		t.Fatalf("Count=%d", r.Count())
+	}
+	if string(r.Smallest()) != "key-000000" || string(r.Largest()) != "key-000999" {
+		t.Fatalf("bounds %q..%q", r.Smallest(), r.Largest())
+	}
+	if r.MinSeq() != 1 || r.MaxSeq() != 1000 {
+		t.Fatalf("seq bounds %d..%d", r.MinSeq(), r.MaxSeq())
+	}
+	for _, i := range []int{0, 1, 499, 998, 999} {
+		got, ok, err := r.Get(recs[i].Key)
+		if err != nil || !ok {
+			t.Fatalf("Get(%q): ok=%v err=%v", recs[i].Key, ok, err)
+		}
+		if !bytes.Equal(got.Value, recs[i].Value) || got.Seq != recs[i].Seq {
+			t.Fatalf("Get(%q) wrong record", recs[i].Key)
+		}
+	}
+	for _, miss := range []string{"key-0005000", "a", "zzz", "key-"} {
+		if _, ok, _ := r.Get([]byte(miss)); ok {
+			t.Fatalf("found phantom key %q", miss)
+		}
+	}
+}
+
+func TestMultipleVersions(t *testing.T) {
+	fs := vfs.NewMem()
+	recs := []record.Record{
+		{Key: []byte("k"), Seq: 9, Kind: record.KindSet, Value: []byte("new")},
+		{Key: []byte("k"), Seq: 3, Kind: record.KindSet, Value: []byte("old")},
+	}
+	r := buildTable(t, fs, "t.sst", BuilderOptions{}, recs)
+	defer r.Close()
+	got, ok, err := r.Get([]byte("k"))
+	if err != nil || !ok || string(got.Value) != "new" {
+		t.Fatalf("got %+v ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestIterator(t *testing.T) {
+	fs := vfs.NewMem()
+	recs := sortedRecords(2500, 40)
+	r := buildTable(t, fs, "t.sst", BuilderOptions{}, recs)
+	defer r.Close()
+
+	it := r.NewIterator()
+	i := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		if !bytes.Equal(it.Record().Key, recs[i].Key) {
+			t.Fatalf("iter key %d mismatch: %q", i, it.Record().Key)
+		}
+		i++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if i != len(recs) {
+		t.Fatalf("iterated %d of %d", i, len(recs))
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	fs := vfs.NewMem()
+	recs := sortedRecords(300, 128)
+	r := buildTable(t, fs, "t.sst", BuilderOptions{}, recs)
+	defer r.Close()
+
+	it := r.NewIterator()
+	if !it.Seek([]byte("key-000100")) || string(it.Record().Key) != "key-000100" {
+		t.Fatalf("Seek exact failed: %q", it.Record().Key)
+	}
+	if !it.Seek([]byte("key-0000995")) || string(it.Record().Key) != "key-000100" {
+		t.Fatalf("Seek between failed: %q", it.Record().Key)
+	}
+	if !it.Seek([]byte("a")) || string(it.Record().Key) != "key-000000" {
+		t.Fatalf("Seek before-start failed: %q", it.Record().Key)
+	}
+	if it.Seek([]byte("zzz")) {
+		t.Fatal("Seek past end should be invalid")
+	}
+	// Seek then scan to end.
+	n := 0
+	for ok := it.Seek([]byte("key-000290")); ok; ok = it.Next() {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("tail scan got %d records", n)
+	}
+}
+
+func TestBloomFilter(t *testing.T) {
+	fs := vfs.NewMem()
+	recs := sortedRecords(500, 16)
+	r := buildTable(t, fs, "t.sst", BuilderOptions{BloomBitsPerKey: 10}, recs)
+	defer r.Close()
+
+	for _, rec := range recs {
+		if !r.MayContain(rec.Key) {
+			t.Fatalf("bloom false negative for %q", rec.Key)
+		}
+	}
+	fp := 0
+	const probes = 2000
+	for i := 0; i < probes; i++ {
+		if r.MayContain([]byte(fmt.Sprintf("absent-%06d", i))) {
+			fp++
+		}
+	}
+	if fp > probes/10 {
+		t.Fatalf("bloom false positive rate too high: %d/%d", fp, probes)
+	}
+	// Lookup through the filter still behaves.
+	if _, ok, _ := r.Get([]byte("absent-xyz")); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestNoBloomWhenDisabled(t *testing.T) {
+	fs := vfs.NewMem()
+	r := buildTable(t, fs, "t.sst", BuilderOptions{}, sortedRecords(10, 8))
+	defer r.Close()
+	if !r.MayContain([]byte("whatever")) {
+		t.Fatal("MayContain must be true without a filter")
+	}
+}
+
+func TestValuePointerRecords(t *testing.T) {
+	fs := vfs.NewMem()
+	ptr := record.ValuePtr{Partition: 1, LogNum: 7, Offset: 4096, Length: 100}
+	recs := []record.Record{
+		{Key: []byte("a"), Seq: 1, Kind: record.KindSetPtr, Value: ptr.Encode(nil)},
+		{Key: []byte("b"), Seq: 2, Kind: record.KindDelete},
+	}
+	r := buildTable(t, fs, "t.sst", BuilderOptions{}, recs)
+	defer r.Close()
+	got, ok, err := r.Get([]byte("a"))
+	if err != nil || !ok || got.Kind != record.KindSetPtr {
+		t.Fatalf("%+v ok=%v err=%v", got, ok, err)
+	}
+	decoded, err := record.DecodePtr(got.Value)
+	if err != nil || decoded != ptr {
+		t.Fatalf("pointer mismatch: %v %v", decoded, err)
+	}
+	got, ok, _ = r.Get([]byte("b"))
+	if !ok || got.Kind != record.KindDelete {
+		t.Fatal("tombstone lost")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	fs := vfs.NewMem()
+	recs := sortedRecords(200, 64)
+	f, _ := fs.Create("t.sst")
+	b := NewBuilder(f, BuilderOptions{})
+	for _, r := range recs {
+		b.Add(r)
+	}
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	data, _ := fs.ReadFile("t.sst")
+
+	// Flip a byte in the first data block.
+	corrupt := append([]byte(nil), data...)
+	corrupt[10] ^= 0xff
+	fs.WriteFile("bad.sst", corrupt)
+	rf, _ := fs.Open("bad.sst")
+	r, err := Open(rf)
+	if err == nil {
+		// Index/meta were fine; the data-block read must fail.
+		if _, _, err := r.Get(recs[0].Key); err == nil {
+			t.Fatal("corrupt data block read succeeded")
+		}
+		r.Close()
+	}
+
+	// Truncate the footer.
+	fs.WriteFile("short.sst", data[:len(data)-5])
+	rf2, _ := fs.Open("short.sst")
+	if _, err := Open(rf2); err == nil {
+		t.Fatal("truncated table opened")
+	}
+
+	// Empty file.
+	fs.WriteFile("empty.sst", nil)
+	rf3, _ := fs.Open("empty.sst")
+	if _, err := Open(rf3); err == nil {
+		t.Fatal("empty table opened")
+	}
+}
+
+func TestEstimatedSizeGrows(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("t.sst")
+	b := NewBuilder(f, BuilderOptions{})
+	if b.EstimatedSize() != 0 {
+		t.Fatal("nonzero initial size")
+	}
+	b.Add(record.Record{Key: []byte("k"), Seq: 1, Kind: record.KindSet, Value: make([]byte, 100)})
+	if b.EstimatedSize() < 100 {
+		t.Fatalf("EstimatedSize=%d", b.EstimatedSize())
+	}
+	if b.Count() != 1 {
+		t.Fatalf("Count=%d", b.Count())
+	}
+	b.Finish()
+	f.Close()
+}
+
+// TestQuickRoundTrip: random sorted key sets round-trip through the table
+// and agree with a model on Get + full iteration.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, bloom bool) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := rnd.Intn(400) + 1
+		keys := map[string]bool{}
+		for len(keys) < n {
+			keys[fmt.Sprintf("k%08x", rnd.Uint32())] = true
+		}
+		var sorted []string
+		for k := range keys {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		var recs []record.Record
+		for i, k := range sorted {
+			v := make([]byte, rnd.Intn(200))
+			rnd.Read(v)
+			recs = append(recs, record.Record{Key: []byte(k), Seq: uint64(i + 1), Kind: record.KindSet, Value: v})
+		}
+		opts := BuilderOptions{}
+		if bloom {
+			opts.BloomBitsPerKey = 10
+		}
+		fs := vfs.NewMem()
+		wf, _ := fs.Create("q.sst")
+		b := NewBuilder(wf, opts)
+		for _, r := range recs {
+			b.Add(r)
+		}
+		if _, err := b.Finish(); err != nil {
+			return false
+		}
+		wf.Close()
+		rf, _ := fs.Open("q.sst")
+		r, err := Open(rf)
+		if err != nil {
+			return false
+		}
+		defer r.Close()
+		for _, rec := range recs {
+			got, ok, err := r.Get(rec.Key)
+			if err != nil || !ok || !bytes.Equal(got.Value, rec.Value) {
+				return false
+			}
+		}
+		it := r.NewIterator()
+		i := 0
+		for ok := it.First(); ok; ok = it.Next() {
+			if !bytes.Equal(it.Record().Key, recs[i].Key) {
+				return false
+			}
+			i++
+		}
+		return i == len(recs) && it.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockReadsCounter(t *testing.T) {
+	fs := vfs.NewMem()
+	r := buildTable(t, fs, "t.sst", BuilderOptions{}, sortedRecords(1000, 64))
+	defer r.Close()
+	before := r.BlockReads.Load()
+	r.Get([]byte("key-000500"))
+	if r.BlockReads.Load() != before+1 {
+		t.Fatalf("expected exactly one block read, got %d", r.BlockReads.Load()-before)
+	}
+	if r.NumBlocks() < 2 {
+		t.Fatalf("table too small for the test: %d blocks", r.NumBlocks())
+	}
+	if r.Size() <= 0 {
+		t.Fatal("Size() not positive")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("empty.sst")
+	b := NewBuilder(f, BuilderOptions{})
+	props, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if props.Count != 0 {
+		t.Fatalf("Count=%d", props.Count)
+	}
+	f.Close()
+	rf, _ := fs.Open("empty.sst")
+	r, err := Open(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok, err := r.Get([]byte("k")); ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	it := r.NewIterator()
+	if it.First() || it.Seek([]byte("a")) {
+		t.Fatal("empty table iterator valid")
+	}
+}
+
+func TestHugeRecordsBlockOffsets(t *testing.T) {
+	// Records large enough that a block would blow the uint16 offset
+	// budget if the builder didn't flush early.
+	fs := vfs.NewMem()
+	var recs []record.Record
+	for i := 0; i < 12; i++ {
+		recs = append(recs, record.Record{
+			Key:   []byte(fmt.Sprintf("key-%02d", i)),
+			Seq:   uint64(i + 1),
+			Kind:  record.KindSet,
+			Value: bytes.Repeat([]byte{byte('a' + i)}, 30000),
+		})
+	}
+	// Oversized block target tries to pack several 30 KB records together.
+	r := buildTable(t, fs, "huge.sst", BuilderOptions{BlockSize: 1 << 20}, recs)
+	defer r.Close()
+	for _, rec := range recs {
+		got, ok, err := r.Get(rec.Key)
+		if err != nil || !ok || !bytes.Equal(got.Value, rec.Value) {
+			t.Fatalf("huge record %q: ok=%v err=%v", rec.Key, ok, err)
+		}
+	}
+	it := r.NewIterator()
+	n := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		n++
+	}
+	if n != len(recs) {
+		t.Fatalf("iterated %d of %d", n, len(recs))
+	}
+}
+
+func TestSingleRecordTable(t *testing.T) {
+	fs := vfs.NewMem()
+	recs := []record.Record{{Key: []byte("only"), Seq: 1, Kind: record.KindSet, Value: []byte("v")}}
+	r := buildTable(t, fs, "one.sst", BuilderOptions{}, recs)
+	defer r.Close()
+	if got, ok, _ := r.Get([]byte("only")); !ok || string(got.Value) != "v" {
+		t.Fatal("single record lost")
+	}
+	if _, ok, _ := r.Get([]byte("onlz")); ok {
+		t.Fatal("phantom")
+	}
+	it := r.NewIterator()
+	if !it.Seek([]byte("a")) || string(it.Record().Key) != "only" {
+		t.Fatal("seek before single record")
+	}
+}
+
+func TestRecordAliasingIsStable(t *testing.T) {
+	// Records returned by Get alias the block buffer; reading another
+	// block must not corrupt previously returned records.
+	fs := vfs.NewMem()
+	recs := sortedRecords(2000, 64)
+	r := buildTable(t, fs, "alias.sst", BuilderOptions{}, recs)
+	defer r.Close()
+	first, ok, err := r.Get(recs[0].Key)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), first.Value...)
+	for i := 100; i < 2000; i += 100 {
+		r.Get(recs[i].Key)
+	}
+	if !bytes.Equal(first.Value, want) {
+		t.Fatal("record mutated by later block reads")
+	}
+}
+
+func TestVerifyChecksums(t *testing.T) {
+	fs := vfs.NewMem()
+	r := buildTable(t, fs, "v.sst", BuilderOptions{}, sortedRecords(500, 64))
+	if err := r.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	data, _ := fs.ReadFile("v.sst")
+	data[100] ^= 0xff
+	fs.WriteFile("bad.sst", data)
+	rf, _ := fs.Open("bad.sst")
+	r2, err := Open(rf)
+	if err != nil {
+		return // corruption hit meta/index: also detected
+	}
+	defer r2.Close()
+	if err := r2.VerifyChecksums(); err == nil {
+		t.Fatal("corruption not detected by VerifyChecksums")
+	}
+}

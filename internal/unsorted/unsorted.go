@@ -1,0 +1,277 @@
+// Package unsorted implements UniKV's UnsortedStore: the first disk tier of
+// a partition, holding tables flushed straight from the memtable. Tables
+// are internally sorted (they come from the skiplist) but their key ranges
+// overlap each other, so point lookups are served by the in-memory
+// two-level hash index rather than per-table search, and a scan must
+// consult every table (until the size-based merge compacts them into one).
+//
+// A table's local ID for the hash index is its position in flush order;
+// that keeps the <keyTag, SSTableID, pointer> entries at 8 bytes and makes
+// the ID ↔ file mapping recoverable from the manifest's table list alone.
+package unsorted
+
+import (
+	"errors"
+	"fmt"
+
+	"unikv/internal/codec"
+	"unikv/internal/hashindex"
+	"unikv/internal/manifest"
+	"unikv/internal/record"
+	"unikv/internal/sstable"
+	"unikv/internal/vfs"
+)
+
+// ErrBadCheckpoint reports an unusable store checkpoint.
+var ErrBadCheckpoint = errors.New("unsorted: checkpoint does not match table set")
+
+// Table is one flushed UnsortedStore table.
+type Table struct {
+	Meta   manifest.TableMeta
+	Reader *sstable.Reader
+}
+
+// Store is the UnsortedStore of one partition. Callers (the partition)
+// serialize mutations; reads are safe concurrently with each other.
+type Store struct {
+	tables []*Table
+	index  *hashindex.Index
+	size   int64
+
+	// DisableIndex turns off the hash index (the fig11 ablation): lookups
+	// probe tables newest-first like a conventional L0, and AddTable skips
+	// index maintenance. Set it before the first AddTable.
+	DisableIndex bool
+}
+
+// New creates an empty store whose hash index has nBuckets buckets.
+func New(nBuckets int) *Store {
+	return &Store{index: hashindex.New(nBuckets, hashindex.DefaultNumHash)}
+}
+
+// AddTable registers a freshly flushed table. keys carries the table's keys
+// in any order when the caller already has them (the flush path); pass nil
+// to have the store iterate the table (the recovery path).
+func (s *Store) AddTable(t *Table, keys [][]byte) error {
+	id := len(s.tables)
+	if id > 0xffff {
+		return fmt.Errorf("unsorted: too many tables (%d)", id)
+	}
+	s.tables = append(s.tables, t)
+	s.size += t.Meta.Size
+	if s.DisableIndex {
+		return nil
+	}
+	if keys != nil {
+		for _, k := range keys {
+			s.index.Insert(k, uint16(id))
+		}
+		return nil
+	}
+	it := t.Reader.NewIterator()
+	for ok := it.First(); ok; ok = it.Next() {
+		s.index.Insert(it.Record().Key, uint16(id))
+	}
+	return it.Err()
+}
+
+// Get returns the newest record for key across all tables, using the hash
+// index. Candidate tables are gathered from the index and probed in
+// descending local-ID order — local IDs are assigned in flush order, so
+// this is strictly newest-first even when a keyTag collision injects an
+// alien entry into the probe sequence. keyTag false positives are resolved
+// by the key comparison inside the table read.
+func (s *Store) Get(key []byte) (record.Record, bool, error) {
+	if s.DisableIndex {
+		for i := len(s.tables) - 1; i >= 0; i-- {
+			rec, hit, err := s.tables[i].Reader.Get(key)
+			if err != nil {
+				return record.Record{}, false, err
+			}
+			if hit {
+				return rec, true, nil
+			}
+		}
+		return record.Record{}, false, nil
+	}
+	var cand [8]uint16
+	n := 0
+	overflowed := false
+	s.index.Lookup(key, func(tid uint16) bool {
+		if int(tid) >= len(s.tables) {
+			return false // stale entry beyond current tables: skip
+		}
+		for i := 0; i < n; i++ {
+			if cand[i] == tid {
+				return false
+			}
+		}
+		if n == len(cand) {
+			overflowed = true
+			return true
+		}
+		cand[n] = tid
+		n++
+		return false
+	})
+	if overflowed {
+		// Implausibly many tag collisions: fall back to scanning tables
+		// newest-first directly.
+		for i := len(s.tables) - 1; i >= 0; i-- {
+			rec, hit, err := s.tables[i].Reader.Get(key)
+			if err != nil {
+				return record.Record{}, false, err
+			}
+			if hit {
+				return rec, true, nil
+			}
+		}
+		return record.Record{}, false, nil
+	}
+	// Sort the (tiny) candidate set descending by local ID.
+	ids := cand[:n]
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] > ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, tid := range ids {
+		rec, hit, err := s.tables[tid].Reader.Get(key)
+		if err != nil {
+			return record.Record{}, false, err
+		}
+		if hit && codec.Compare(rec.Key, key) == 0 {
+			return rec, true, nil
+		}
+	}
+	return record.Record{}, false, nil
+}
+
+// Tables returns the tables in flush order (oldest first).
+func (s *Store) Tables() []*Table { return s.tables }
+
+// NumTables returns the number of tables.
+func (s *Store) NumTables() int { return len(s.tables) }
+
+// SizeBytes returns the total table bytes.
+func (s *Store) SizeBytes() int64 { return s.size }
+
+// Index exposes the hash index (stats, checkpointing).
+func (s *Store) Index() *hashindex.Index { return s.index }
+
+// Reset drops all tables and index entries (after the store drains into
+// the SortedStore). The caller closes readers and deletes files.
+func (s *Store) Reset() {
+	s.tables = nil
+	s.size = 0
+	s.index.Reset()
+}
+
+// ReplaceAll swaps the table set for the single merged table produced by
+// the size-based merge (scan optimization) and rebuilds the index over it.
+func (s *Store) ReplaceAll(t *Table) error {
+	s.tables = nil
+	s.size = 0
+	s.index.Reset()
+	return s.AddTable(t, nil)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing (crash consistency for the hash index).
+//
+// The checkpoint embeds the marshaled hash index plus the list of table
+// file numbers it covers, in flush order. At recovery, if the covered list
+// is a prefix of the manifest's table list, the index is loaded and only
+// the uncovered tables are replayed; otherwise the whole index is rebuilt.
+
+const ckptMagic uint64 = 0x756e696b76756e73 // "unikvuns"
+
+// Checkpoint serializes the index and its covered-table list to name.
+func (s *Store) Checkpoint(fs vfs.FS, name string) error {
+	var buf []byte
+	buf = codec.PutUint64(buf, ckptMagic)
+	buf = codec.PutUvarint(buf, uint64(len(s.tables)))
+	for _, t := range s.tables {
+		buf = codec.PutUvarint(buf, t.Meta.FileNum)
+	}
+	buf = codec.PutBytes(buf, s.index.Marshal())
+	return fs.WriteFile(name, buf)
+}
+
+// Recover rebuilds the store from the manifest's table list, using the
+// checkpoint at ckptName when it matches. openTable maps a table meta to an
+// opened reader.
+func Recover(
+	fs vfs.FS,
+	nBuckets int,
+	metas []manifest.TableMeta,
+	ckptName string,
+	openTable func(manifest.TableMeta) (*sstable.Reader, error),
+) (*Store, error) {
+	s := New(nBuckets)
+	covered := 0
+	if ckptName != "" && fs.Exists(ckptName) {
+		idx, n, err := loadCheckpoint(fs, ckptName, metas)
+		if err == nil {
+			s.index = idx
+			covered = n
+		}
+		// A mismatching or corrupt checkpoint is not fatal: fall back to a
+		// full rebuild (err == nil only on a usable checkpoint).
+	}
+	for i, meta := range metas {
+		rdr, err := openTable(meta)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{Meta: meta, Reader: rdr}
+		if i < covered {
+			// Index already has this table's entries.
+			s.tables = append(s.tables, t)
+			s.size += meta.Size
+			continue
+		}
+		if err := s.AddTable(t, nil); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// loadCheckpoint parses a checkpoint and validates it against metas,
+// returning the index and the number of covered tables.
+func loadCheckpoint(fs vfs.FS, name string, metas []manifest.TableMeta) (*hashindex.Index, int, error) {
+	data, err := fs.ReadFile(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	var magic uint64
+	if magic, data, err = codec.Uint64(data); err != nil || magic != ckptMagic {
+		return nil, 0, ErrBadCheckpoint
+	}
+	var n uint64
+	if n, data, err = codec.Uvarint(data); err != nil {
+		return nil, 0, ErrBadCheckpoint
+	}
+	if int(n) > len(metas) {
+		return nil, 0, ErrBadCheckpoint
+	}
+	for i := 0; i < int(n); i++ {
+		var fn uint64
+		if fn, data, err = codec.Uvarint(data); err != nil {
+			return nil, 0, ErrBadCheckpoint
+		}
+		if metas[i].FileNum != fn {
+			return nil, 0, ErrBadCheckpoint
+		}
+	}
+	idxBytes, _, err := codec.Bytes(data)
+	if err != nil {
+		return nil, 0, ErrBadCheckpoint
+	}
+	idx, err := hashindex.Unmarshal(idxBytes)
+	if err != nil {
+		return nil, 0, err
+	}
+	return idx, int(n), nil
+}

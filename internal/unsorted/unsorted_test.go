@@ -1,0 +1,304 @@
+package unsorted
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"unikv/internal/manifest"
+	"unikv/internal/record"
+	"unikv/internal/sstable"
+	"unikv/internal/vfs"
+)
+
+// buildTable writes kvs (map key→value) as a sorted table and returns it.
+func buildTable(t *testing.T, fs vfs.FS, fileNum uint64, kvs map[string]string, seqBase uint64) (*Table, [][]byte) {
+	t.Helper()
+	keys := make([]string, 0, len(kvs))
+	for k := range kvs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	name := filepath.Join("db", fmt.Sprintf("%06d.sst", fileNum))
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sstable.NewBuilder(f, sstable.BuilderOptions{})
+	var rawKeys [][]byte
+	for i, k := range keys {
+		b.Add(record.Record{Key: []byte(k), Seq: seqBase + uint64(i), Kind: record.KindSet, Value: []byte(kvs[k])})
+		rawKeys = append(rawKeys, []byte(k))
+	}
+	props, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rf, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdr, err := sstable.Open(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := manifest.TableMeta{
+		FileNum: fileNum, Size: props.Size, Count: props.Count,
+		Smallest: props.Smallest, Largest: props.Largest,
+		MinSeq: props.MinSeq, MaxSeq: props.MaxSeq,
+	}
+	return &Table{Meta: meta, Reader: rdr}, rawKeys
+}
+
+func TestGetAcrossTables(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("db")
+	s := New(1024)
+
+	t1, k1 := buildTable(t, fs, 1, map[string]string{"a": "a1", "b": "b1", "c": "c1"}, 1)
+	t2, k2 := buildTable(t, fs, 2, map[string]string{"b": "b2", "d": "d2"}, 10)
+	if err := s.AddTable(t1, k1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTable(t2, k2); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumTables() != 2 {
+		t.Fatalf("NumTables=%d", s.NumTables())
+	}
+	cases := []struct{ k, v string }{
+		{"a", "a1"}, {"b", "b2"}, {"c", "c1"}, {"d", "d2"},
+	}
+	for _, c := range cases {
+		rec, ok, err := s.Get([]byte(c.k))
+		if err != nil || !ok || string(rec.Value) != c.v {
+			t.Fatalf("Get(%q) = %q, %v, %v; want %q", c.k, rec.Value, ok, err, c.v)
+		}
+	}
+	if _, ok, _ := s.Get([]byte("zzz")); ok {
+		t.Fatal("phantom key")
+	}
+	if s.SizeBytes() != t1.Meta.Size+t2.Meta.Size {
+		t.Fatalf("SizeBytes=%d", s.SizeBytes())
+	}
+}
+
+func TestNewestTableWins(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("db")
+	s := New(256)
+	// Same key overwritten across 10 flushes.
+	for i := 0; i < 10; i++ {
+		tab, keys := buildTable(t, fs, uint64(i+1),
+			map[string]string{"hot": fmt.Sprintf("v%d", i)}, uint64(i*10+1))
+		if err := s.AddTable(tab, keys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, ok, err := s.Get([]byte("hot"))
+	if err != nil || !ok || string(rec.Value) != "v9" {
+		t.Fatalf("got %q ok=%v err=%v", rec.Value, ok, err)
+	}
+}
+
+func TestRecoveryNoCheckpoint(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("db")
+	s := New(256)
+	var metas []manifest.TableMeta
+	for i := 0; i < 3; i++ {
+		tab, keys := buildTable(t, fs, uint64(i+1),
+			map[string]string{fmt.Sprintf("k%d", i): fmt.Sprintf("v%d", i), "shared": fmt.Sprintf("s%d", i)}, uint64(i*10+1))
+		s.AddTable(tab, keys)
+		metas = append(metas, tab.Meta)
+	}
+
+	open := func(m manifest.TableMeta) (*sstable.Reader, error) {
+		f, err := fs.Open(filepath.Join("db", fmt.Sprintf("%06d.sst", m.FileNum)))
+		if err != nil {
+			return nil, err
+		}
+		return sstable.Open(f)
+	}
+	r, err := Recover(fs, 256, metas, "", open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, err := r.Get([]byte("shared"))
+	if err != nil || !ok || string(rec.Value) != "s2" {
+		t.Fatalf("recovered Get = %q %v %v", rec.Value, ok, err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok, _ := r.Get([]byte(fmt.Sprintf("k%d", i))); !ok {
+			t.Fatalf("k%d lost in recovery", i)
+		}
+	}
+}
+
+func TestRecoveryWithCheckpoint(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("db")
+	s := New(256)
+	var metas []manifest.TableMeta
+	for i := 0; i < 2; i++ {
+		tab, keys := buildTable(t, fs, uint64(i+1),
+			map[string]string{fmt.Sprintf("k%d", i): "v"}, uint64(i*10+1))
+		s.AddTable(tab, keys)
+		metas = append(metas, tab.Meta)
+	}
+	if err := s.Checkpoint(fs, "db/hashidx.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	// One more table flushed after the checkpoint.
+	tab3, keys3 := buildTable(t, fs, 3, map[string]string{"k2": "v", "k0": "newer"}, 100)
+	s.AddTable(tab3, keys3)
+	metas = append(metas, tab3.Meta)
+
+	open := func(m manifest.TableMeta) (*sstable.Reader, error) {
+		f, err := fs.Open(filepath.Join("db", fmt.Sprintf("%06d.sst", m.FileNum)))
+		if err != nil {
+			return nil, err
+		}
+		return sstable.Open(f)
+	}
+	r, err := Recover(fs, 256, metas, "db/hashidx.ckpt", open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"k0", "k1", "k2"} {
+		if _, ok, _ := r.Get([]byte(k)); !ok {
+			t.Fatalf("%s lost", k)
+		}
+	}
+	rec, _, _ := r.Get([]byte("k0"))
+	if string(rec.Value) != "newer" {
+		t.Fatalf("k0 = %q, checkpoint replay order broken", rec.Value)
+	}
+}
+
+func TestRecoveryStaleCheckpointIgnored(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("db")
+	s := New(256)
+	tab, keys := buildTable(t, fs, 1, map[string]string{"old": "x"}, 1)
+	s.AddTable(tab, keys)
+	s.Checkpoint(fs, "db/hashidx.ckpt")
+
+	// The store drained and different tables exist now: checkpoint's table
+	// list no longer matches.
+	tab2, _ := buildTable(t, fs, 7, map[string]string{"new": "y"}, 50)
+	metas := []manifest.TableMeta{tab2.Meta}
+	open := func(m manifest.TableMeta) (*sstable.Reader, error) {
+		f, err := fs.Open(filepath.Join("db", fmt.Sprintf("%06d.sst", m.FileNum)))
+		if err != nil {
+			return nil, err
+		}
+		return sstable.Open(f)
+	}
+	r, err := Recover(fs, 256, metas, "db/hashidx.ckpt", open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := r.Get([]byte("new")); !ok {
+		t.Fatal("rebuild after stale checkpoint failed")
+	}
+	if _, ok, _ := r.Get([]byte("old")); ok {
+		t.Fatal("stale checkpoint leaked entries")
+	}
+}
+
+func TestResetAndReplaceAll(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("db")
+	s := New(256)
+	tab, keys := buildTable(t, fs, 1, map[string]string{"a": "1", "b": "2"}, 1)
+	s.AddTable(tab, keys)
+	s.Reset()
+	if s.NumTables() != 0 || s.SizeBytes() != 0 || s.Index().Count() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if _, ok, _ := s.Get([]byte("a")); ok {
+		t.Fatal("Get after Reset")
+	}
+
+	merged, _ := buildTable(t, fs, 2, map[string]string{"a": "1", "b": "2", "c": "3"}, 10)
+	if err := s.ReplaceAll(merged); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumTables() != 1 {
+		t.Fatalf("NumTables=%d", s.NumTables())
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if _, ok, _ := s.Get([]byte(k)); !ok {
+			t.Fatalf("%s missing after ReplaceAll", k)
+		}
+	}
+}
+
+// TestQuickModel: random overwrite workloads across many small tables agree
+// with a model map.
+func TestQuickModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		fs := vfs.NewMem()
+		fs.MkdirAll("db")
+		s := New(512)
+		model := map[string]string{}
+		seq := uint64(1)
+		for flush := 0; flush < 8; flush++ {
+			batch := map[string]string{}
+			for i := 0; i < rnd.Intn(40)+1; i++ {
+				k := fmt.Sprintf("key-%03d", rnd.Intn(60))
+				v := fmt.Sprintf("val-%d-%d", flush, rnd.Int63())
+				batch[k] = v
+				model[k] = v
+			}
+			tab, keys := buildTableQ(fs, uint64(flush+1), batch, seq)
+			seq += uint64(len(batch))
+			if err := s.AddTable(tab, keys); err != nil {
+				return false
+			}
+		}
+		for k, v := range model {
+			rec, ok, err := s.Get([]byte(k))
+			if err != nil || !ok || string(rec.Value) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildTableQ is buildTable without *testing.T for quick properties.
+func buildTableQ(fs vfs.FS, fileNum uint64, kvs map[string]string, seqBase uint64) (*Table, [][]byte) {
+	keys := make([]string, 0, len(kvs))
+	for k := range kvs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	name := filepath.Join("db", fmt.Sprintf("%06d.sst", fileNum))
+	f, _ := fs.Create(name)
+	b := sstable.NewBuilder(f, sstable.BuilderOptions{})
+	var rawKeys [][]byte
+	for i, k := range keys {
+		b.Add(record.Record{Key: []byte(k), Seq: seqBase + uint64(i), Kind: record.KindSet, Value: []byte(kvs[k])})
+		rawKeys = append(rawKeys, []byte(k))
+	}
+	props, _ := b.Finish()
+	f.Close()
+	rf, _ := fs.Open(name)
+	rdr, _ := sstable.Open(rf)
+	meta := manifest.TableMeta{
+		FileNum: fileNum, Size: props.Size, Count: props.Count,
+		Smallest: props.Smallest, Largest: props.Largest,
+		MinSeq: props.MinSeq, MaxSeq: props.MaxSeq,
+	}
+	return &Table{Meta: meta, Reader: rdr}, rawKeys
+}

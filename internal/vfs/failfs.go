@@ -1,0 +1,138 @@
+package vfs
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is returned by a FailFS once its failure point has been
+// reached. Everything after the failure point behaves as if the process
+// had crashed: writes fail and nothing further reaches "disk".
+var ErrInjected = errors.New("vfs: injected failure")
+
+// FailFS wraps another FS and fails every mutating operation after a
+// configured number of write operations has been performed. The crash tests
+// use it to stop the engine mid-flush / mid-GC deterministically, then
+// reopen the underlying FS and check recovery.
+type FailFS struct {
+	inner FS
+
+	mu        sync.Mutex
+	remaining int64 // mutating ops allowed before failure; <0 = unlimited
+	failed    bool
+}
+
+// NewFail wraps inner; the file system operates normally until Arm is
+// called.
+func NewFail(inner FS) *FailFS {
+	return &FailFS{inner: inner, remaining: -1}
+}
+
+// Arm allows n more mutating operations (writes, syncs, creates, renames,
+// removes), then fails everything.
+func (fs *FailFS) Arm(n int64) {
+	fs.mu.Lock()
+	fs.remaining = n
+	fs.failed = false
+	fs.mu.Unlock()
+}
+
+// Disarm restores normal operation.
+func (fs *FailFS) Disarm() {
+	fs.mu.Lock()
+	fs.remaining = -1
+	fs.failed = false
+	fs.mu.Unlock()
+}
+
+// Failed reports whether the failure point has been reached.
+func (fs *FailFS) Failed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.failed
+}
+
+// step consumes one mutating-op credit; it returns ErrInjected once the
+// budget is exhausted.
+func (fs *FailFS) step() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.failed {
+		return ErrInjected
+	}
+	if fs.remaining < 0 {
+		return nil
+	}
+	if fs.remaining == 0 {
+		fs.failed = true
+		return ErrInjected
+	}
+	fs.remaining--
+	return nil
+}
+
+func (fs *FailFS) Counters() *Counters { return fs.inner.Counters() }
+
+func (fs *FailFS) Create(name string) (File, error) {
+	if err := fs.step(); err != nil {
+		return nil, err
+	}
+	f, err := fs.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{f: f, fs: fs}, nil
+}
+
+func (fs *FailFS) Open(name string) (File, error) { return fs.inner.Open(name) }
+
+func (fs *FailFS) Remove(name string) error {
+	if err := fs.step(); err != nil {
+		return err
+	}
+	return fs.inner.Remove(name)
+}
+
+func (fs *FailFS) Rename(oldname, newname string) error {
+	if err := fs.step(); err != nil {
+		return err
+	}
+	return fs.inner.Rename(oldname, newname)
+}
+
+func (fs *FailFS) List(dir string) ([]string, error) { return fs.inner.List(dir) }
+func (fs *FailFS) MkdirAll(dir string) error         { return fs.inner.MkdirAll(dir) }
+func (fs *FailFS) Exists(name string) bool           { return fs.inner.Exists(name) }
+
+func (fs *FailFS) ReadFile(name string) ([]byte, error) { return fs.inner.ReadFile(name) }
+
+func (fs *FailFS) WriteFile(name string, data []byte) error {
+	if err := fs.step(); err != nil {
+		return err
+	}
+	return fs.inner.WriteFile(name, data)
+}
+
+type failFile struct {
+	f  File
+	fs *FailFS
+}
+
+func (f *failFile) Write(p []byte) (int, error) {
+	if err := f.fs.step(); err != nil {
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *failFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+func (f *failFile) Close() error                            { return f.f.Close() }
+
+func (f *failFile) Sync() error {
+	if err := f.fs.step(); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *failFile) Size() (int64, error) { return f.f.Size() }

@@ -1,0 +1,444 @@
+// Package vfs provides a minimal file-system abstraction used by every
+// storage component in this repository.
+//
+// Two concerns motivate the indirection instead of calling package os
+// directly:
+//
+//   - I/O accounting: the write/read-amplification experiments (DESIGN.md,
+//     tab-io) need the logical bytes moved by the engine, independent of the
+//     page cache, so every File counts its traffic into shared Counters.
+//   - Failure injection: the crash-consistency tests kill the engine at a
+//     chosen write and verify recovery; FailFS implements that determinism.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counters accumulates logical I/O performed through a FS. All fields are
+// manipulated atomically and may be read while the FS is in use.
+type Counters struct {
+	BytesWritten atomic.Int64
+	BytesRead    atomic.Int64
+	WriteOps     atomic.Int64
+	ReadOps      atomic.Int64
+	Syncs        atomic.Int64
+	FilesCreated atomic.Int64
+	FilesDeleted atomic.Int64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		BytesWritten: c.BytesWritten.Load(),
+		BytesRead:    c.BytesRead.Load(),
+		WriteOps:     c.WriteOps.Load(),
+		ReadOps:      c.ReadOps.Load(),
+		Syncs:        c.Syncs.Load(),
+		FilesCreated: c.FilesCreated.Load(),
+		FilesDeleted: c.FilesDeleted.Load(),
+	}
+}
+
+// CounterSnapshot is an immutable copy of Counters.
+type CounterSnapshot struct {
+	BytesWritten int64
+	BytesRead    int64
+	WriteOps     int64
+	ReadOps      int64
+	Syncs        int64
+	FilesCreated int64
+	FilesDeleted int64
+}
+
+// Sub returns the delta s - old, field by field.
+func (s CounterSnapshot) Sub(old CounterSnapshot) CounterSnapshot {
+	return CounterSnapshot{
+		BytesWritten: s.BytesWritten - old.BytesWritten,
+		BytesRead:    s.BytesRead - old.BytesRead,
+		WriteOps:     s.WriteOps - old.WriteOps,
+		ReadOps:      s.ReadOps - old.ReadOps,
+		Syncs:        s.Syncs - old.Syncs,
+		FilesCreated: s.FilesCreated - old.FilesCreated,
+		FilesDeleted: s.FilesDeleted - old.FilesDeleted,
+	}
+}
+
+func (s CounterSnapshot) String() string {
+	return fmt.Sprintf("written=%d read=%d wops=%d rops=%d syncs=%d",
+		s.BytesWritten, s.BytesRead, s.WriteOps, s.ReadOps, s.Syncs)
+}
+
+// File is the subset of *os.File behaviour the storage layers need.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+	// Size reports the current file length in bytes.
+	Size() (int64, error)
+}
+
+// FS abstracts a directory-tree file system.
+type FS interface {
+	// Create truncates/creates the named file for appending writes.
+	Create(name string) (File, error)
+	// Open opens the named file for random reads.
+	Open(name string) (File, error)
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Rename atomically renames oldname to newname.
+	Rename(oldname, newname string) error
+	// List returns the sorted base names of entries in dir.
+	List(dir string) ([]string, error)
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Exists reports whether the named file exists.
+	Exists(name string) bool
+	// ReadFile reads the whole named file.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile atomically replaces the named file with data
+	// (write temp + fsync + rename).
+	WriteFile(name string, data []byte) error
+	// Counters exposes the accumulated I/O statistics of this FS.
+	Counters() *Counters
+}
+
+// ---------------------------------------------------------------------------
+// OS-backed implementation.
+
+// osFS implements FS over the real file system.
+type osFS struct {
+	counters Counters
+}
+
+// NewOS returns an FS backed by the operating system.
+func NewOS() FS { return &osFS{} }
+
+func (fs *osFS) Counters() *Counters { return &fs.counters }
+
+func (fs *osFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fs.counters.FilesCreated.Add(1)
+	return &osFile{f: f, c: &fs.counters}, nil
+}
+
+func (fs *osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{f: f, c: &fs.counters}, nil
+}
+
+func (fs *osFS) Remove(name string) error {
+	if err := os.Remove(name); err != nil {
+		return err
+	}
+	fs.counters.FilesDeleted.Add(1)
+	return nil
+}
+
+func (fs *osFS) Rename(oldname, newname string) error {
+	return os.Rename(oldname, newname)
+}
+
+func (fs *osFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (fs *osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (fs *osFS) Exists(name string) bool {
+	_, err := os.Stat(name)
+	return err == nil
+}
+
+func (fs *osFS) ReadFile(name string) ([]byte, error) {
+	b, err := os.ReadFile(name)
+	if err == nil {
+		fs.counters.BytesRead.Add(int64(len(b)))
+		fs.counters.ReadOps.Add(1)
+	}
+	return b, err
+}
+
+func (fs *osFS) WriteFile(name string, data []byte) error {
+	tmp := name + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	fs.counters.BytesWritten.Add(int64(len(data)))
+	fs.counters.WriteOps.Add(1)
+	fs.counters.Syncs.Add(1)
+	return os.Rename(tmp, name)
+}
+
+type osFile struct {
+	f *os.File
+	c *Counters
+}
+
+func (f *osFile) Write(p []byte) (int, error) {
+	n, err := f.f.Write(p)
+	f.c.BytesWritten.Add(int64(n))
+	f.c.WriteOps.Add(1)
+	return n, err
+}
+
+func (f *osFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.f.ReadAt(p, off)
+	f.c.BytesRead.Add(int64(n))
+	f.c.ReadOps.Add(1)
+	return n, err
+}
+
+func (f *osFile) Close() error { return f.f.Close() }
+
+func (f *osFile) Sync() error {
+	f.c.Syncs.Add(1)
+	return f.f.Sync()
+}
+
+func (f *osFile) Size() (int64, error) {
+	st, err := f.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// ---------------------------------------------------------------------------
+// In-memory implementation (tests and benchmarks that should not touch disk).
+
+// memFS implements FS in process memory. It is safe for concurrent use.
+type memFS struct {
+	mu       sync.Mutex
+	files    map[string]*memData
+	dirs     map[string]bool
+	counters Counters
+}
+
+type memData struct {
+	mu     sync.Mutex
+	data   []byte
+	synced int // length that has been "fsynced"
+}
+
+// NewMem returns an FS that keeps all files in memory.
+func NewMem() FS {
+	return &memFS{files: make(map[string]*memData), dirs: map[string]bool{".": true, "/": true}}
+}
+
+func (fs *memFS) Counters() *Counters { return &fs.counters }
+
+func (fs *memFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d := &memData{}
+	fs.files[filepath.Clean(name)] = d
+	fs.counters.FilesCreated.Add(1)
+	return &memFile{d: d, c: &fs.counters, writable: true}, nil
+}
+
+func (fs *memFS) Open(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, ok := fs.files[filepath.Clean(name)]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return &memFile{d: d, c: &fs.counters}, nil
+}
+
+func (fs *memFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	name = filepath.Clean(name)
+	if _, ok := fs.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(fs.files, name)
+	fs.counters.FilesDeleted.Add(1)
+	return nil
+}
+
+func (fs *memFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	oldname, newname = filepath.Clean(oldname), filepath.Clean(newname)
+	d, ok := fs.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	fs.files[newname] = d
+	delete(fs.files, oldname)
+	return nil
+}
+
+func (fs *memFS) List(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir = filepath.Clean(dir)
+	var names []string
+	seen := map[string]bool{}
+	for name := range fs.files {
+		if filepath.Dir(name) == dir {
+			base := filepath.Base(name)
+			if !seen[base] {
+				seen[base] = true
+				names = append(names, base)
+			}
+		}
+	}
+	for d := range fs.dirs {
+		if filepath.Dir(d) == dir && d != dir {
+			base := filepath.Base(d)
+			if !seen[base] {
+				seen[base] = true
+				names = append(names, base)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (fs *memFS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir = filepath.Clean(dir)
+	for dir != "." && dir != "/" && dir != "" {
+		fs.dirs[dir] = true
+		dir = filepath.Dir(dir)
+	}
+	return nil
+}
+
+func (fs *memFS) Exists(name string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	name = filepath.Clean(name)
+	if _, ok := fs.files[name]; ok {
+		return true
+	}
+	return fs.dirs[name]
+}
+
+func (fs *memFS) ReadFile(name string) ([]byte, error) {
+	fs.mu.Lock()
+	d, ok := fs.files[filepath.Clean(name)]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]byte, len(d.data))
+	copy(out, d.data)
+	fs.counters.BytesRead.Add(int64(len(out)))
+	fs.counters.ReadOps.Add(1)
+	return out, nil
+}
+
+func (fs *memFS) WriteFile(name string, data []byte) error {
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+type memFile struct {
+	d        *memData
+	c        *Counters
+	writable bool
+	closed   bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if !f.writable {
+		return 0, errors.New("vfs: file opened read-only")
+	}
+	f.d.mu.Lock()
+	f.d.data = append(f.d.data, p...)
+	f.d.mu.Unlock()
+	f.c.BytesWritten.Add(int64(len(p)))
+	f.c.WriteOps.Add(1)
+	return len(p), nil
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if off >= int64(len(f.d.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.data[off:])
+	f.c.BytesRead.Add(int64(n))
+	f.c.ReadOps.Add(1)
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) Close() error { f.closed = true; return nil }
+
+func (f *memFile) Sync() error {
+	f.d.mu.Lock()
+	f.d.synced = len(f.d.data)
+	f.d.mu.Unlock()
+	f.c.Syncs.Add(1)
+	return nil
+}
+
+func (f *memFile) Size() (int64, error) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	return int64(len(f.d.data)), nil
+}

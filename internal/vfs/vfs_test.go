@@ -1,0 +1,226 @@
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fsCases runs f against both implementations.
+func fsCases(t *testing.T, f func(t *testing.T, fs FS, dir string)) {
+	t.Run("mem", func(t *testing.T) {
+		fs := NewMem()
+		if err := fs.MkdirAll("db"); err != nil {
+			t.Fatal(err)
+		}
+		f(t, fs, "db")
+	})
+	t.Run("os", func(t *testing.T) {
+		f(t, NewOS(), t.TempDir())
+	})
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	fsCases(t, func(t *testing.T, fs FS, dir string) {
+		name := filepath.Join(dir, "a.dat")
+		f, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("hello ")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("world")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if sz, _ := f.Size(); sz != 11 {
+			t.Fatalf("size=%d want 11", sz)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		r, err := fs.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		buf := make([]byte, 5)
+		if _, err := r.ReadAt(buf, 6); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if string(buf) != "world" {
+			t.Fatalf("got %q", buf)
+		}
+	})
+}
+
+func TestReadAtPastEOF(t *testing.T) {
+	fsCases(t, func(t *testing.T, fs FS, dir string) {
+		name := filepath.Join(dir, "b.dat")
+		f, _ := fs.Create(name)
+		f.Write([]byte("abc"))
+		f.Close()
+		r, _ := fs.Open(name)
+		defer r.Close()
+		buf := make([]byte, 10)
+		n, err := r.ReadAt(buf, 1)
+		if n != 2 || err != io.EOF {
+			t.Fatalf("n=%d err=%v, want 2, io.EOF", n, err)
+		}
+		if _, err := r.ReadAt(buf, 100); err != io.EOF {
+			t.Fatalf("err=%v want io.EOF", err)
+		}
+	})
+}
+
+func TestRenameRemoveExistsList(t *testing.T) {
+	fsCases(t, func(t *testing.T, fs FS, dir string) {
+		a := filepath.Join(dir, "a")
+		b := filepath.Join(dir, "b")
+		f, _ := fs.Create(a)
+		f.Write([]byte("x"))
+		f.Close()
+		if !fs.Exists(a) {
+			t.Fatal("a should exist")
+		}
+		if err := fs.Rename(a, b); err != nil {
+			t.Fatal(err)
+		}
+		if fs.Exists(a) || !fs.Exists(b) {
+			t.Fatal("rename did not move the file")
+		}
+		names, err := fs.List(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 1 || names[0] != "b" {
+			t.Fatalf("List=%v", names)
+		}
+		if err := fs.Remove(b); err != nil {
+			t.Fatal(err)
+		}
+		if fs.Exists(b) {
+			t.Fatal("b should be gone")
+		}
+		if err := fs.Remove(b); err == nil {
+			t.Fatal("double-remove should fail")
+		}
+	})
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	fsCases(t, func(t *testing.T, fs FS, dir string) {
+		name := filepath.Join(dir, "c")
+		if err := fs.WriteFile(name, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "payload" {
+			t.Fatalf("got %q", got)
+		}
+		if _, err := fs.ReadFile(filepath.Join(dir, "missing")); !os.IsNotExist(err) {
+			t.Fatalf("want not-exist, got %v", err)
+		}
+	})
+}
+
+func TestCounters(t *testing.T) {
+	fs := NewMem()
+	fs.MkdirAll("d")
+	before := fs.Counters().Snapshot()
+	f, _ := fs.Create("d/x")
+	f.Write(make([]byte, 100))
+	f.Sync()
+	f.Close()
+	r, _ := fs.Open("d/x")
+	buf := make([]byte, 40)
+	r.ReadAt(buf, 0)
+	r.Close()
+	delta := fs.Counters().Snapshot().Sub(before)
+	if delta.BytesWritten != 100 {
+		t.Fatalf("BytesWritten=%d", delta.BytesWritten)
+	}
+	if delta.BytesRead != 40 {
+		t.Fatalf("BytesRead=%d", delta.BytesRead)
+	}
+	if delta.Syncs != 1 || delta.FilesCreated != 1 {
+		t.Fatalf("delta=%v", delta)
+	}
+	if delta.String() == "" {
+		t.Fatal("empty snapshot string")
+	}
+}
+
+func TestMemFSOpenMissing(t *testing.T) {
+	fs := NewMem()
+	if _, err := fs.Open("nope"); !os.IsNotExist(err) {
+		t.Fatalf("want not-exist, got %v", err)
+	}
+}
+
+func TestMemFSReadOnly(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("x")
+	f.Write([]byte("ab"))
+	f.Close()
+	r, _ := fs.Open("x")
+	if _, err := r.Write([]byte("no")); err == nil {
+		t.Fatal("write through read-only handle succeeded")
+	}
+}
+
+func TestFailFS(t *testing.T) {
+	inner := NewMem()
+	fs := NewFail(inner)
+	fs.MkdirAll("d")
+
+	// Unarmed: works normally.
+	f, err := fs.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Arm with 2 credits: create consumes 1, first write consumes 1,
+	// second write fails.
+	fs.Arm(2)
+	f, err = fs.Create("d/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("boom")); err != ErrInjected {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if !fs.Failed() {
+		t.Fatal("Failed() should report true")
+	}
+	// Everything mutating keeps failing.
+	if _, err := fs.Create("d/c"); err != ErrInjected {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if err := fs.Rename("d/a", "d/z"); err != ErrInjected {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	// Reads still work (we inspect the "disk" post-crash).
+	if !fs.Exists("d/a") {
+		t.Fatal("pre-crash file lost")
+	}
+	fs.Disarm()
+	if _, err := fs.Create("d/c"); err != nil {
+		t.Fatalf("disarm did not restore operation: %v", err)
+	}
+}

@@ -1,0 +1,540 @@
+// Package vlog manages a partition's value logs — the append-only files
+// that hold values after partial KV separation (paper §Design, "Partial KV
+// separation"). Keys and pointers stay in the SortedStore's SSTables; a
+// pointer is record.ValuePtr = <partition, logNumber, offset, length>.
+//
+// The log stores bare values framed as
+//
+//	length (4B LE) | masked CRC-32C (4B) | value
+//
+// Keys are not duplicated into the log: UniKV's GC identifies live values
+// by scanning the SortedStore's keys+pointers (unlike WiscKey, which must
+// store keys in the vLog to probe the LSM-tree).
+//
+// The manager also implements the paper's scan readahead: Prefetch loads a
+// log region into an in-process cache before the scan dereferences pointers
+// (the portable equivalent of posix_fadvise(WILLNEED)).
+package vlog
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"unikv/internal/codec"
+	"unikv/internal/record"
+	"unikv/internal/vfs"
+)
+
+const headerLen = 8
+
+// ErrBadPointer reports a pointer that does not match the log contents.
+var ErrBadPointer = errors.New("vlog: pointer does not match log record")
+
+// Options configures a Manager.
+type Options struct {
+	// MaxLogSize rotates the active log once it exceeds this many bytes.
+	MaxLogSize int64
+	// Partition is stamped into returned pointers.
+	Partition uint32
+}
+
+// Manager owns the value logs in one directory.
+type Manager struct {
+	fs   vfs.FS
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	active    vfs.File
+	activeNum uint32
+	activeOff int64
+	nextNum   uint32
+
+	sizes   map[uint32]int64 // total bytes per log
+	garbage map[uint32]int64 // dead bytes per log (greedy GC accounting)
+	readers map[uint32]vfs.File
+
+	prefetchMu  sync.Mutex
+	prefetchLog uint32
+	prefetchOff int64
+	prefetch    []byte
+}
+
+// LogName formats the file name of log n.
+func LogName(n uint32) string { return fmt.Sprintf("vlog-%08d.log", n) }
+
+// ParseLogName extracts the log number from a vlog file name.
+func ParseLogName(name string) (uint32, bool) {
+	if !strings.HasPrefix(name, "vlog-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	var n uint32
+	if _, err := fmt.Sscanf(name, "vlog-%08d.log", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Open scans dir for existing logs and prepares appends to a fresh log.
+func Open(fs vfs.FS, dir string, opts Options) (*Manager, error) {
+	if opts.MaxLogSize <= 0 {
+		opts.MaxLogSize = 8 << 20
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		fs:      fs,
+		dir:     dir,
+		opts:    opts,
+		sizes:   make(map[uint32]int64),
+		garbage: make(map[uint32]int64),
+		readers: make(map[uint32]vfs.File),
+	}
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		n, ok := ParseLogName(name)
+		if !ok {
+			continue
+		}
+		f, err := fs.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		sz, err := f.Size()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+		m.sizes[n] = sz
+		if n >= m.nextNum {
+			m.nextNum = n + 1
+		}
+	}
+	return m, nil
+}
+
+// ensureActiveLocked opens a fresh active log if needed.
+func (m *Manager) ensureActiveLocked() error {
+	if m.active != nil && m.activeOff < m.opts.MaxLogSize {
+		return nil
+	}
+	if m.active != nil {
+		if err := m.active.Sync(); err != nil {
+			return err
+		}
+		if err := m.active.Close(); err != nil {
+			return err
+		}
+		m.active = nil
+	}
+	num := m.nextNum
+	m.nextNum++
+	f, err := m.fs.Create(filepath.Join(m.dir, LogName(num)))
+	if err != nil {
+		return err
+	}
+	m.active = f
+	m.activeNum = num
+	m.activeOff = 0
+	m.sizes[num] = 0
+	return nil
+}
+
+// Append writes value and returns its pointer. The write is buffered by the
+// OS; call Sync before relying on durability (the merge path syncs once per
+// batch, as the paper's sequential-log design intends).
+func (m *Manager) Append(value []byte) (record.ValuePtr, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.ensureActiveLocked(); err != nil {
+		return record.ValuePtr{}, err
+	}
+	off := m.activeOff
+	n, err := writeFramed(m.active, value)
+	if err != nil {
+		return record.ValuePtr{}, err
+	}
+	m.activeOff += n
+	m.sizes[m.activeNum] += n
+	return record.ValuePtr{
+		Partition: m.opts.Partition,
+		LogNum:    m.activeNum,
+		Offset:    uint32(off),
+		Length:    uint32(len(value)),
+	}, nil
+}
+
+// AppendFor is Append with an explicit partition stamp; the engine uses it
+// because several partitions share one log namespace.
+func (m *Manager) AppendFor(partition uint32, value []byte) (record.ValuePtr, error) {
+	ptr, err := m.Append(value)
+	ptr.Partition = partition
+	return ptr, err
+}
+
+// writeFramed appends one framed value to f, returning the bytes written.
+func writeFramed(f vfs.File, value []byte) (int64, error) {
+	var hdr []byte
+	hdr = codec.PutUint32(hdr, uint32(len(value)))
+	hdr = codec.PutUint32(hdr, codec.MaskChecksum(codec.Checksum(value)))
+	if _, err := f.Write(hdr); err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(value); err != nil {
+		return 0, err
+	}
+	return int64(headerLen + len(value)), nil
+}
+
+// DedicatedLog is a log file outside the active rotation, used by GC and
+// partition split so their rewrites do not interleave with concurrent merge
+// appends in the shared active log.
+type DedicatedLog struct {
+	m    *Manager
+	f    vfs.File
+	num  uint32
+	off  int64
+	part uint32
+	done bool
+}
+
+// NewDedicatedLog opens a fresh log for exclusive appends, stamping ptrs
+// with the given partition.
+func (m *Manager) NewDedicatedLog(partition uint32) (*DedicatedLog, error) {
+	m.mu.Lock()
+	num := m.nextNum
+	m.nextNum++
+	m.sizes[num] = 0
+	m.mu.Unlock()
+	f, err := m.fs.Create(filepath.Join(m.dir, LogName(num)))
+	if err != nil {
+		return nil, err
+	}
+	return &DedicatedLog{m: m, f: f, num: num, part: partition}, nil
+}
+
+// Num returns the log number.
+func (d *DedicatedLog) Num() uint32 { return d.num }
+
+// Size returns the bytes appended so far.
+func (d *DedicatedLog) Size() int64 { return d.off }
+
+// Append writes one value.
+func (d *DedicatedLog) Append(value []byte) (record.ValuePtr, error) {
+	off := d.off
+	n, err := writeFramed(d.f, value)
+	if err != nil {
+		return record.ValuePtr{}, err
+	}
+	d.off += n
+	d.m.mu.Lock()
+	d.m.sizes[d.num] += n
+	d.m.mu.Unlock()
+	return record.ValuePtr{
+		Partition: d.part,
+		LogNum:    d.num,
+		Offset:    uint32(off),
+		Length:    uint32(len(value)),
+	}, nil
+}
+
+// Finish syncs and closes the log. The log remains readable via the
+// Manager. If nothing was appended the empty file is removed and Finish
+// reports that via the returned bool.
+func (d *DedicatedLog) Finish() (nonEmpty bool, err error) {
+	if d.done {
+		return d.off > 0, nil
+	}
+	d.done = true
+	if err := d.f.Sync(); err != nil {
+		return false, err
+	}
+	if err := d.f.Close(); err != nil {
+		return false, err
+	}
+	if d.off == 0 {
+		d.m.mu.Lock()
+		delete(d.m.sizes, d.num)
+		d.m.mu.Unlock()
+		return false, d.m.fs.Remove(filepath.Join(d.m.dir, LogName(d.num)))
+	}
+	return true, nil
+}
+
+// Sync makes appended values durable.
+func (m *Manager) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.active == nil {
+		return nil
+	}
+	return m.active.Sync()
+}
+
+// reader returns a cached read handle for log n.
+func (m *Manager) reader(n uint32) (vfs.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.readers[n]; ok {
+		return f, nil
+	}
+	f, err := m.fs.Open(filepath.Join(m.dir, LogName(n)))
+	if err != nil {
+		return nil, err
+	}
+	m.readers[n] = f
+	return f, nil
+}
+
+// Read fetches the value at ptr, verifying length and checksum. The
+// prefetch cache is consulted first.
+func (m *Manager) Read(ptr record.ValuePtr) ([]byte, error) {
+	if b, ok := m.fromPrefetch(ptr); ok {
+		return b, nil
+	}
+	f, err := m.reader(ptr.LogNum)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, headerLen+int(ptr.Length))
+	if _, err := f.ReadAt(buf, int64(ptr.Offset)); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return decodeValue(buf, ptr.Length)
+}
+
+// decodeValue validates a framed value against the pointer's length.
+func decodeValue(buf []byte, wantLen uint32) ([]byte, error) {
+	if len(buf) < headerLen {
+		return nil, ErrBadPointer
+	}
+	length, rest, _ := codec.Uint32(buf)
+	crc, rest, _ := codec.Uint32(rest)
+	if length != wantLen || len(rest) < int(length) {
+		return nil, ErrBadPointer
+	}
+	val := rest[:length]
+	if codec.MaskChecksum(codec.Checksum(val)) != crc {
+		return nil, ErrBadPointer
+	}
+	return val, nil
+}
+
+// Prefetch loads log n's byte range [off, off+length) into the readahead
+// cache so subsequent Reads inside that range avoid per-value I/O.
+func (m *Manager) Prefetch(n uint32, off int64, length int64) error {
+	f, err := m.reader(n)
+	if err != nil {
+		return err
+	}
+	if length <= 0 {
+		return nil
+	}
+	buf := make([]byte, length)
+	rd, err := f.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	m.prefetchMu.Lock()
+	m.prefetchLog = n
+	m.prefetchOff = off
+	m.prefetch = buf[:rd]
+	m.prefetchMu.Unlock()
+	return nil
+}
+
+// fromPrefetch serves ptr from the readahead cache when fully covered.
+func (m *Manager) fromPrefetch(ptr record.ValuePtr) ([]byte, bool) {
+	m.prefetchMu.Lock()
+	defer m.prefetchMu.Unlock()
+	if m.prefetch == nil || ptr.LogNum != m.prefetchLog {
+		return nil, false
+	}
+	start := int64(ptr.Offset) - m.prefetchOff
+	end := start + headerLen + int64(ptr.Length)
+	if start < 0 || end > int64(len(m.prefetch)) {
+		return nil, false
+	}
+	val, err := decodeValue(m.prefetch[start:end], ptr.Length)
+	if err != nil {
+		return nil, false
+	}
+	out := make([]byte, len(val))
+	copy(out, val)
+	return out, true
+}
+
+// AddGarbage records n dead bytes in log logNum (an overwritten or deleted
+// value). The greedy GC policy picks the partition with the most garbage.
+func (m *Manager) AddGarbage(logNum uint32, n int64) {
+	m.mu.Lock()
+	m.garbage[logNum] += n
+	m.mu.Unlock()
+}
+
+// Garbage returns the total dead bytes across logs.
+func (m *Manager) Garbage() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var g int64
+	for _, v := range m.garbage {
+		g += v
+	}
+	return g
+}
+
+// TotalSize returns the bytes held by all logs.
+func (m *Manager) TotalSize() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s int64
+	for _, v := range m.sizes {
+		s += v
+	}
+	return s
+}
+
+// LogNums returns the numbers of all logs, ascending.
+func (m *Manager) LogNums() []uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint32, 0, len(m.sizes))
+	for n := range m.sizes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SealActive closes the active log so a subsequent Append starts a new one.
+// GC uses it to guarantee old logs are immutable before rewriting them.
+func (m *Manager) SealActive() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.active == nil {
+		return nil
+	}
+	if err := m.active.Sync(); err != nil {
+		return err
+	}
+	if err := m.active.Close(); err != nil {
+		return err
+	}
+	m.active = nil
+	return nil
+}
+
+// ActiveNum returns the number of the log currently receiving appends, or
+// (0, false) when none is open.
+func (m *Manager) ActiveNum() (uint32, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.active == nil {
+		return 0, false
+	}
+	return m.activeNum, true
+}
+
+// Remove deletes log n (after GC has rewritten its live values).
+func (m *Manager) Remove(n uint32) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.active != nil && m.activeNum == n {
+		return errors.New("vlog: cannot remove active log")
+	}
+	if f, ok := m.readers[n]; ok {
+		f.Close()
+		delete(m.readers, n)
+	}
+	delete(m.sizes, n)
+	delete(m.garbage, n)
+	m.prefetchMu.Lock()
+	if m.prefetchLog == n {
+		m.prefetch = nil
+	}
+	m.prefetchMu.Unlock()
+	return m.fs.Remove(filepath.Join(m.dir, LogName(n)))
+}
+
+// Close releases all file handles.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var first error
+	if m.active != nil {
+		if err := m.active.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := m.active.Close(); err != nil && first == nil {
+			first = err
+		}
+		m.active = nil
+	}
+	for n, f := range m.readers {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(m.readers, n)
+	}
+	return first
+}
+
+// SizeOf returns the byte size of log n (0 if unknown).
+func (m *Manager) SizeOf(n uint32) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sizes[n]
+}
+
+// GarbageOf returns the recorded dead bytes of log n.
+func (m *Manager) GarbageOf(n uint32) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.garbage[n]
+}
+
+// VerifyLog walks log n sequentially, checking every framed value's
+// checksum. It returns the number of values and the first error.
+func (m *Manager) VerifyLog(n uint32) (int, error) {
+	f, err := m.reader(n)
+	if err != nil {
+		return 0, err
+	}
+	size, err := f.Size()
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	var off int64
+	hdr := make([]byte, headerLen)
+	for off < size {
+		if _, err := f.ReadAt(hdr, off); err != nil && err != io.EOF {
+			return count, err
+		}
+		length, rest, _ := codec.Uint32(hdr)
+		crc, _, _ := codec.Uint32(rest)
+		if off+headerLen+int64(length) > size {
+			return count, fmt.Errorf("vlog: truncated value at offset %d", off)
+		}
+		val := make([]byte, length)
+		if _, err := f.ReadAt(val, off+headerLen); err != nil && err != io.EOF {
+			return count, err
+		}
+		if codec.MaskChecksum(codec.Checksum(val)) != crc {
+			return count, fmt.Errorf("vlog: checksum mismatch at offset %d", off)
+		}
+		count++
+		off += headerLen + int64(length)
+	}
+	return count, nil
+}

@@ -1,0 +1,365 @@
+package vlog
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unikv/internal/record"
+	"unikv/internal/vfs"
+)
+
+func newMgr(t *testing.T, fs vfs.FS, opts Options) *Manager {
+	t.Helper()
+	m, err := Open(fs, "p0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAppendRead(t *testing.T) {
+	fs := vfs.NewMem()
+	m := newMgr(t, fs, Options{Partition: 3})
+	defer m.Close()
+
+	var ptrs []record.ValuePtr
+	var vals [][]byte
+	for i := 0; i < 100; i++ {
+		v := []byte(fmt.Sprintf("value-%04d-%s", i, bytes.Repeat([]byte("x"), i)))
+		ptr, err := m.Append(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ptr.Partition != 3 {
+			t.Fatalf("partition=%d", ptr.Partition)
+		}
+		ptrs = append(ptrs, ptr)
+		vals = append(vals, v)
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ptr := range ptrs {
+		got, err := m.Read(ptr)
+		if err != nil {
+			t.Fatalf("Read(%v): %v", ptr, err)
+		}
+		if !bytes.Equal(got, vals[i]) {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+}
+
+func TestRotation(t *testing.T) {
+	fs := vfs.NewMem()
+	m := newMgr(t, fs, Options{MaxLogSize: 256})
+	defer m.Close()
+
+	seen := map[uint32]bool{}
+	for i := 0; i < 50; i++ {
+		ptr, err := m.Append(make([]byte, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[ptr.LogNum] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("expected several logs, got %d", len(seen))
+	}
+	if got := len(m.LogNums()); got != len(seen) {
+		t.Fatalf("LogNums()=%d seen=%d", got, len(seen))
+	}
+	if m.TotalSize() != 50*(64+headerLen) {
+		t.Fatalf("TotalSize=%d", m.TotalSize())
+	}
+}
+
+func TestReopenContinues(t *testing.T) {
+	fs := vfs.NewMem()
+	m := newMgr(t, fs, Options{})
+	ptr1, _ := m.Append([]byte("first"))
+	m.Close()
+
+	m2 := newMgr(t, fs, Options{})
+	defer m2.Close()
+	ptr2, err := m2.Append([]byte("second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ptr2.LogNum <= ptr1.LogNum {
+		t.Fatalf("log numbers must advance across reopen: %d then %d", ptr1.LogNum, ptr2.LogNum)
+	}
+	// Both readable.
+	if v, err := m2.Read(ptr1); err != nil || string(v) != "first" {
+		t.Fatalf("old value: %q %v", v, err)
+	}
+	if v, err := m2.Read(ptr2); err != nil || string(v) != "second" {
+		t.Fatalf("new value: %q %v", v, err)
+	}
+}
+
+func TestBadPointer(t *testing.T) {
+	fs := vfs.NewMem()
+	m := newMgr(t, fs, Options{})
+	defer m.Close()
+	ptr, _ := m.Append([]byte("valid-value"))
+
+	bad := ptr
+	bad.Length += 5
+	if _, err := m.Read(bad); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	bad = ptr
+	bad.Offset += 3
+	if _, err := m.Read(bad); err == nil {
+		t.Fatal("misaligned offset accepted")
+	}
+	bad = ptr
+	bad.LogNum += 99
+	if _, err := m.Read(bad); err == nil {
+		t.Fatal("missing log accepted")
+	}
+}
+
+func TestCorruptValueDetected(t *testing.T) {
+	fs := vfs.NewMem()
+	m := newMgr(t, fs, Options{})
+	ptr, _ := m.Append([]byte("payload-payload"))
+	m.Close()
+
+	name := "p0/" + LogName(ptr.LogNum)
+	data, _ := fs.ReadFile(name)
+	data[headerLen+2] ^= 0xff
+	fs.WriteFile(name, data)
+
+	m2 := newMgr(t, fs, Options{})
+	defer m2.Close()
+	if _, err := m2.Read(ptr); err == nil {
+		t.Fatal("corrupt value passed checksum")
+	}
+}
+
+func TestPrefetch(t *testing.T) {
+	fs := vfs.NewMem()
+	m := newMgr(t, fs, Options{})
+	defer m.Close()
+
+	var ptrs []record.ValuePtr
+	for i := 0; i < 20; i++ {
+		ptr, _ := m.Append([]byte(fmt.Sprintf("v%02d", i)))
+		ptrs = append(ptrs, ptr)
+	}
+	m.Sync()
+
+	first, last := ptrs[0], ptrs[len(ptrs)-1]
+	length := int64(last.Offset) + headerLen + int64(last.Length) - int64(first.Offset)
+	if err := m.Prefetch(first.LogNum, int64(first.Offset), length); err != nil {
+		t.Fatal(err)
+	}
+	readsBefore := fs.Counters().ReadOps.Load()
+	for i, ptr := range ptrs {
+		v, err := m.Read(ptr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) != fmt.Sprintf("v%02d", i) {
+			t.Fatalf("value %d = %q", i, v)
+		}
+	}
+	if fs.Counters().ReadOps.Load() != readsBefore {
+		t.Fatal("reads within prefetched range hit the file")
+	}
+}
+
+func TestGarbageAccounting(t *testing.T) {
+	fs := vfs.NewMem()
+	m := newMgr(t, fs, Options{})
+	defer m.Close()
+	m.Append([]byte("x"))
+	m.AddGarbage(0, 100)
+	m.AddGarbage(0, 50)
+	if m.Garbage() != 150 {
+		t.Fatalf("Garbage=%d", m.Garbage())
+	}
+}
+
+func TestSealAndRemove(t *testing.T) {
+	fs := vfs.NewMem()
+	m := newMgr(t, fs, Options{})
+	defer m.Close()
+	ptr, _ := m.Append([]byte("val"))
+	if _, ok := m.ActiveNum(); !ok {
+		t.Fatal("no active log after append")
+	}
+	if err := m.Remove(ptr.LogNum); err == nil {
+		t.Fatal("removed the active log")
+	}
+	if err := m.SealActive(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.ActiveNum(); ok {
+		t.Fatal("active after seal")
+	}
+	if err := m.Remove(ptr.LogNum); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.LogNums()) != 0 {
+		t.Fatalf("LogNums=%v after remove", m.LogNums())
+	}
+	if _, err := m.Read(ptr); err == nil {
+		t.Fatal("read from removed log succeeded")
+	}
+	// New appends land in a new log.
+	ptr2, err := m.Append([]byte("next"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ptr2.LogNum == ptr.LogNum {
+		t.Fatal("log number reused")
+	}
+}
+
+func TestParseLogName(t *testing.T) {
+	if n, ok := ParseLogName(LogName(42)); !ok || n != 42 {
+		t.Fatalf("round trip failed: %d %v", n, ok)
+	}
+	for _, bad := range []string{"vlog-x.log", "table-00000001.sst", "vlog-1.data", ""} {
+		if _, ok := ParseLogName(bad); ok {
+			t.Fatalf("parsed %q", bad)
+		}
+	}
+}
+
+// TestQuickRoundTrip stores random values across rotating logs and reads
+// them all back, in random order, with and without prefetch.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		fs := vfs.NewMem()
+		m, err := Open(fs, "p", Options{MaxLogSize: 1024})
+		if err != nil {
+			return false
+		}
+		defer m.Close()
+		n := rnd.Intn(100) + 1
+		vals := make([][]byte, n)
+		ptrs := make([]record.ValuePtr, n)
+		for i := 0; i < n; i++ {
+			v := make([]byte, rnd.Intn(300))
+			rnd.Read(v)
+			vals[i] = v
+			ptr, err := m.Append(v)
+			if err != nil {
+				return false
+			}
+			ptrs[i] = ptr
+		}
+		order := rnd.Perm(n)
+		for _, i := range order {
+			got, err := m.Read(ptrs[i])
+			if err != nil || !bytes.Equal(got, vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDedicatedLog(t *testing.T) {
+	fs := vfs.NewMem()
+	m := newMgr(t, fs, Options{})
+	defer m.Close()
+
+	// Interleave shared-log appends with a dedicated log.
+	p1, _ := m.AppendFor(1, []byte("shared-a"))
+	d, err := m.NewDedicatedLog(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp1, err := d.Append([]byte("gc-value-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := m.AppendFor(1, []byte("shared-b"))
+	dp2, _ := d.Append([]byte("gc-value-2"))
+	if dp1.LogNum == p1.LogNum {
+		t.Fatal("dedicated log shares number with active log")
+	}
+	if dp1.Partition != 7 || p1.Partition != 1 {
+		t.Fatalf("partition stamps wrong: %v %v", dp1, p1)
+	}
+	if d.Num() != dp1.LogNum {
+		t.Fatalf("Num()=%d", d.Num())
+	}
+	if d.Size() == 0 {
+		t.Fatal("Size()=0 after appends")
+	}
+	nonEmpty, err := d.Finish()
+	if err != nil || !nonEmpty {
+		t.Fatalf("Finish: %v %v", nonEmpty, err)
+	}
+	for _, c := range []struct {
+		ptr  record.ValuePtr
+		want string
+	}{{p1, "shared-a"}, {p2, "shared-b"}, {dp1, "gc-value-1"}, {dp2, "gc-value-2"}} {
+		got, err := m.Read(c.ptr)
+		if err != nil || string(got) != c.want {
+			t.Fatalf("Read(%v)=%q,%v want %q", c.ptr, got, err, c.want)
+		}
+	}
+}
+
+func TestDedicatedLogEmpty(t *testing.T) {
+	fs := vfs.NewMem()
+	m := newMgr(t, fs, Options{})
+	defer m.Close()
+	d, _ := m.NewDedicatedLog(1)
+	num := d.Num()
+	nonEmpty, err := d.Finish()
+	if err != nil || nonEmpty {
+		t.Fatalf("Finish empty: %v %v", nonEmpty, err)
+	}
+	for _, n := range m.LogNums() {
+		if n == num {
+			t.Fatal("empty dedicated log not cleaned up")
+		}
+	}
+	// Idempotent Finish.
+	if _, err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyLog(t *testing.T) {
+	fs := vfs.NewMem()
+	m := newMgr(t, fs, Options{})
+	var last record.ValuePtr
+	for i := 0; i < 50; i++ {
+		last, _ = m.Append([]byte(fmt.Sprintf("value-%03d", i)))
+	}
+	m.Sync()
+	n, err := m.VerifyLog(last.LogNum)
+	if err != nil || n != 50 {
+		t.Fatalf("VerifyLog: n=%d err=%v", n, err)
+	}
+	m.Close()
+
+	name := "p0/" + LogName(last.LogNum)
+	data, _ := fs.ReadFile(name)
+	data[len(data)/2] ^= 0xff
+	fs.WriteFile(name, data)
+	m2 := newMgr(t, fs, Options{})
+	defer m2.Close()
+	if _, err := m2.VerifyLog(last.LogNum); err == nil {
+		t.Fatal("corruption not detected by VerifyLog")
+	}
+	if _, err := m2.VerifyLog(9999); err == nil {
+		t.Fatal("missing log verified")
+	}
+}

@@ -1,0 +1,247 @@
+// Package wal implements the write-ahead log that protects memtable
+// contents (and, reused verbatim, the MANIFEST metadata log). The format is
+// LevelDB's: the file is a sequence of 32 KiB blocks; a logical record is
+// split into fragments, each framed as
+//
+//	masked CRC-32C (4B) | length (2B LE) | type (1B) | payload
+//
+// where type is full / first / middle / last. Torn tails (a crash mid-write)
+// decode as corruption and recovery stops at the last complete record.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"unikv/internal/codec"
+	"unikv/internal/vfs"
+)
+
+const (
+	// BlockSize is the physical framing unit.
+	BlockSize = 32 * 1024
+	headerLen = 7
+)
+
+const (
+	typeFull   = 1
+	typeFirst  = 2
+	typeMiddle = 3
+	typeLast   = 4
+)
+
+// ErrClosed is returned by operations on a closed Writer.
+var ErrClosed = errors.New("wal: closed")
+
+// Writer appends logical records to a log file.
+type Writer struct {
+	f           vfs.File
+	blockOffset int // bytes used in the current block
+	buf         []byte
+	closed      bool
+	written     int64
+}
+
+// NewWriter creates a log writer over f, assuming f is empty or that the
+// caller wants to continue at a block boundary (we always start fresh files).
+func NewWriter(f vfs.File) *Writer {
+	return &Writer{f: f, buf: make([]byte, 0, BlockSize)}
+}
+
+// AddRecord appends one logical record.
+func (w *Writer) AddRecord(rec []byte) error {
+	if w.closed {
+		return ErrClosed
+	}
+	first := true
+	for {
+		leftover := BlockSize - w.blockOffset
+		if leftover < headerLen {
+			// Pad the tail of the block with zeros; readers skip it.
+			if leftover > 0 {
+				if _, err := w.f.Write(make([]byte, leftover)); err != nil {
+					return err
+				}
+				w.written += int64(leftover)
+			}
+			w.blockOffset = 0
+			leftover = BlockSize
+		}
+		avail := leftover - headerLen
+		frag := rec
+		if len(frag) > avail {
+			frag = rec[:avail]
+		}
+		rec = rec[len(frag):]
+
+		var typ byte
+		switch {
+		case first && len(rec) == 0:
+			typ = typeFull
+		case first:
+			typ = typeFirst
+		case len(rec) == 0:
+			typ = typeLast
+		default:
+			typ = typeMiddle
+		}
+
+		w.buf = w.buf[:0]
+		var hdr [headerLen]byte
+		crc := codec.MaskChecksum(codec.Checksum(append([]byte{typ}, frag...)))
+		binary.LittleEndian.PutUint32(hdr[0:4], crc)
+		binary.LittleEndian.PutUint16(hdr[4:6], uint16(len(frag)))
+		hdr[6] = typ
+		w.buf = append(w.buf, hdr[:]...)
+		w.buf = append(w.buf, frag...)
+		if _, err := w.f.Write(w.buf); err != nil {
+			return err
+		}
+		w.written += int64(len(w.buf))
+		w.blockOffset += len(w.buf)
+
+		first = false
+		if len(rec) == 0 {
+			return nil
+		}
+	}
+}
+
+// Sync flushes the log to stable storage.
+func (w *Writer) Sync() error {
+	if w.closed {
+		return ErrClosed
+	}
+	return w.f.Sync()
+}
+
+// Size returns the bytes written so far.
+func (w *Writer) Size() int64 { return w.written }
+
+// Close closes the underlying file (without a final sync; call Sync first
+// if durability of the tail matters).
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
+}
+
+// Reader replays logical records from a log file. Corruption (torn tail,
+// bad CRC) terminates iteration without error: everything before the
+// corruption is returned, matching recovery semantics.
+type Reader struct {
+	f         vfs.File
+	off       int64
+	block     [BlockSize]byte
+	blockLen  int
+	blockPos  int
+	rec       []byte
+	badRecord bool
+}
+
+// NewReader returns a reader positioned at the start of f.
+func NewReader(f vfs.File) *Reader {
+	return &Reader{f: f}
+}
+
+// nextFragment returns the next fragment (type, payload); io.EOF at end.
+func (r *Reader) nextFragment() (byte, []byte, error) {
+	for {
+		if r.blockPos+headerLen > r.blockLen {
+			// Load the next block.
+			n, err := r.f.ReadAt(r.block[:], r.off)
+			if n == 0 {
+				if err == io.EOF || err == nil {
+					return 0, nil, io.EOF
+				}
+				return 0, nil, err
+			}
+			r.off += int64(n)
+			r.blockLen = n
+			r.blockPos = 0
+			continue
+		}
+		hdr := r.block[r.blockPos : r.blockPos+headerLen]
+		length := int(binary.LittleEndian.Uint16(hdr[4:6]))
+		typ := hdr[6]
+		if typ == 0 && length == 0 {
+			// Zero padding at block tail.
+			r.blockPos = r.blockLen
+			continue
+		}
+		if r.blockPos+headerLen+length > r.blockLen {
+			// Torn fragment.
+			return 0, nil, errTorn
+		}
+		payload := r.block[r.blockPos+headerLen : r.blockPos+headerLen+length]
+		want := codec.UnmaskChecksum(binary.LittleEndian.Uint32(hdr[0:4]))
+		got := codec.Checksum(append([]byte{typ}, payload...))
+		if want != got {
+			return 0, nil, errTorn
+		}
+		r.blockPos += headerLen + length
+		return typ, payload, nil
+	}
+}
+
+var errTorn = fmt.Errorf("wal: torn record")
+
+// Next returns the next logical record, or io.EOF when the log is
+// exhausted (including the everything-after-corruption case).
+func (r *Reader) Next() ([]byte, error) {
+	if r.badRecord {
+		return nil, io.EOF
+	}
+	// Each returned record owns its buffer: callers retain records across
+	// Next calls during recovery.
+	r.rec = nil
+	inRecord := false
+	for {
+		typ, payload, err := r.nextFragment()
+		if err == errTorn {
+			r.badRecord = true
+			return nil, io.EOF
+		}
+		if err != nil {
+			if err == io.EOF && inRecord {
+				// Truncated multi-fragment record: drop it.
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		switch typ {
+		case typeFull:
+			if inRecord {
+				r.badRecord = true
+				return nil, io.EOF
+			}
+			return append(r.rec, payload...), nil
+		case typeFirst:
+			if inRecord {
+				r.badRecord = true
+				return nil, io.EOF
+			}
+			inRecord = true
+			r.rec = append(r.rec, payload...)
+		case typeMiddle:
+			if !inRecord {
+				r.badRecord = true
+				return nil, io.EOF
+			}
+			r.rec = append(r.rec, payload...)
+		case typeLast:
+			if !inRecord {
+				r.badRecord = true
+				return nil, io.EOF
+			}
+			return append(r.rec, payload...), nil
+		default:
+			r.badRecord = true
+			return nil, io.EOF
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unikv/internal/vfs"
+)
+
+func roundTrip(t *testing.T, records [][]byte) [][]byte {
+	t.Helper()
+	fs := vfs.NewMem()
+	f, err := fs.Create("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+	for _, rec := range records {
+		if err := w.AddRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := fs.Open("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	r := NewReader(rf)
+	var got [][]byte
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec)
+	}
+	return got
+}
+
+func TestEmptyLog(t *testing.T) {
+	got := roundTrip(t, nil)
+	if len(got) != 0 {
+		t.Fatalf("got %d records from empty log", len(got))
+	}
+}
+
+func TestSmallRecords(t *testing.T) {
+	in := [][]byte{[]byte("one"), []byte(""), []byte("three"), bytes.Repeat([]byte("x"), 100)}
+	got := roundTrip(t, in)
+	if len(got) != len(in) {
+		t.Fatalf("got %d records want %d", len(got), len(in))
+	}
+	for i := range in {
+		if !bytes.Equal(got[i], in[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestLargeRecordSpansBlocks(t *testing.T) {
+	big := bytes.Repeat([]byte("abcdefgh"), 3*BlockSize/8) // 3 blocks worth
+	in := [][]byte{[]byte("pre"), big, []byte("post")}
+	got := roundTrip(t, in)
+	if len(got) != 3 {
+		t.Fatalf("got %d records", len(got))
+	}
+	if !bytes.Equal(got[1], big) {
+		t.Fatal("large record mangled")
+	}
+}
+
+func TestBlockBoundaryPadding(t *testing.T) {
+	// A record sized to leave < headerLen bytes in the block forces padding.
+	rec1 := bytes.Repeat([]byte("a"), BlockSize-headerLen-headerLen-3)
+	in := [][]byte{rec1, []byte("tail-record")}
+	got := roundTrip(t, in)
+	if len(got) != 2 || !bytes.Equal(got[1], []byte("tail-record")) {
+		t.Fatalf("padding handling broken: %d records", len(got))
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		var in [][]byte
+		for i := 0; i < int(n%16)+1; i++ {
+			rec := make([]byte, rnd.Intn(2*BlockSize))
+			rnd.Read(rec)
+			in = append(in, rec)
+		}
+		fs := vfs.NewMem()
+		wf, _ := fs.Create("log")
+		w := NewWriter(wf)
+		for _, rec := range in {
+			if err := w.AddRecord(rec); err != nil {
+				return false
+			}
+		}
+		w.Close()
+		rf, _ := fs.Open("log")
+		defer rf.Close()
+		r := NewReader(rf)
+		for i := 0; ; i++ {
+			rec, err := r.Next()
+			if err == io.EOF {
+				return i == len(in)
+			}
+			if err != nil || i >= len(in) || !bytes.Equal(rec, in[i]) {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornTail verifies that truncating the log mid-record recovers every
+// record before the tear and drops the torn one.
+func TestTornTail(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("log")
+	w := NewWriter(f)
+	var in [][]byte
+	for i := 0; i < 20; i++ {
+		rec := []byte(fmt.Sprintf("record-%02d-%s", i, bytes.Repeat([]byte("p"), 50)))
+		in = append(in, rec)
+		w.AddRecord(rec)
+	}
+	w.Close()
+
+	full, _ := fs.ReadFile("log")
+	for _, cut := range []int{len(full) - 1, len(full) - 10, len(full) / 2, headerLen + 3} {
+		fs2 := vfs.NewMem()
+		fs2.WriteFile("log", full[:cut])
+		rf, _ := fs2.Open("log")
+		r := NewReader(rf)
+		n := 0
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rec, in[n]) {
+				t.Fatalf("cut=%d: record %d corrupted", cut, n)
+			}
+			n++
+		}
+		rf.Close()
+		if n > len(in) {
+			t.Fatalf("cut=%d: phantom records", cut)
+		}
+	}
+}
+
+// TestCorruptMiddle flips a byte mid-log; recovery must stop at the flip,
+// not return garbage.
+func TestCorruptMiddle(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("log")
+	w := NewWriter(f)
+	for i := 0; i < 10; i++ {
+		w.AddRecord([]byte(fmt.Sprintf("rec-%d", i)))
+	}
+	w.Close()
+	data, _ := fs.ReadFile("log")
+	data[40] ^= 0xff
+	fs2 := vfs.NewMem()
+	fs2.WriteFile("log", data)
+	rf, _ := fs2.Open("log")
+	defer rf.Close()
+	r := NewReader(rf)
+	n := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("rec-%d", n)
+		if string(rec) != want {
+			t.Fatalf("record %d = %q want %q", n, rec, want)
+		}
+		n++
+	}
+	if n >= 10 {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestWriterClosed(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("log")
+	w := NewWriter(f)
+	w.Close()
+	if err := w.AddRecord([]byte("x")); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := w.Sync(); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestWriterSize(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("log")
+	w := NewWriter(f)
+	w.AddRecord(make([]byte, 100))
+	if w.Size() != 100+headerLen {
+		t.Fatalf("Size=%d", w.Size())
+	}
+}

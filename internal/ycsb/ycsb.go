@@ -1,0 +1,245 @@
+// Package ycsb generates YCSB-style workloads: the key-choice
+// distributions (uniform, zipfian, scrambled zipfian, latest) and the six
+// core workload mixes A–F used by the paper's mixed-workload experiments
+// (fig8), plus the microbenchmark drivers (load / read / scan / update).
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpType enumerates YCSB operations.
+type OpType int
+
+// Operation kinds.
+const (
+	OpRead OpType = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+func (t OpType) String() string {
+	switch t {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpScan:
+		return "scan"
+	case OpReadModifyWrite:
+		return "rmw"
+	}
+	return "?"
+}
+
+// Op is one generated operation.
+type Op struct {
+	Type    OpType
+	Key     []byte
+	ScanLen int
+}
+
+// Distribution selects keys.
+type Distribution int
+
+// Key distributions.
+const (
+	Uniform Distribution = iota
+	Zipfian
+	ScrambledZipfian
+	Latest
+)
+
+// Workload is a YCSB operation mix.
+type Workload struct {
+	Name       string
+	ReadProp   float64
+	UpdateProp float64
+	InsertProp float64
+	ScanProp   float64
+	RMWProp    float64
+	Dist       Distribution
+	MaxScanLen int
+}
+
+// The six core workloads, as defined by the YCSB distribution.
+var (
+	WorkloadA = Workload{Name: "A", ReadProp: 0.5, UpdateProp: 0.5, Dist: Zipfian}
+	WorkloadB = Workload{Name: "B", ReadProp: 0.95, UpdateProp: 0.05, Dist: Zipfian}
+	WorkloadC = Workload{Name: "C", ReadProp: 1.0, Dist: Zipfian}
+	WorkloadD = Workload{Name: "D", ReadProp: 0.95, InsertProp: 0.05, Dist: Latest}
+	WorkloadE = Workload{Name: "E", ScanProp: 0.95, InsertProp: 0.05, Dist: Zipfian, MaxScanLen: 100}
+	WorkloadF = Workload{Name: "F", ReadProp: 0.5, RMWProp: 0.5, Dist: Zipfian}
+)
+
+// CoreWorkloads lists A–F in order.
+func CoreWorkloads() []Workload {
+	return []Workload{WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE, WorkloadF}
+}
+
+// Key formats record number i as its YCSB-style key. fnv-scrambling keeps
+// the on-disk key order uncorrelated with insertion order.
+func Key(i int) []byte {
+	return []byte(fmt.Sprintf("user%016x", fnv64(uint64(i))))
+}
+
+// OrderedKey formats record number i preserving numeric order (sequential
+// loads, range partition demos).
+func OrderedKey(i int) []byte {
+	return []byte(fmt.Sprintf("user%012d", i))
+}
+
+func fnv64(v uint64) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime64
+		v >>= 8
+	}
+	return h
+}
+
+// Value builds a deterministic value of the given size for record i.
+func Value(i, size int) []byte {
+	v := make([]byte, size)
+	pattern := fmt.Sprintf("v%010d-", i)
+	for off := 0; off < size; off += len(pattern) {
+		copy(v[off:], pattern)
+	}
+	return v
+}
+
+// zipfGen draws ranks 0..n-1 with the YCSB zipfian constant 0.99, using
+// the Gray et al. rejection method (same as YCSB's ZipfianGenerator).
+type zipfGen struct {
+	n              uint64
+	theta          float64
+	alpha          float64
+	zetan, zeta2   float64
+	eta            float64
+	countForZeta   uint64
+	allowItemCount bool
+}
+
+func newZipf(n uint64) *zipfGen {
+	const theta = 0.99
+	z := &zipfGen{n: n, theta: theta}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.countForZeta = n
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// next draws a rank in [0, n).
+func (z *zipfGen) next(rnd *rand.Rand) uint64 {
+	u := rnd.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Client generates a stream of operations for a workload over a growing
+// record space.
+type Client struct {
+	w           Workload
+	rnd         *rand.Rand
+	recordCount int
+	zipf        *zipfGen
+	zipfN       int
+}
+
+// NewClient creates a generator over recordCount pre-loaded records.
+func NewClient(w Workload, recordCount int, seed int64) *Client {
+	c := &Client{w: w, rnd: rand.New(rand.NewSource(seed)), recordCount: recordCount}
+	c.ensureZipf()
+	return c
+}
+
+func (c *Client) ensureZipf() {
+	if c.zipf == nil || c.zipfN < c.recordCount {
+		// Rebuild when the record space grew noticeably (inserts).
+		n := c.recordCount
+		if n < 1 {
+			n = 1
+		}
+		c.zipf = newZipf(uint64(n))
+		c.zipfN = n
+	}
+}
+
+// chooseKeyNum picks a record number per the workload's distribution.
+func (c *Client) chooseKeyNum() int {
+	switch c.w.Dist {
+	case Uniform:
+		return c.rnd.Intn(c.recordCount)
+	case Latest:
+		// Skew toward the most recently inserted records.
+		c.ensureZipf()
+		r := int(c.zipf.next(c.rnd))
+		k := c.recordCount - 1 - r
+		if k < 0 {
+			k = 0
+		}
+		return k
+	case ScrambledZipfian:
+		c.ensureZipf()
+		r := c.zipf.next(c.rnd)
+		return int(fnv64(r) % uint64(c.recordCount))
+	default: // Zipfian
+		c.ensureZipf()
+		r := int(c.zipf.next(c.rnd))
+		if r >= c.recordCount {
+			r = c.recordCount - 1
+		}
+		return r
+	}
+}
+
+// Next generates one operation.
+func (c *Client) Next() Op {
+	p := c.rnd.Float64()
+	w := c.w
+	switch {
+	case p < w.ReadProp:
+		return Op{Type: OpRead, Key: Key(c.chooseKeyNum())}
+	case p < w.ReadProp+w.UpdateProp:
+		return Op{Type: OpUpdate, Key: Key(c.chooseKeyNum())}
+	case p < w.ReadProp+w.UpdateProp+w.InsertProp:
+		k := Key(c.recordCount)
+		c.recordCount++
+		return Op{Type: OpInsert, Key: k}
+	case p < w.ReadProp+w.UpdateProp+w.InsertProp+w.ScanProp:
+		n := 1
+		if w.MaxScanLen > 1 {
+			n = c.rnd.Intn(w.MaxScanLen) + 1
+		}
+		return Op{Type: OpScan, Key: Key(c.chooseKeyNum()), ScanLen: n}
+	default:
+		return Op{Type: OpReadModifyWrite, Key: Key(c.chooseKeyNum())}
+	}
+}
+
+// RecordCount returns the current record space size (grows with inserts).
+func (c *Client) RecordCount() int { return c.recordCount }

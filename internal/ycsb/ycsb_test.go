@@ -1,0 +1,197 @@
+package ycsb
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestKeyDeterministicUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		k := string(Key(i))
+		if seen[k] {
+			t.Fatalf("duplicate key for %d", i)
+		}
+		seen[k] = true
+	}
+	if !bytes.Equal(Key(42), Key(42)) {
+		t.Fatal("Key not deterministic")
+	}
+}
+
+func TestOrderedKeySorted(t *testing.T) {
+	for i := 1; i < 1000; i++ {
+		if bytes.Compare(OrderedKey(i-1), OrderedKey(i)) >= 0 {
+			t.Fatalf("OrderedKey not monotone at %d", i)
+		}
+	}
+}
+
+func TestValueSizeAndDeterminism(t *testing.T) {
+	for _, size := range []int{1, 10, 100, 1024, 4096} {
+		v := Value(7, size)
+		if len(v) != size {
+			t.Fatalf("size %d: got %d", size, len(v))
+		}
+	}
+	if !bytes.Equal(Value(3, 100), Value(3, 100)) {
+		t.Fatal("Value not deterministic")
+	}
+	if bytes.Equal(Value(3, 100), Value(4, 100)) {
+		t.Fatal("Values should differ per record")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	c := NewClient(WorkloadC, 10000, 1)
+	counts := map[int]int{}
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[c.chooseKeyNum()]++
+	}
+	// Head concentration: top-10 ranks should take a large share.
+	head := 0
+	for r := 0; r < 10; r++ {
+		head += counts[r]
+	}
+	if float64(head)/draws < 0.2 {
+		t.Fatalf("zipfian head share too small: %f", float64(head)/draws)
+	}
+	// But the tail is not empty.
+	tail := 0
+	for r, n := range counts {
+		if r > 5000 {
+			tail += n
+		}
+	}
+	if tail == 0 {
+		t.Fatal("zipfian never samples the tail")
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	w := WorkloadC
+	w.Dist = Uniform
+	c := NewClient(w, 100, 2)
+	counts := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		counts[c.chooseKeyNum()]++
+	}
+	for r := 0; r < 100; r++ {
+		if counts[r] == 0 {
+			t.Fatalf("uniform missed rank %d", r)
+		}
+		if math.Abs(float64(counts[r])-200) > 120 {
+			t.Fatalf("uniform rank %d count %d implausible", r, counts[r])
+		}
+	}
+}
+
+func TestLatestSkewsToRecent(t *testing.T) {
+	w := WorkloadD
+	c := NewClient(w, 1000, 3)
+	recent, old := 0, 0
+	for i := 0; i < 20000; i++ {
+		k := c.chooseKeyNum()
+		if k >= 900 {
+			recent++
+		}
+		if k < 500 {
+			old++
+		}
+	}
+	if recent <= old {
+		t.Fatalf("latest distribution not recency-skewed: recent=%d old=%d", recent, old)
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	for _, w := range CoreWorkloads() {
+		total := w.ReadProp + w.UpdateProp + w.InsertProp + w.ScanProp + w.RMWProp
+		if math.Abs(total-1.0) > 1e-9 {
+			t.Fatalf("workload %s proportions sum to %f", w.Name, total)
+		}
+		c := NewClient(w, 1000, 4)
+		counts := map[OpType]int{}
+		for i := 0; i < 10000; i++ {
+			op := c.Next()
+			counts[op.Type]++
+			if op.Type == OpScan && (op.ScanLen < 1 || op.ScanLen > w.MaxScanLen) {
+				t.Fatalf("workload %s scan len %d", w.Name, op.ScanLen)
+			}
+			if len(op.Key) == 0 {
+				t.Fatalf("workload %s empty key", w.Name)
+			}
+		}
+		check := func(typ OpType, prop float64) {
+			got := float64(counts[typ]) / 10000
+			if math.Abs(got-prop) > 0.03 {
+				t.Fatalf("workload %s: %v proportion %f want %f", w.Name, typ, got, prop)
+			}
+		}
+		check(OpRead, w.ReadProp)
+		check(OpUpdate, w.UpdateProp)
+		check(OpInsert, w.InsertProp)
+		check(OpScan, w.ScanProp)
+		check(OpReadModifyWrite, w.RMWProp)
+	}
+}
+
+func TestInsertGrowsRecordSpace(t *testing.T) {
+	c := NewClient(WorkloadD, 100, 5)
+	start := c.RecordCount()
+	inserts := 0
+	for i := 0; i < 5000; i++ {
+		if c.Next().Type == OpInsert {
+			inserts++
+		}
+	}
+	if c.RecordCount() != start+inserts {
+		t.Fatalf("record count %d want %d", c.RecordCount(), start+inserts)
+	}
+	if inserts == 0 {
+		t.Fatal("workload D generated no inserts")
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	for _, typ := range []OpType{OpRead, OpUpdate, OpInsert, OpScan, OpReadModifyWrite} {
+		if typ.String() == "?" {
+			t.Fatalf("missing name for %d", typ)
+		}
+	}
+}
+
+func TestScrambledZipfianSpreadsHotKeys(t *testing.T) {
+	// Plain zipfian concentrates on the lowest ranks; scrambling must keep
+	// the skew (few keys dominate) while spreading those keys across the
+	// whole record space.
+	w := WorkloadC
+	w.Dist = ScrambledZipfian
+	c := NewClient(w, 10000, 9)
+	counts := map[int]int{}
+	for i := 0; i < 40000; i++ {
+		counts[c.chooseKeyNum()]++
+	}
+	// Skew preserved: some key drew far more than uniform share.
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 40 { // uniform share would be 4
+		t.Fatalf("scrambling destroyed the skew: max=%d", max)
+	}
+	// Spread: the hot keys are not clustered in the low ranks.
+	lowRank := 0
+	for k, n := range counts {
+		if k < 100 {
+			lowRank += n
+		}
+	}
+	if float64(lowRank)/40000 > 0.2 {
+		t.Fatalf("scrambled hot keys still clustered low: %d/40000", lowRank)
+	}
+}

@@ -1,0 +1,130 @@
+package unikv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"unikv/internal/vfs"
+)
+
+func TestIteratorFullRange(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	const n = 1000 // > several pages
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("k%06d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	it := db.NewIterator(nil, nil)
+	i := 0
+	for it.Next() {
+		wantK := fmt.Sprintf("k%06d", i)
+		if string(it.Key()) != wantK || string(it.Value()) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("at %d: %q=%q", i, it.Key(), it.Value())
+		}
+		i++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if i != n {
+		t.Fatalf("iterated %d of %d", i, n)
+	}
+	// Exhausted iterator stays exhausted.
+	if it.Next() {
+		t.Fatal("Next after exhaustion")
+	}
+}
+
+func TestIteratorBounds(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	for i := 0; i < 300; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v"))
+	}
+	it := db.NewIterator([]byte("k0100"), []byte("k0110"))
+	var got []string
+	for it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if len(got) != 10 || got[0] != "k0100" || got[9] != "k0109" {
+		t.Fatalf("bounds wrong: %v", got)
+	}
+}
+
+func TestIteratorEmptyRange(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	db.Put([]byte("a"), []byte("1"))
+	it := db.NewIterator([]byte("x"), nil)
+	if it.Next() {
+		t.Fatal("empty range yielded a pair")
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+}
+
+// TestIteratorPageBoundaryKeys places keys that are prefixes of each other
+// around page boundaries (the successor-key resume must not skip or
+// duplicate them).
+func TestIteratorPageBoundaryKeys(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	var want []string
+	// Keys k, k\x00, k\x00\x00 sort adjacently; spread many such triples.
+	for i := 0; i < 200; i++ {
+		base := fmt.Sprintf("key%04d", i)
+		for _, k := range []string{base, base + "\x00", base + "\x00\x00"} {
+			db.Put([]byte(k), []byte("v"))
+			want = append(want, k)
+		}
+	}
+	it := db.NewIterator(nil, nil)
+	i := 0
+	for it.Next() {
+		if i >= len(want) || string(it.Key()) != want[i] {
+			t.Fatalf("at %d: got %q want %q", i, it.Key(), want[i])
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("iterated %d of %d", i, len(want))
+	}
+}
+
+func TestIteratorAcrossSplits(t *testing.T) {
+	db, err := Open("db", &Options{
+		FS:                 vfs.NewMem(),
+		MemtableSize:       2 << 10,
+		UnsortedLimit:      8 << 10,
+		PartitionSizeLimit: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 3000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		db.Put([]byte(fmt.Sprintf("k%06d", i)), bytes.Repeat([]byte("v"), 40))
+	}
+	if db.Metrics().Partitions < 2 {
+		t.Skip("no splits")
+	}
+	it := db.NewIterator(nil, nil)
+	i := 0
+	for it.Next() {
+		if string(it.Key()) != fmt.Sprintf("k%06d", i) {
+			t.Fatalf("at %d: %q", i, it.Key())
+		}
+		i++
+	}
+	if i != n || it.Err() != nil {
+		t.Fatalf("iterated %d of %d (%v)", i, n, it.Err())
+	}
+}

@@ -1,0 +1,187 @@
+// Package unikv is a persistent key-value store implementing UniKV
+// (ICDE 2020): unified indexing that combines an in-memory hash index over
+// recently written (hot) data with a fully-sorted, KV-separated store for
+// cold data, scaled out through dynamic range partitioning.
+//
+// # Quick start
+//
+//	db, err := unikv.Open("/tmp/mydb", nil)
+//	if err != nil { ... }
+//	defer db.Close()
+//
+//	db.Put([]byte("user:42"), []byte("alice"))
+//	v, err := db.Get([]byte("user:42"))
+//	kvs, err := db.Scan([]byte("user:"), []byte("user;"), 0)
+//
+// # Architecture
+//
+// Writes land in a WAL-protected memtable and flush to the partition's
+// UnsortedStore, whose tables are indexed by a lightweight two-level hash
+// index (8 bytes per entry) for O(1)-ish point access to hot data. When the
+// UnsortedStore reaches its limit it merges into the SortedStore — a single
+// fully-sorted run per partition — separating values into append-only value
+// logs (partial KV separation) so the merge moves keys, not values. A
+// partition that exceeds its size limit splits at its median key into two
+// partitions (scale-out instead of LSM levels). Scans merge the tiers by
+// smallest-key selection and fetch log-resident values with readahead and a
+// parallel worker pool.
+package unikv
+
+import (
+	"unikv/internal/core"
+	"unikv/internal/vfs"
+)
+
+// ErrNotFound is returned by Get when the key does not exist.
+var ErrNotFound = core.ErrNotFound
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = core.ErrClosed
+
+// KV is one key-value pair returned by Scan.
+type KV = core.KV
+
+// Metrics is a snapshot of engine statistics.
+type Metrics = core.StatsSnapshot
+
+// Options tunes the store. The zero value (or a nil pointer) selects the
+// defaults; every field is optional.
+type Options struct {
+	// MemtableSize flushes the in-memory write buffer at this many bytes.
+	// Default 4 MiB.
+	MemtableSize int64
+	// UnsortedLimit caps each partition's UnsortedStore (the hash-indexed
+	// hot tier); reaching it triggers a merge into the SortedStore.
+	// Default 8 × MemtableSize.
+	UnsortedLimit int64
+	// ScanMergeLimit is the UnsortedStore table count that triggers the
+	// size-based merge keeping scans fast. Default 8.
+	ScanMergeLimit int
+	// PartitionSizeLimit splits a partition beyond this many bytes.
+	// Default 8 × UnsortedLimit.
+	PartitionSizeLimit int64
+	// GCRatio runs value-log garbage collection in a partition once its
+	// dead bytes exceed GCRatio of its referenced log bytes. Default 0.3.
+	GCRatio float64
+	// MaxLogSize rotates value logs at this size. Default 8 MiB.
+	MaxLogSize int64
+	// SyncWrites fsyncs the WAL on every write. Default false (fsync at
+	// memtable flush, like LevelDB's default).
+	SyncWrites bool
+	// DisableWAL turns off the write-ahead log: unflushed writes are lost
+	// on crash.
+	DisableWAL bool
+	// ScanWorkers sizes the parallel value-fetch pool used by Scan.
+	// Default 32.
+	ScanWorkers int
+	// ValueThreshold keeps values smaller than this many bytes inline in
+	// the sorted tier instead of KV-separating them into value logs
+	// (selective KV separation — worthwhile for small-KV workloads).
+	// 0 separates everything.
+	ValueThreshold int
+
+	// Advanced / experiment knobs. Leave zero unless reproducing the
+	// paper's ablations.
+	TargetTableSize     int64
+	BlockSize           int
+	HashBuckets         int
+	DisableHashIndex    bool
+	DisableKVSeparation bool
+	DisablePartitioning bool
+	DisableScanMerge    bool
+	DisableScanPrefetch bool
+	DisableScanParallel bool
+
+	// FS overrides the file system (in-memory testing, I/O accounting).
+	FS vfs.FS
+}
+
+// toCore maps public options onto the engine's option set.
+func (o *Options) toCore() core.Options {
+	if o == nil {
+		return core.Options{}
+	}
+	return core.Options{
+		MemtableSize:        o.MemtableSize,
+		UnsortedLimit:       o.UnsortedLimit,
+		ScanMergeLimit:      o.ScanMergeLimit,
+		PartitionSizeLimit:  o.PartitionSizeLimit,
+		GCRatio:             o.GCRatio,
+		MaxLogSize:          o.MaxLogSize,
+		TargetTableSize:     o.TargetTableSize,
+		BlockSize:           o.BlockSize,
+		HashBuckets:         o.HashBuckets,
+		ScanWorkers:         o.ScanWorkers,
+		ValueThreshold:      o.ValueThreshold,
+		SyncWrites:          o.SyncWrites,
+		DisableWAL:          o.DisableWAL,
+		DisableHashIndex:    o.DisableHashIndex,
+		DisableKVSeparation: o.DisableKVSeparation,
+		DisablePartitioning: o.DisablePartitioning,
+		DisableScanMerge:    o.DisableScanMerge,
+		DisableScanPrefetch: o.DisableScanPrefetch,
+		DisableScanParallel: o.DisableScanParallel,
+		FS:                  o.FS,
+	}
+}
+
+// DB is a UniKV database handle. It is safe for concurrent use.
+type DB struct {
+	eng *core.DB
+}
+
+// Open opens (creating if necessary) a database rooted at path. A nil opts
+// selects defaults.
+func Open(path string, opts *Options) (*DB, error) {
+	eng, err := core.Open(path, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Put inserts or overwrites key with value.
+func (db *DB) Put(key, value []byte) error { return db.eng.Put(key, value) }
+
+// Get returns the value stored for key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) { return db.eng.Get(key) }
+
+// Delete removes key. Deleting an absent key is not an error.
+func (db *DB) Delete(key []byte) error { return db.eng.Delete(key) }
+
+// Scan returns up to limit pairs with start <= key < end in key order.
+// A nil end means "no upper bound"; limit <= 0 means "no count bound".
+func (db *DB) Scan(start, end []byte, limit int) ([]KV, error) {
+	return db.eng.Scan(start, end, limit)
+}
+
+// Flush forces buffered writes to disk.
+func (db *DB) Flush() error { return db.eng.Flush() }
+
+// Compact drains every partition's hot tier into its sorted tier; useful
+// before read-heavy phases and in benchmarks.
+func (db *DB) Compact() error { return db.eng.CompactAll() }
+
+// Metrics returns a snapshot of engine statistics.
+func (db *DB) Metrics() Metrics { return db.eng.Metrics() }
+
+// Close flushes and releases the database. The handle is unusable after.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Batch collects writes for DB.Apply. Operations landing in the same
+// partition are committed with a single WAL record (one fsync under
+// SyncWrites) and become durable atomically; a batch that straddles a
+// partition boundary commits per-partition, in key order.
+type Batch = core.Batch
+
+// NewBatch returns an empty write batch.
+func NewBatch() *Batch { return core.NewBatch() }
+
+// Apply applies every operation queued in the batch.
+func (db *DB) Apply(b *Batch) error { return db.eng.ApplyBatch(b) }
+
+// VerifyIntegrity re-reads and checksum-verifies every table block and
+// sealed value-log record, returning the first corruption found (nil when
+// clean). The actively appended log is skipped; verify a quiesced or
+// freshly opened database for full coverage.
+func (db *DB) VerifyIntegrity() error { return db.eng.VerifyIntegrity() }

@@ -1,0 +1,170 @@
+package unikv
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"unikv/internal/vfs"
+)
+
+func openMem(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open("db", &Options{
+		FS:                 vfs.NewMem(),
+		MemtableSize:       4 << 10,
+		UnsortedLimit:      16 << 10,
+		PartitionSizeLimit: 128 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("user:%04d", i))
+		v := []byte(fmt.Sprintf("profile-%d", i))
+		if err := db.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := db.Get([]byte("user:0042"))
+	if err != nil || string(got) != "profile-42" {
+		t.Fatalf("%q %v", got, err)
+	}
+	if _, err := db.Get([]byte("user:9999")); err != ErrNotFound {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if err := db.Delete([]byte("user:0042")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("user:0042")); err != ErrNotFound {
+		t.Fatalf("after delete: %v", err)
+	}
+	kvs, err := db.Scan([]byte("user:0100"), []byte("user:0110"), 0)
+	if err != nil || len(kvs) != 10 {
+		t.Fatalf("scan: %d %v", len(kvs), err)
+	}
+	for i, kv := range kvs {
+		want := fmt.Sprintf("user:%04d", 100+i)
+		if string(kv.Key) != want {
+			t.Fatalf("scan[%d]=%q want %q", i, kv.Key, want)
+		}
+	}
+}
+
+func TestPublicNilOptionsOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	got, err := db2.Get([]byte("k"))
+	if err != nil || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestPublicFlushCompactMetrics(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%05d", i)), bytes.Repeat([]byte("x"), 64))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if m.Flushes == 0 || m.Merges == 0 || m.Partitions == 0 {
+		t.Fatalf("metrics look empty: %+v", m)
+	}
+	if m.UnsortedTables != 0 {
+		t.Fatalf("Compact left %d unsorted tables", m.UnsortedTables)
+	}
+	// Everything readable post-compaction.
+	for _, i := range []int{0, 500, 1999} {
+		if _, err := db.Get([]byte(fmt.Sprintf("k%05d", i))); err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+	}
+}
+
+func TestPublicClosed(t *testing.T) {
+	db := openMem(t)
+	db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Fatalf("%v", err)
+	}
+}
+
+func TestPublicBatch(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	b := NewBatch()
+	b.Put([]byte("a"), []byte("1"))
+	b.Put([]byte("b"), []byte("2"))
+	b.Delete([]byte("a"))
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("a")); err != ErrNotFound {
+		t.Fatalf("%v", err)
+	}
+	if v, err := db.Get([]byte("b")); err != nil || string(v) != "2" {
+		t.Fatalf("%q %v", v, err)
+	}
+}
+
+func TestPublicValueThreshold(t *testing.T) {
+	db, err := Open("db2", &Options{
+		FS:             vfs.NewMem(),
+		MemtableSize:   4 << 10,
+		UnsortedLimit:  16 << 10,
+		ValueThreshold: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 500; i++ {
+		v := []byte("small")
+		if i%3 == 0 {
+			v = bytes.Repeat([]byte("big"), 50)
+		}
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Compact()
+	for i := 0; i < 500; i++ {
+		v, err := db.Get([]byte(fmt.Sprintf("k%04d", i)))
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		if i%3 == 0 && len(v) != 150 {
+			t.Fatalf("key %d: len=%d", i, len(v))
+		}
+		if i%3 != 0 && string(v) != "small" {
+			t.Fatalf("key %d: %q", i, v)
+		}
+	}
+}
