@@ -5,6 +5,12 @@
 //	unikv-bench -list
 //	unikv-bench -exp fig7 [-n 200000] [-value 1024] [-ops 100000]
 //	unikv-bench -exp all
+//	unikv-bench -net [-net-clients 8] [-net-sync] [-net-addr host:port]
+//
+// -net switches to the networked client-mode benchmark: concurrent
+// clients drive a unikv-server (in-process unless -net-addr points at a
+// running one) through pkg/client, measuring wire throughput and the
+// group-commit coalescing the serving layer achieves.
 //
 // Every experiment runs each engine over a fresh in-memory file system with
 // I/O accounting; see EXPERIMENTS.md for the interpretation contract.
@@ -29,8 +35,25 @@ func main() {
 		seed   = flag.Int64("seed", 1, "workload seed")
 		stores = flag.String("stores", "", "comma-separated store subset (default all)")
 		quiet  = flag.Bool("q", false, "suppress progress output")
+
+		netMode    = flag.Bool("net", false, "run the networked client benchmark instead of -exp")
+		netAddr    = flag.String("net-addr", "", "benchmark a running unikv-server ('' = in-process)")
+		netClients = flag.Int("net-clients", 8, "concurrent clients for -net")
+		netSync    = flag.Bool("net-sync", false, "SyncWrites for the in-process -net server")
 	)
 	flag.Parse()
+
+	if *netMode {
+		p := bench.Params{N: *n, ValueSize: *value, Ops: *ops, Seed: *seed}
+		if !*quiet {
+			p.Progress = os.Stderr
+		}
+		if err := runNetBench(p, *netAddr, *netClients, *netSync); err != nil {
+			fmt.Fprintln(os.Stderr, "netbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"unikv"
+	"unikv/internal/bench"
+	"unikv/internal/server"
+	"unikv/pkg/client"
+)
+
+// runNetBench measures networked throughput: N records loaded over the
+// wire with BATCH requests, then a mixed GET/PUT/SCAN phase driven by
+// `clients` concurrent clients. With no -net-addr it spins an in-process
+// unikv-server over a temp directory, so the numbers include the full
+// protocol + group-commit path; pointing it at a remote server measures
+// the real deployment instead.
+func runNetBench(p bench.Params, addr string, clients int, syncWrites bool) error {
+	p = p.WithDefaults()
+	if clients <= 0 {
+		clients = 8
+	}
+
+	var srv *server.Server
+	if addr == "" {
+		dir, err := os.MkdirTemp("", "unikv-netbench-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		db, err := unikv.Open(dir, &unikv.Options{SyncWrites: syncWrites})
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		srv = server.New(db, server.Options{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go srv.Serve(ln)
+		defer srv.Close()
+		addr = ln.Addr().String()
+		fmt.Fprintf(progressOf(p), "netbench: in-process server on %s (sync=%v)\n", addr, syncWrites)
+	}
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("net%016d", i)) }
+	value := make([]byte, p.ValueSize)
+	rand.New(rand.NewSource(p.Seed)).Read(value)
+
+	// Load phase: each client streams its shard in BATCH requests.
+	loadStart := time.Now()
+	if err := eachClient(addr, clients, func(g int, c *client.Client) error {
+		b := client.NewBatch()
+		for i := g; i < p.N; i += clients {
+			b.Put(key(i), value)
+			if b.Len() >= 100 {
+				if err := c.Apply(b); err != nil {
+					return err
+				}
+				b.Reset()
+			}
+		}
+		if b.Len() > 0 {
+			return c.Apply(b)
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("load: %w", err)
+	}
+	loadSecs := time.Since(loadStart).Seconds()
+
+	// Mixed phase: 50% GET / 40% PUT / 10% SCAN(10), uniform keys.
+	mixStart := time.Now()
+	if err := eachClient(addr, clients, func(g int, c *client.Client) error {
+		rng := rand.New(rand.NewSource(p.Seed + int64(g)))
+		for i := 0; i < p.Ops/clients; i++ {
+			k := key(rng.Intn(p.N))
+			switch r := rng.Intn(10); {
+			case r < 5:
+				if _, err := c.Get(k); err != nil {
+					return fmt.Errorf("get %s: %w", k, err)
+				}
+			case r < 9:
+				if err := c.Put(k, value); err != nil {
+					return fmt.Errorf("put %s: %w", k, err)
+				}
+			default:
+				if _, err := c.Scan(k, nil, 10); err != nil {
+					return fmt.Errorf("scan %s: %w", k, err)
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("mixed: %w", err)
+	}
+	mixSecs := time.Since(mixStart).Seconds()
+
+	// One coherent snapshot over the wire, same as any operator would get.
+	statsClient, err := client.Dial(addr, nil)
+	if err != nil {
+		return err
+	}
+	defer statsClient.Close()
+	m, err := statsClient.Stats()
+	if err != nil {
+		return err
+	}
+
+	t := bench.Table{
+		Title: "networked throughput (client mode)",
+		Note: fmt.Sprintf("%d clients, %d records x %dB values, %d mixed ops (50/40/10 get/put/scan)",
+			clients, p.N, p.ValueSize, p.Ops),
+		Header: []string{"phase", "ops", "secs", "kops/s"},
+		Rows: [][]string{
+			{"load (batched)", fmt.Sprint(p.N), fmt.Sprintf("%.2f", loadSecs), fmt.Sprintf("%.1f", float64(p.N)/loadSecs/1e3)},
+			{"mixed", fmt.Sprint(p.Ops / clients * clients), fmt.Sprintf("%.2f", mixSecs), fmt.Sprintf("%.1f", float64(p.Ops/clients*clients)/mixSecs/1e3)},
+		},
+	}
+	fmt.Println(t.String())
+
+	coalesce := "n/a"
+	if m.WriteRequests > 0 {
+		coalesce = fmt.Sprintf("%.1fx", float64(m.WriteRequests)/float64(m.GroupCommits))
+	}
+	s := bench.Table{
+		Title:  "server counters after run",
+		Header: []string{"requests", "write reqs", "group commits", "coalescing", "max group", "MB in", "MB out"},
+		Rows: [][]string{{
+			fmt.Sprint(m.Requests), fmt.Sprint(m.WriteRequests), fmt.Sprint(m.GroupCommits),
+			coalesce, fmt.Sprint(m.MaxGroupOps),
+			fmt.Sprintf("%.1f", float64(m.BytesIn)/1e6), fmt.Sprintf("%.1f", float64(m.BytesOut)/1e6),
+		}},
+	}
+	fmt.Println(s.String())
+	return nil
+}
+
+// eachClient runs fn concurrently with one pooled client per worker,
+// returning the first error.
+func eachClient(addr string, clients int, fn func(g int, c *client.Client) error) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, &client.Options{PoolSize: 2})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if err := fn(g, c); err != nil {
+				errs <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+func progressOf(p bench.Params) io.Writer {
+	if p.Progress != nil {
+		return p.Progress
+	}
+	return io.Discard
+}

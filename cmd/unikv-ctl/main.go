@@ -9,6 +9,10 @@
 //	unikv-ctl -dir /path/to/db stats
 //	unikv-ctl -dir /path/to/db get user0000000000000042
 //	unikv-ctl -dir /path/to/db scan user00 10
+//
+// unikv-ctl opens the database directly and is for offline inspection;
+// to serve a database over the network use unikv-server (`unikv-ctl
+// serve` prints a pointer). See the README's "Serving" section.
 package main
 
 import (
@@ -28,11 +32,12 @@ import (
 func main() {
 	dir := flag.String("dir", "", "database directory")
 	flag.Parse()
-	if *dir == "" || flag.NArg() < 1 {
+	cmd := flag.Arg(0)
+	if (*dir == "" || flag.NArg() < 1) && cmd != "serve" {
 		fmt.Fprintln(os.Stderr, "usage: unikv-ctl -dir <db> manifest|tables|stats|verify|get <key>|scan <start> <n>")
+		fmt.Fprintln(os.Stderr, "       (to serve a db over TCP, see `unikv-ctl serve` / unikv-server)")
 		os.Exit(2)
 	}
-	cmd := flag.Arg(0)
 	switch cmd {
 	case "manifest", "tables":
 		showManifest(*dir, cmd == "tables")
@@ -81,10 +86,22 @@ func main() {
 				fmt.Printf("%s\t%s\n", kv.Key, kv.Value)
 			}
 		})
+	case "serve":
+		fmt.Fprintln(os.Stderr, "unikv-ctl inspects a database offline; serving is unikv-server's job:")
+		fmt.Fprintf(os.Stderr, "\n  unikv-server -dir %s -addr :4090 [-http :4091] [-sync]\n\n", orDefault(*dir, "/path/to/db"))
+		fmt.Fprintln(os.Stderr, "then talk to it with unikv/pkg/client (see README, section \"Serving\").")
+		os.Exit(2)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
 		os.Exit(2)
 	}
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
 }
 
 // withDB opens the database read-mostly and runs fn.

@@ -37,6 +37,13 @@ func (b *Batch) Delete(key []byte) {
 // Len returns the number of queued operations.
 func (b *Batch) Len() int { return len(b.ops) }
 
+// Append queues every operation of o at the end of b, preserving order.
+// o is unchanged; the operations' key/value buffers are shared, which is
+// safe because Put/Delete copy on entry. This is the group-commit
+// primitive: a coalescer merges many callers' batches into one and pays a
+// single commit (one WAL record and fsync per partition) for all of them.
+func (b *Batch) Append(o *Batch) { b.ops = append(b.ops, o.ops...) }
+
 // Reset empties the batch for reuse.
 func (b *Batch) Reset() { b.ops = b.ops[:0] }
 

@@ -1,0 +1,82 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest: arbitrary frame bodies must never panic the decoder
+// (a malformed frame from the network must not take the server down), and
+// anything that decodes must re-encode to a body that decodes to the same
+// request.
+func FuzzDecodeRequest(f *testing.F) {
+	strip := func(frame []byte) []byte { return frame[4:] }
+	f.Add([]byte{})
+	f.Add(strip(AppendPing(nil, 1)))
+	f.Add(strip(AppendGet(nil, 2, []byte("user:42"))))
+	f.Add(strip(AppendPut(nil, 3, []byte("k"), []byte("v"))))
+	f.Add(strip(AppendDelete(nil, 4, []byte("k"))))
+	f.Add(strip(AppendScan(nil, 5, []byte("a"), []byte("z"), false, 10)))
+	f.Add(strip(AppendScan(nil, 6, nil, nil, true, 0)))
+	f.Add(strip(AppendBatch(nil, 7, []BatchOp{
+		{Kind: BatchPut, Key: []byte("k1"), Value: []byte("v1")},
+		{Kind: BatchDelete, Key: []byte("k2")},
+	})))
+	f.Add(strip(AppendStats(nil, 8)))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeRequest(body)
+		if err != nil {
+			return
+		}
+		var enc []byte
+		switch req.Op {
+		case OpPing:
+			enc = AppendPing(nil, req.ID)
+		case OpStats:
+			enc = AppendStats(nil, req.ID)
+		case OpGet:
+			enc = AppendGet(nil, req.ID, req.Key)
+		case OpDelete:
+			enc = AppendDelete(nil, req.ID, req.Key)
+		case OpPut:
+			enc = AppendPut(nil, req.ID, req.Key, req.Value)
+		case OpScan:
+			enc = AppendScan(nil, req.ID, req.Start, req.End, req.NoEnd, req.Limit)
+		case OpBatch:
+			enc = AppendBatch(nil, req.ID, req.Ops)
+		default:
+			t.Fatalf("decoded unknown opcode %d", req.Op)
+		}
+		req2, err := DecodeRequest(strip(enc))
+		if err != nil {
+			t.Fatalf("re-encoded %s does not decode: %v", req.Op, err)
+		}
+		if req2.Op != req.Op || req2.ID != req.ID ||
+			!bytes.Equal(req2.Key, req.Key) || !bytes.Equal(req2.Value, req.Value) ||
+			!bytes.Equal(req2.Start, req.Start) || !bytes.Equal(req2.End, req.End) ||
+			req2.NoEnd != req.NoEnd || req2.Limit != req.Limit || len(req2.Ops) != len(req.Ops) {
+			t.Fatalf("round-trip mismatch:\n  %+v\n  %+v", req, req2)
+		}
+		for i := range req.Ops {
+			a, b := req.Ops[i], req2.Ops[i]
+			if a.Kind != b.Kind || !bytes.Equal(a.Key, b.Key) || !bytes.Equal(a.Value, b.Value) {
+				t.Fatalf("batch op %d mismatch: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}
+
+// FuzzDecodeResponse: response decoding is driven by untrusted bytes on
+// the client side; it must never panic either.
+func FuzzDecodeResponse(f *testing.F) {
+	strip := func(frame []byte) []byte { return frame[4:] }
+	f.Add(uint8(OpGet), strip(AppendOKValue(nil, 1, []byte("v"))))
+	f.Add(uint8(OpScan), strip(AppendOKPairs(nil, 2, []KV{{[]byte("k"), []byte("v")}})))
+	f.Add(uint8(OpPut), strip(AppendOKEmpty(nil, 3)))
+	f.Add(uint8(OpGet), strip(AppendError(nil, 4, StatusNotFound, "missing")))
+	f.Add(uint8(OpScan), []byte{0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, op uint8, body []byte) {
+		_, _ = DecodeResponse(Op(op), body)
+	})
+}

@@ -1,0 +1,200 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// decodeOneRequest strips the length word of a single encoded frame and
+// decodes the body.
+func decodeOneRequest(t *testing.T, frame []byte) Request {
+	t.Helper()
+	body, err := ReadFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	req, err := DecodeRequest(body)
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	return req
+}
+
+func TestRequestRoundTrips(t *testing.T) {
+	key := []byte("user:42")
+	val := []byte("alice")
+
+	req := decodeOneRequest(t, AppendPing(nil, 7))
+	if req.Op != OpPing || req.ID != 7 {
+		t.Fatalf("ping: %+v", req)
+	}
+
+	req = decodeOneRequest(t, AppendGet(nil, 8, key))
+	if req.Op != OpGet || req.ID != 8 || !bytes.Equal(req.Key, key) {
+		t.Fatalf("get: %+v", req)
+	}
+
+	req = decodeOneRequest(t, AppendPut(nil, 9, key, val))
+	if req.Op != OpPut || !bytes.Equal(req.Key, key) || !bytes.Equal(req.Value, val) {
+		t.Fatalf("put: %+v", req)
+	}
+
+	// Empty value is legal and distinct from absent.
+	req = decodeOneRequest(t, AppendPut(nil, 10, key, nil))
+	if req.Op != OpPut || len(req.Value) != 0 {
+		t.Fatalf("empty put: %+v", req)
+	}
+
+	req = decodeOneRequest(t, AppendDelete(nil, 11, key))
+	if req.Op != OpDelete || !bytes.Equal(req.Key, key) {
+		t.Fatalf("delete: %+v", req)
+	}
+
+	req = decodeOneRequest(t, AppendStats(nil, 12))
+	if req.Op != OpStats {
+		t.Fatalf("stats: %+v", req)
+	}
+}
+
+func TestScanRequestRoundTrip(t *testing.T) {
+	req := decodeOneRequest(t, AppendScan(nil, 1, []byte("a"), []byte("b"), false, 10))
+	if string(req.Start) != "a" || string(req.End) != "b" || req.NoEnd || req.Limit != 10 {
+		t.Fatalf("bounded scan: %+v", req)
+	}
+
+	// No upper bound: End absent, not empty.
+	req = decodeOneRequest(t, AppendScan(nil, 2, []byte("a"), nil, true, 0))
+	if !req.NoEnd || req.End != nil || req.Limit != 0 {
+		t.Fatalf("unbounded scan: %+v", req)
+	}
+
+	// Empty end is a real (empty) bound, distinct from no bound.
+	req = decodeOneRequest(t, AppendScan(nil, 3, nil, []byte{}, false, -5))
+	if req.NoEnd || req.End == nil || len(req.End) != 0 || req.Limit != 0 {
+		t.Fatalf("empty-end scan: %+v", req)
+	}
+}
+
+func TestBatchRequestRoundTrip(t *testing.T) {
+	ops := []BatchOp{
+		{Kind: BatchPut, Key: []byte("k1"), Value: []byte("v1")},
+		{Kind: BatchDelete, Key: []byte("k2")},
+		{Kind: BatchPut, Key: []byte("k3"), Value: []byte{}},
+	}
+	req := decodeOneRequest(t, AppendBatch(nil, 4, ops))
+	if req.Op != OpBatch || len(req.Ops) != 3 {
+		t.Fatalf("batch: %+v", req)
+	}
+	for i, want := range ops {
+		got := req.Ops[i]
+		if got.Kind != want.Kind || !bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Value, want.Value) {
+			t.Fatalf("batch op %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrips(t *testing.T) {
+	read := func(frame []byte, op Op) Response {
+		t.Helper()
+		body, err := ReadFrame(bytes.NewReader(frame), nil)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		resp, err := DecodeResponse(op, body)
+		if err != nil {
+			t.Fatalf("DecodeResponse: %v", err)
+		}
+		return resp
+	}
+
+	resp := read(AppendOKEmpty(nil, 1), OpPut)
+	if resp.Status != StatusOK || resp.ID != 1 {
+		t.Fatalf("ok-empty: %+v", resp)
+	}
+
+	resp = read(AppendOKValue(nil, 2, []byte("payload")), OpGet)
+	if resp.Status != StatusOK || string(resp.Value) != "payload" {
+		t.Fatalf("ok-value: %+v", resp)
+	}
+
+	resp = read(AppendOKValue(nil, 3, []byte(`{"a":1}`)), OpStats)
+	if string(resp.Stats) != `{"a":1}` {
+		t.Fatalf("stats: %+v", resp)
+	}
+
+	pairs := []KV{{[]byte("k1"), []byte("v1")}, {[]byte("k2"), []byte{}}}
+	resp = read(AppendOKPairs(nil, 4, pairs), OpScan)
+	if len(resp.Pairs) != 2 || string(resp.Pairs[0].Key) != "k1" ||
+		string(resp.Pairs[1].Key) != "k2" || len(resp.Pairs[1].Value) != 0 {
+		t.Fatalf("pairs: %+v", resp)
+	}
+
+	resp = read(AppendError(nil, 5, StatusNotFound, "nope"), OpGet)
+	if resp.Status != StatusNotFound || resp.Msg != "nope" || resp.ID != 5 {
+		t.Fatalf("error: %+v", resp)
+	}
+}
+
+func TestDecodeRequestRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":               {},
+		"zero opcode":         {0, 0, 0, 0, 0},
+		"unknown opcode":      {byte(opMax), 0, 0, 0, 0},
+		"truncated id":        {byte(OpPing), 1, 2},
+		"get empty key":       {byte(OpGet), 0, 0, 0, 0},
+		"put truncated klen":  {byte(OpPut), 0, 0, 0, 0, 9},
+		"put key over frame":  {byte(OpPut), 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 'k'},
+		"put empty key":       {byte(OpPut), 0, 0, 0, 0, 0, 0, 0, 0, 'v'},
+		"batch huge count":    {byte(OpBatch), 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f},
+		"batch bad kind":      append(appendU32([]byte{byte(OpBatch), 0, 0, 0, 0}, 1), 9, 1, 0, 0, 0, 'k', 0, 0, 0, 0),
+		"batch delete w/ val": append(appendU32([]byte{byte(OpBatch), 0, 0, 0, 0}, 1), BatchDelete, 1, 0, 0, 0, 'k', 1, 0, 0, 0, 'v'),
+	}
+	for name, body := range cases {
+		if _, err := DecodeRequest(body); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: want ErrMalformed, got %v", name, err)
+		}
+	}
+}
+
+func TestReadFrame(t *testing.T) {
+	// Two frames back to back with buffer reuse.
+	var wire []byte
+	wire = AppendPing(wire, 1)
+	wire = AppendGet(wire, 2, []byte("k"))
+	r := bytes.NewReader(wire)
+	buf, err := ReadFrame(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req, err := DecodeRequest(buf); err != nil || req.Op != OpPing {
+		t.Fatalf("frame 1: %v %+v", err, req)
+	}
+	if buf, err = ReadFrame(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if req, err := DecodeRequest(buf); err != nil || req.Op != OpGet {
+		t.Fatalf("frame 2: %v %+v", err, req)
+	}
+	if _, err = ReadFrame(r, buf); err != io.EOF {
+		t.Fatalf("want io.EOF at clean end, got %v", err)
+	}
+
+	// Oversized announced length must be rejected before allocating.
+	huge := appendU32(nil, MaxFrameSize+1)
+	if _, err := ReadFrame(bytes.NewReader(huge), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+
+	// A truncated body is an unexpected EOF, not a clean close.
+	trunc := appendU32(nil, 10)
+	trunc = append(trunc, 1, 2, 3)
+	if _, err := ReadFrame(bytes.NewReader(trunc), nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+	// So is a truncated header.
+	if _, err := ReadFrame(bytes.NewReader([]byte{1, 2}), nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF on short header, got %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package server
+
+import "unikv"
+
+// commitResult carries one group commit's outcome to everyone waiting on
+// it: the connection writer that must encode the response, and the
+// connection reader when it needs a read-your-writes barrier. err is
+// written strictly before done is closed.
+type commitResult struct {
+	err  error
+	done chan struct{}
+}
+
+func (r *commitResult) wait() error {
+	<-r.done
+	return r.err
+}
+
+// commitReq is one connection's write request (PUT, DELETE, or BATCH as a
+// single unit) queued for the shared group-commit loop.
+type commitReq struct {
+	b   *unikv.Batch
+	res *commitResult
+}
+
+// commitLoop is the group-commit path: a single goroutine that takes
+// whatever write requests have queued up — across all connections — and
+// applies them as one DB.Apply. Under concurrency the queue naturally
+// fills while the previous Apply (and its WAL fsync under SyncWrites) is
+// in flight, so N concurrent writers converge on far fewer than N
+// commits. Requests keep their queue order inside the merged batch, and
+// every waiter gets the same commit result.
+//
+// The loop exits when commitCh closes (after all connection handlers have
+// drained), committing anything still queued first.
+func (s *Server) commitLoop() {
+	defer s.commitWG.Done()
+	for first := range s.commitCh {
+		group := first.b
+		results := []*commitResult{first.res}
+	drain:
+		for group.Len() < s.opts.MaxGroupOps {
+			select {
+			case r, ok := <-s.commitCh:
+				if !ok {
+					break drain // closed and empty; commit what we have
+				}
+				group.Append(r.b)
+				results = append(results, r.res)
+			default:
+				break drain
+			}
+		}
+		err := s.db.Apply(group)
+		s.groupCommits.Add(1)
+		s.groupedOps.Add(int64(group.Len()))
+		if n := int64(group.Len()); n > s.maxGroup.Load() {
+			s.maxGroup.Store(n) // single-writer: only this goroutine stores
+		}
+		for _, r := range results {
+			r.err = err
+			close(r.done)
+		}
+	}
+}

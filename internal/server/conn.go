@@ -1,0 +1,248 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"unikv"
+	"unikv/internal/protocol"
+)
+
+// pending is one decoded request awaiting its response, queued in request
+// order. Either resp is a ready frame (read ops, errors) or res will
+// deliver the group-commit result (write ops) for the writer to encode.
+type pending struct {
+	id   uint32
+	resp []byte // pooled; consumed by the writer
+	res  *commitResult
+}
+
+// countingConn tallies wire bytes in both directions.
+type countingConn struct {
+	net.Conn
+	s *Server
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.s.bytesIn.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.s.bytesOut.Add(int64(n))
+	return n, err
+}
+
+// handleConn runs the reader loop for one connection and a paired writer
+// goroutine, giving the client full request pipelining: the reader keeps
+// decoding and dispatching while earlier responses are still being
+// committed or written.
+func (s *Server) handleConn(nc net.Conn) {
+	cc := &countingConn{Conn: nc, s: s}
+	defer func() {
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		s.connsActive.Add(-1)
+	}()
+
+	pendings := make(chan *pending, s.opts.PipelineDepth)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.connWriter(cc, pendings)
+	}()
+	defer func() { <-writerDone }()
+	defer close(pendings)
+
+	br := bufio.NewReaderSize(cc, 32<<10)
+	readBuf := s.getBuf()
+	defer func() { s.putBuf(readBuf) }()
+
+	// lastWrite is the connection's most recent pending write. Reads
+	// barrier on it before executing, preserving program order on a
+	// pipelined connection (read-your-writes): the commit loop is FIFO,
+	// so the newest write completing implies all older ones have.
+	var lastWrite *commitResult
+
+	for {
+		if s.opts.IdleTimeout > 0 {
+			nc.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		var err error
+		readBuf, err = s.readFrame(br, readBuf)
+		if err != nil {
+			if err != io.EOF && !s.closing.Load() && !isTimeout(err) {
+				s.opts.Logf("server: %s: read: %v", nc.RemoteAddr(), err)
+			}
+			return
+		}
+		req, err := protocol.DecodeRequest(readBuf)
+		if err != nil {
+			// The frame boundary is intact, so the stream is not
+			// desynchronized; answer BadRequest and keep serving.
+			s.requests.Add(1)
+			s.inFlight.Add(1)
+			s.respErrors.Add(1)
+			pendings <- &pending{resp: protocol.AppendError(s.getBuf(), req.ID, protocol.StatusBadRequest, err.Error())}
+			continue
+		}
+		s.requests.Add(1)
+		s.inFlight.Add(1)
+		pendings <- s.dispatch(req, &lastWrite)
+	}
+}
+
+// readFrame reads one frame, waking promptly when Close deadlines the
+// connection mid-idle.
+func (s *Server) readFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	// Close sets a past read deadline on every connection; a reader
+	// parked here then fails with a timeout and exits via its caller.
+	if s.closing.Load() {
+		return buf, net.ErrClosed
+	}
+	return protocol.ReadFrame(br, buf)
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// dispatch executes a read request inline or hands a write request to the
+// group-commit loop, returning the queue entry for the writer. lastWrite
+// tracks this connection's newest pending write for the read barrier.
+func (s *Server) dispatch(req protocol.Request, lastWrite **commitResult) *pending {
+	p := &pending{id: req.ID}
+	switch req.Op {
+	case protocol.OpPing:
+		p.resp = protocol.AppendOKEmpty(s.getBuf(), req.ID)
+
+	case protocol.OpStats:
+		s.readBarrier(lastWrite)
+		p.resp = protocol.AppendOKValue(s.getBuf(), req.ID, s.statsJSON())
+
+	case protocol.OpGet:
+		s.readBarrier(lastWrite)
+		v, err := s.db.Get(req.Key)
+		if err != nil {
+			p.resp = s.appendStatus(s.getBuf(), req.ID, err)
+		} else {
+			p.resp = protocol.AppendOKValue(s.getBuf(), req.ID, v)
+		}
+
+	case protocol.OpScan:
+		s.readBarrier(lastWrite)
+		end := req.End
+		if req.NoEnd {
+			end = nil
+		}
+		kvs, err := s.db.Scan(req.Start, end, req.Limit)
+		if err != nil {
+			p.resp = s.appendStatus(s.getBuf(), req.ID, err)
+		} else {
+			pairs := make([]protocol.KV, len(kvs))
+			for i, kv := range kvs {
+				pairs[i] = protocol.KV{Key: kv.Key, Value: kv.Value}
+			}
+			p.resp = protocol.AppendOKPairs(s.getBuf(), req.ID, pairs)
+		}
+
+	case protocol.OpPut, protocol.OpDelete, protocol.OpBatch:
+		s.writeRequests.Add(1)
+		// Batch.Put/Delete copy key and value out of the read buffer, so
+		// the reader is free to reuse it for the next pipelined frame
+		// while this one waits for its group commit.
+		b := unikv.NewBatch()
+		switch req.Op {
+		case protocol.OpPut:
+			b.Put(req.Key, req.Value)
+		case protocol.OpDelete:
+			b.Delete(req.Key)
+		default:
+			for _, op := range req.Ops {
+				if op.Kind == protocol.BatchDelete {
+					b.Delete(op.Key)
+				} else {
+					b.Put(op.Key, op.Value)
+				}
+			}
+		}
+		p.res = &commitResult{done: make(chan struct{})}
+		*lastWrite = p.res
+		s.commitCh <- &commitReq{b: b, res: p.res}
+	}
+	return p
+}
+
+// readBarrier waits for the connection's pending writes to commit before
+// a read executes, so a pipelined GET observes the PUT sent before it.
+func (s *Server) readBarrier(lastWrite **commitResult) {
+	if *lastWrite != nil {
+		(*lastWrite).wait()
+		*lastWrite = nil
+	}
+}
+
+// appendStatus encodes an error result, counting it.
+func (s *Server) appendStatus(buf []byte, id uint32, err error) []byte {
+	st := statusOf(err)
+	if st == protocol.StatusOK {
+		return protocol.AppendOKEmpty(buf, id)
+	}
+	s.respErrors.Add(1)
+	return protocol.AppendError(buf, id, st, err.Error())
+}
+
+// statusOf maps engine errors onto wire statuses.
+func statusOf(err error) protocol.Status {
+	switch {
+	case err == nil:
+		return protocol.StatusOK
+	case errors.Is(err, unikv.ErrNotFound):
+		return protocol.StatusNotFound
+	case errors.Is(err, unikv.ErrKeyTooLarge):
+		return protocol.StatusTooLarge
+	case errors.Is(err, unikv.ErrClosed):
+		return protocol.StatusClosed
+	default:
+		return protocol.StatusInternal
+	}
+}
+
+// connWriter writes responses in request order, buffering while the
+// pipeline is busy and flushing the moment it goes idle. After a write
+// failure it keeps draining the queue (so the reader and the commit loop
+// never block on a dead connection) without writing.
+func (s *Server) connWriter(cc *countingConn, pendings <-chan *pending) {
+	bw := bufio.NewWriterSize(cc, 32<<10)
+	dead := false
+	for p := range pendings {
+		if p.res != nil {
+			p.resp = s.appendStatus(s.getBuf(), p.id, p.res.wait())
+		}
+		if !dead {
+			if s.opts.WriteTimeout > 0 {
+				cc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+			}
+			if _, err := bw.Write(p.resp); err != nil {
+				dead = true
+			} else if len(pendings) == 0 {
+				if err := bw.Flush(); err != nil {
+					dead = true
+				}
+			}
+		}
+		s.putBuf(p.resp)
+		s.inFlight.Add(-1)
+	}
+	if !dead {
+		bw.Flush()
+	}
+}

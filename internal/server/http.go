@@ -1,0 +1,14 @@
+package server
+
+import "net/http"
+
+// MetricsHandler serves the same JSON snapshot as the STATS opcode, so
+// the wire protocol and the HTTP/expvar surface can never disagree about
+// schema. cmd/unikv-server mounts it next to expvar on the debug
+// listener.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(s.statsJSON())
+	})
+}

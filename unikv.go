@@ -25,6 +25,16 @@
 // partitions (scale-out instead of LSM levels). Scans merge the tiers by
 // smallest-key selection and fetch log-resident values with readahead and a
 // parallel worker pool.
+//
+// # Serving
+//
+// Beyond the embedded API, the store runs as a network service:
+// internal/server wraps a DB in a TCP front end speaking the
+// length-prefixed binary protocol of internal/protocol (opcodes GET, PUT,
+// DELETE, SCAN, BATCH, STATS, PING), coalescing concurrent writes into
+// group commits via Batch.Append + DB.Apply. cmd/unikv-server is the
+// daemon; pkg/client is the connection-pooled Go client mirroring this
+// package's API. See the README's "Serving" section for a quick start.
 package unikv
 
 import (
@@ -37,6 +47,10 @@ var ErrNotFound = core.ErrNotFound
 
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = core.ErrClosed
+
+// ErrKeyTooLarge is returned for writes whose key or value exceeds the
+// on-disk format limits (64 KiB keys, 1 GiB values).
+var ErrKeyTooLarge = core.ErrKeyTooLarge
 
 // KV is one key-value pair returned by Scan.
 type KV = core.KV
