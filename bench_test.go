@@ -227,6 +227,39 @@ func BenchmarkFig8YCSB(b *testing.B) {
 	}
 }
 
+// BenchmarkFig8BackgroundA: YCSB workload A (50/50 zipfian read/update) on
+// UniKV with maintenance inline vs offloaded to the background scheduler.
+// The background rows should show lower ns/op: flush/merge/GC/split leave
+// the foreground path, so the zipfian update stream no longer pays for them
+// synchronously.
+func BenchmarkFig8BackgroundA(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"inline", 0}, {"background", 4}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s, _ := openBench(b, bench.KindUniKV, benchN, func(o *core.Options) {
+				o.BackgroundWorkers = cfg.workers
+			})
+			defer s.Close()
+			loadBench(b, s, benchN, benchValue)
+			c := ycsb.NewClient(ycsb.WorkloadA, benchN, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op := c.Next()
+				switch op.Type {
+				case ycsb.OpRead:
+					s.Get(op.Key)
+				case ycsb.OpUpdate:
+					if err := s.Put(op.Key, ycsb.Value(i, benchValue)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig9Scalability (paper Fig. 9): point reads at growing dataset
 // sizes; compare ns/op growth across engines.
 func BenchmarkFig9Scalability(b *testing.B) {

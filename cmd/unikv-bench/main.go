@@ -27,14 +27,15 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list   = flag.Bool("list", false, "list experiments")
-		n      = flag.Int("n", 0, "records to load (default per experiment)")
-		value  = flag.Int("value", 0, "value size in bytes")
-		ops    = flag.Int("ops", 0, "measured operations per phase")
-		seed   = flag.Int64("seed", 1, "workload seed")
-		stores = flag.String("stores", "", "comma-separated store subset (default all)")
-		quiet  = flag.Bool("q", false, "suppress progress output")
+		exp       = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list      = flag.Bool("list", false, "list experiments")
+		n         = flag.Int("n", 0, "records to load (default per experiment)")
+		value     = flag.Int("value", 0, "value size in bytes")
+		ops       = flag.Int("ops", 0, "measured operations per phase")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		stores    = flag.String("stores", "", "comma-separated store subset (default all)")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+		bgWorkers = flag.Int("bg-workers", 0, "UniKV background maintenance workers (0 = inline)")
 
 		netMode    = flag.Bool("net", false, "run the networked client benchmark instead of -exp")
 		netAddr    = flag.String("net-addr", "", "benchmark a running unikv-server ('' = in-process)")
@@ -44,7 +45,7 @@ func main() {
 	flag.Parse()
 
 	if *netMode {
-		p := bench.Params{N: *n, ValueSize: *value, Ops: *ops, Seed: *seed}
+		p := bench.Params{N: *n, ValueSize: *value, Ops: *ops, Seed: *seed, BackgroundWorkers: *bgWorkers}
 		if !*quiet {
 			p.Progress = os.Stderr
 		}
@@ -66,7 +67,7 @@ func main() {
 		return
 	}
 
-	p := bench.Params{N: *n, ValueSize: *value, Ops: *ops, Seed: *seed}
+	p := bench.Params{N: *n, ValueSize: *value, Ops: *ops, Seed: *seed, BackgroundWorkers: *bgWorkers}
 	if *stores != "" {
 		p.Stores = strings.Split(*stores, ",")
 	}

@@ -34,7 +34,10 @@ func runNetBench(p bench.Params, addr string, clients int, syncWrites bool) erro
 			return err
 		}
 		defer os.RemoveAll(dir)
-		db, err := unikv.Open(dir, &unikv.Options{SyncWrites: syncWrites})
+		db, err := unikv.Open(dir, &unikv.Options{
+			SyncWrites:        syncWrites,
+			BackgroundWorkers: p.BackgroundWorkers,
+		})
 		if err != nil {
 			return err
 		}
@@ -47,28 +50,43 @@ func runNetBench(p bench.Params, addr string, clients int, syncWrites bool) erro
 		go srv.Serve(ln)
 		defer srv.Close()
 		addr = ln.Addr().String()
-		fmt.Fprintf(progressOf(p), "netbench: in-process server on %s (sync=%v)\n", addr, syncWrites)
+		fmt.Fprintf(progressOf(p), "netbench: in-process server on %s (sync=%v bg-workers=%d)\n",
+			addr, syncWrites, p.BackgroundWorkers)
 	}
 
 	key := func(i int) []byte { return []byte(fmt.Sprintf("net%016d", i)) }
 	value := make([]byte, p.ValueSize)
 	rand.New(rand.NewSource(p.Seed)).Read(value)
 
+	// Per-client latency histograms, merged after each phase (a Hist is
+	// not safe for concurrent Record).
+	loadHists := make([]bench.Hist, clients)
+	getHists := make([]bench.Hist, clients)
+	putHists := make([]bench.Hist, clients)
+	scanHists := make([]bench.Hist, clients)
+
 	// Load phase: each client streams its shard in BATCH requests.
 	loadStart := time.Now()
 	if err := eachClient(addr, clients, func(g int, c *client.Client) error {
+		h := &loadHists[g]
+		apply := func(b *client.Batch) error {
+			t0 := time.Now()
+			err := c.Apply(b)
+			h.Record(time.Since(t0))
+			return err
+		}
 		b := client.NewBatch()
 		for i := g; i < p.N; i += clients {
 			b.Put(key(i), value)
 			if b.Len() >= 100 {
-				if err := c.Apply(b); err != nil {
+				if err := apply(b); err != nil {
 					return err
 				}
 				b.Reset()
 			}
 		}
 		if b.Len() > 0 {
-			return c.Apply(b)
+			return apply(b)
 		}
 		return nil
 	}); err != nil {
@@ -82,19 +100,23 @@ func runNetBench(p bench.Params, addr string, clients int, syncWrites bool) erro
 		rng := rand.New(rand.NewSource(p.Seed + int64(g)))
 		for i := 0; i < p.Ops/clients; i++ {
 			k := key(rng.Intn(p.N))
+			t0 := time.Now()
 			switch r := rng.Intn(10); {
 			case r < 5:
 				if _, err := c.Get(k); err != nil {
 					return fmt.Errorf("get %s: %w", k, err)
 				}
+				getHists[g].Record(time.Since(t0))
 			case r < 9:
 				if err := c.Put(k, value); err != nil {
 					return fmt.Errorf("put %s: %w", k, err)
 				}
+				putHists[g].Record(time.Since(t0))
 			default:
 				if _, err := c.Scan(k, nil, 10); err != nil {
 					return fmt.Errorf("scan %s: %w", k, err)
 				}
+				scanHists[g].Record(time.Since(t0))
 			}
 		}
 		return nil
@@ -102,6 +124,15 @@ func runNetBench(p bench.Params, addr string, clients int, syncWrites bool) erro
 		return fmt.Errorf("mixed: %w", err)
 	}
 	mixSecs := time.Since(mixStart).Seconds()
+
+	merge := func(hs []bench.Hist) *bench.Hist {
+		var out bench.Hist
+		for i := range hs {
+			out.Merge(&hs[i])
+		}
+		return &out
+	}
+	hLoad, hGet, hPut, hScan := merge(loadHists), merge(getHists), merge(putHists), merge(scanHists)
 
 	// One coherent snapshot over the wire, same as any operator would get.
 	statsClient, err := client.Dial(addr, nil)
@@ -125,6 +156,25 @@ func runNetBench(p bench.Params, addr string, clients int, syncWrites bool) erro
 		},
 	}
 	fmt.Println(t.String())
+
+	lat := bench.Table{
+		Title:  "client-observed latency",
+		Note:   "load rows are per 100-op BATCH request; mixed rows are per operation",
+		Header: append([]string{"op", "count"}, bench.LatencyHeader()...),
+	}
+	for _, row := range []struct {
+		name string
+		h    *bench.Hist
+	}{
+		{"batch-put (load)", hLoad},
+		{"get (mixed)", hGet},
+		{"put (mixed)", hPut},
+		{"scan10 (mixed)", hScan},
+	} {
+		lat.Rows = append(lat.Rows,
+			append([]string{row.name, fmt.Sprint(row.h.Count())}, row.h.LatencyRow()...))
+	}
+	fmt.Println(lat.String())
 
 	coalesce := "n/a"
 	if m.WriteRequests > 0 {

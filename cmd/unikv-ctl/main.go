@@ -51,6 +51,16 @@ func main() {
 			fmt.Printf("sorted tables:     %d (%d bytes)\n", m.SortedTables, m.SortedBytes)
 			fmt.Printf("value logs:        %d (%d bytes)\n", m.ValueLogs, m.ValueLogBytes)
 			fmt.Printf("hash index memory: %d bytes\n", m.HashIndexBytes)
+			fmt.Println("maintenance:")
+			fmt.Printf("  pending jobs:        %d\n", m.PendingJobs)
+			fmt.Printf("  immutable memtables: %d\n", m.ImmutableMemtables)
+			fmt.Printf("  flushes:             %d\n", m.Flushes)
+			fmt.Printf("  merges:              %d\n", m.Merges)
+			fmt.Printf("  scan merges:         %d\n", m.ScanMerges)
+			fmt.Printf("  gcs:                 %d (%d bytes rewritten)\n", m.GCs, m.GCBytesRewritten)
+			fmt.Printf("  splits:              %d\n", m.Splits)
+			fmt.Printf("  write stalls:        %d (%d ns stalled, %d ns slowed)\n", m.Stalls, m.StallNanos, m.SlowdownNanos)
+			fmt.Printf("  background errors:   %d\n", m.BackgroundErrors)
 		})
 	case "get":
 		if flag.NArg() < 2 {

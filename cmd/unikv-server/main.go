@@ -15,6 +15,10 @@
 //	                (expvar). Empty disables the listener.
 //	-sync           fsync the WAL on every commit (group commit amortizes
 //	                the cost across concurrent writers)
+//	-bg-workers     background maintenance workers; the server defaults to
+//	                background mode (GOMAXPROCS workers) so flushes and
+//	                merges never run inside a client request. 0 forces the
+//	                inline scheduling used by the embedded API's default.
 //	-max-conns      connection limit (default 1024)
 //	-idle-timeout   drop connections idle this long (default 5m, 0 = never)
 //	-write-timeout  per-response write deadline (default 30s, 0 = none)
@@ -36,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -53,6 +58,7 @@ func main() {
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "close idle connections after this (0 = never)")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline (0 = none)")
 		maxGroupOps  = flag.Int("max-group-ops", 0, "max operations per group commit (0 = default)")
+		bgWorkers    = flag.Int("bg-workers", runtime.GOMAXPROCS(0), "background maintenance workers (0 = inline maintenance)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -60,7 +66,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	db, err := unikv.Open(*dir, &unikv.Options{SyncWrites: *sync})
+	db, err := unikv.Open(*dir, &unikv.Options{
+		SyncWrites:        *sync,
+		BackgroundWorkers: *bgWorkers,
+	})
 	if err != nil {
 		log.Fatalf("open %s: %v", *dir, err)
 	}
@@ -77,7 +86,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen %s: %v", *addr, err)
 	}
-	log.Printf("unikv-server: serving %s on %s (sync=%v)", *dir, ln.Addr(), *sync)
+	log.Printf("unikv-server: serving %s on %s (sync=%v bg-workers=%d)", *dir, ln.Addr(), *sync, *bgWorkers)
 
 	if *httpAddr != "" {
 		// One coherent snapshot on both surfaces: /metrics serves the

@@ -28,6 +28,10 @@ type Params struct {
 	Stores []string
 	// Progress receives live progress lines (nil = silent).
 	Progress io.Writer
+	// BackgroundWorkers runs UniKV with that many maintenance workers
+	// (0 = inline scheduling, the default). Applies to every experiment;
+	// fig-latency additionally compares both modes side by side.
+	BackgroundWorkers int
 }
 
 // WithDefaults fills unset fields.
@@ -216,7 +220,7 @@ func runYCSB(s Store, w ycsb.Workload, n, ops, valueSize int, seed int64) (time.
 // openFresh opens kind over a fresh in-memory FS sized for p and returns
 // the store plus its FS (for I/O accounting).
 func openFresh(kind string, p Params, tweak func(env *Env)) (Store, vfs.FS, error) {
-	env := Env{FS: vfs.NewMem(), DatasetBytes: p.DatasetBytes()}
+	env := Env{FS: vfs.NewMem(), DatasetBytes: p.DatasetBytes(), BackgroundWorkers: p.BackgroundWorkers}
 	if tweak != nil {
 		tweak(&env)
 	}

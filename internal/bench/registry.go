@@ -35,6 +35,7 @@ func init() {
 	register("fig-param-unsorted", "sensitivity: UnsortedLimit", FigParamUnsorted)
 	register("fig-param-partition", "sensitivity: PartitionSizeLimit", FigParamPartition)
 	register("fig-scanopt", "scan optimization breakdown", FigScanOpt)
+	register("fig-latency", "per-op latency: inline vs background maintenance", FigLatency)
 }
 
 // Lookup finds an experiment by ID.

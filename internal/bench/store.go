@@ -69,6 +69,9 @@ type Env struct {
 	DatasetBytes int64
 	// UniKVTweak mutates the UniKV options before opening (ablations).
 	UniKVTweak func(*core.Options)
+	// BackgroundWorkers sizes UniKV's maintenance pool (0 = inline).
+	// Applied before UniKVTweak, so a tweak can still override it.
+	BackgroundWorkers int
 }
 
 func (e Env) withDefaults(kind string) Env {
@@ -105,6 +108,7 @@ func OpenStore(kind string, env Env) (Store, error) {
 			PartitionSizeLimit: clampMin(env.DatasetBytes/3, 32*memtable),
 			MaxLogSize:         clampMin(env.DatasetBytes/16, 64<<10),
 			TargetTableSize:    clampMin(env.DatasetBytes/128, 32<<10),
+			BackgroundWorkers:  env.BackgroundWorkers,
 		}
 		if env.UniKVTweak != nil {
 			env.UniKVTweak(&opts)

@@ -17,13 +17,10 @@ type Batch struct {
 // NewBatch returns an empty batch.
 func NewBatch() *Batch { return &Batch{} }
 
-// Put queues an insert/overwrite. Key and value are copied.
+// Put queues an insert/overwrite. Key and value are copied (once, into a
+// single allocation; the engine never copies them again on the write path).
 func (b *Batch) Put(key, value []byte) {
-	b.ops = append(b.ops, record.Record{
-		Key:   append([]byte(nil), key...),
-		Kind:  record.KindSet,
-		Value: append([]byte(nil), value...),
-	})
+	b.ops = append(b.ops, copyRecord(key, value, 0, record.KindSet))
 }
 
 // Delete queues a tombstone. The key is copied.
@@ -54,6 +51,9 @@ func (db *DB) ApplyBatch(b *Batch) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if err := db.failedErr(); err != nil {
+		return err
+	}
 	for i := range b.ops {
 		op := &b.ops[i]
 		if len(op.Key) == 0 || len(op.Key) >= maxKeyLen || len(op.Value) >= maxValueLen {
@@ -72,6 +72,9 @@ func (db *DB) ApplyBatch(b *Batch) error {
 	pending := b.ops
 	for len(pending) > 0 {
 		p := db.partitionFor(pending[0].Key)
+		if err := db.throttle(p); err != nil {
+			return err
+		}
 		p.mu.Lock()
 		if !p.covers(pending[0].Key) {
 			p.mu.Unlock()
@@ -96,6 +99,9 @@ func (db *DB) ApplyBatch(b *Batch) error {
 			if err := db.splitPartition(p); err != nil {
 				return err
 			}
+		}
+		if db.sched != nil {
+			db.checkMaintenance(p)
 		}
 		pending = rest
 	}

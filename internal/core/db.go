@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -34,7 +35,9 @@ type DB struct {
 	nextFile atomic.Uint64
 
 	// router orders partitions by lower boundary key. Lock order:
-	// router.mu -> partition.mu -> logRefs.mu.
+	// maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu
+	// (the first two exist per partition and only matter with
+	// BackgroundWorkers > 0; see scheduler.go).
 	router struct {
 		sync.RWMutex
 		parts []*partition
@@ -50,6 +53,18 @@ type DB struct {
 	pool   *fetchPool
 	stats  Stats
 	closed atomic.Bool
+
+	// sched is the background maintenance pool (nil in inline mode).
+	sched *scheduler
+	// bgErr is the first background job error; once set the DB is failed:
+	// writes return it, reads keep serving.
+	bgErr atomic.Pointer[error]
+
+	// Test hooks (nil in production). testHookJobStart fires as a worker
+	// picks up a job; testHookMergeBuild fires inside a background merge
+	// after the snapshot is taken, before the build.
+	testHookJobStart   func(*partition, jobKind)
+	testHookMergeBuild func(*partition)
 }
 
 // Stats aggregates operation counters for the experiments.
@@ -58,6 +73,8 @@ type Stats struct {
 	Flushes, Merges, ScanMerges, GCs, Splits atomic.Int64
 	GCBytesRewritten                         atomic.Int64
 	HashProbes                               atomic.Int64
+	Stalls, StallNanos, SlowdownNanos        atomic.Int64
+	BackgroundErrors                         atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of Stats plus derived gauges.
@@ -74,6 +91,10 @@ type StatsSnapshot struct {
 	SortedBytes                              int64
 	ValueLogBytes                            int64
 	TableBlockReads                          int64
+	Stalls, StallNanos, SlowdownNanos        int64
+	BackgroundErrors                         int64
+	PendingJobs                              int
+	ImmutableMemtables                       int
 }
 
 // file-name helpers -----------------------------------------------------
@@ -145,6 +166,9 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	if !opts.DisableOrphanCleanup {
 		db.sweepOrphans()
+	}
+	if opts.BackgroundWorkers > 0 {
+		db.sched = newScheduler(db, opts.BackgroundWorkers)
 	}
 	return db, nil
 }
@@ -272,14 +296,45 @@ func (db *DB) recoverPartition(meta *manifest.PartitionMeta) (*partition, error)
 	p.srt = srt
 
 	p.mem = newMemtable()
-	// WAL replay.
-	if meta.WALNum != 0 && db.fs.Exists(walName(pdir, meta.WALNum)) {
-		if err := p.replayWAL(meta.WALNum); err != nil {
-			return nil, err
+	// WAL replay. The manifest records the oldest WAL still holding
+	// unflushed data; background mode freezes memtables onto per-memtable
+	// WALs without a manifest edit, so any later-numbered .wal file in the
+	// directory is unflushed frozen data from before the crash. File numbers
+	// are monotonic, so replaying ascending from meta.WALNum reconstructs
+	// write order.
+	if meta.WALNum != 0 {
+		for _, num := range db.walNumsFrom(pdir, meta.WALNum) {
+			if err := p.replayWAL(num); err != nil {
+				return nil, err
+			}
+			p.walNum = num // flushed or rotated by recover()
 		}
-		p.walNum = meta.WALNum // flushed or rotated by recover()
 	}
 	return p, nil
+}
+
+// walNumsFrom lists the .wal file numbers in pdir that are >= from, in
+// ascending order.
+func (db *DB) walNumsFrom(pdir string, from uint64) []uint64 {
+	names, err := db.fs.List(pdir)
+	if err != nil {
+		if db.fs.Exists(walName(pdir, from)) {
+			return []uint64{from}
+		}
+		return nil
+	}
+	var nums []uint64
+	for _, name := range names {
+		var n uint64
+		if _, err := fmt.Sscanf(name, "%d.wal", &n); err != nil || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		if n >= from {
+			nums = append(nums, n)
+		}
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	return nums
 }
 
 // Close flushes memtables and releases every resource.
@@ -288,12 +343,26 @@ func (db *DB) Close() error {
 		return nil
 	}
 	var first error
+	// Stop the maintenance pool first: running jobs finish, queued ones are
+	// dropped (the inline drain below covers them), stalled writers wake
+	// and observe closed.
+	if db.sched != nil {
+		db.sched.close()
+		for _, p := range db.partitions() {
+			p.wakeStalled()
+		}
+	}
 	db.router.Lock()
 	parts := db.router.parts
 	db.router.Unlock()
 	for _, p := range parts {
 		p.mu.Lock()
-		if !p.mem.Empty() {
+		if len(p.imm) > 0 && db.failedErr() == nil {
+			if err := p.drainImmLocked(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if !p.mem.Empty() && db.failedErr() == nil {
 			if err := p.flushLocked(); err != nil && first == nil {
 				first = err
 			}
@@ -398,8 +467,14 @@ func (db *DB) sweepOrphans() {
 		for _, t := range meta.Sorted {
 			ref[filepath.Base(tableName(pdir, t.FileNum))] = true
 		}
+		// Every .wal numbered >= the manifest's WAL pointer may hold
+		// unflushed data (frozen memtables rotate the WAL without a
+		// manifest edit), so protect the whole suffix, not just the
+		// recorded number.
 		if meta.WALNum != 0 {
-			ref[filepath.Base(walName(pdir, meta.WALNum))] = true
+			for _, n := range db.walNumsFrom(pdir, meta.WALNum) {
+				ref[filepath.Base(walName(pdir, n))] = true
+			}
 		}
 		if meta.HashCkpt != 0 {
 			ref[filepath.Base(ckptName(pdir, meta.HashCkpt))] = true
@@ -410,6 +485,11 @@ func (db *DB) sweepOrphans() {
 			p.mu.RLock()
 			if p.walNum != 0 {
 				ref[filepath.Base(walName(pdir, p.walNum))] = true
+			}
+			for _, n := range p.immWALs {
+				if n != 0 {
+					ref[filepath.Base(walName(pdir, n))] = true
+				}
 			}
 			if p.hashCkpt != 0 {
 				ref[filepath.Base(ckptName(pdir, p.hashCkpt))] = true
@@ -485,10 +565,18 @@ func (db *DB) Metrics() StatsSnapshot {
 		ScanMerges: db.stats.ScanMerges.Load(), GCs: db.stats.GCs.Load(),
 		Splits:           db.stats.Splits.Load(),
 		GCBytesRewritten: db.stats.GCBytesRewritten.Load(),
+		Stalls:           db.stats.Stalls.Load(),
+		StallNanos:       db.stats.StallNanos.Load(),
+		SlowdownNanos:    db.stats.SlowdownNanos.Load(),
+		BackgroundErrors: db.stats.BackgroundErrors.Load(),
+	}
+	if db.sched != nil {
+		s.PendingJobs = db.sched.pendingJobs()
 	}
 	for _, p := range db.partitions() {
 		p.mu.RLock()
 		s.Partitions++
+		s.ImmutableMemtables += len(p.imm)
 		s.UnsortedTables += p.uns.NumTables()
 		s.SortedTables += p.srt.NumTables()
 		s.HashIndexBytes += p.uns.Index().MemoryBytes()

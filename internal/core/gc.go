@@ -14,13 +14,31 @@ func (p *partition) maybeGCLocked() error {
 		return nil
 	}
 	refBytes := p.logBytesLocked()
-	if refBytes == 0 || float64(p.garbageBytes) < p.db.opts.GCRatio*float64(refBytes) {
+	if refBytes == 0 || float64(p.garbageBytes.Load()) < p.db.opts.GCRatio*float64(refBytes) {
 		return nil
 	}
-	return p.gcLocked()
+	return p.gcTables(true)
 }
 
-// gcLocked rewrites the partition's live values out of its collectable
+// backgroundGC is the GC job: it re-checks the trigger, then runs the
+// value rewrite without the partition lock (the SortedStore and log set
+// are stable under maintMu; concurrent reads resolve pointers against the
+// old logs, which survive until after the commit).
+func (p *partition) backgroundGC() error {
+	if p.db.opts.DisableKVSeparation {
+		return nil
+	}
+	p.mu.RLock()
+	refBytes := p.logBytesLocked()
+	ok := refBytes > 0 && float64(p.garbageBytes.Load()) >= p.db.opts.GCRatio*float64(refBytes)
+	p.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	return p.gcTables(false)
+}
+
+// gcTables rewrites the partition's live values out of its collectable
 // logs into a fresh dedicated log and rewrites the SortedStore run with
 // updated pointers. Crash consistency follows the paper's protocol:
 //
@@ -32,18 +50,35 @@ func (p *partition) maybeGCLocked() error {
 //
 // A crash before step 4 leaves the old state intact (the GC simply redoes);
 // the orphaned new files are swept at the next open.
-func (p *partition) gcLocked() error {
+//
+// locked means the caller holds p.mu for writing (inline mode); otherwise
+// only the commit takes it.
+func (p *partition) gcTables(locked bool) error {
 	db := p.db
 
 	// Collectable logs: everything the partition references except the
-	// engine-wide active log (still being appended by merges).
+	// engine-wide active log (still being appended by merges). The set is
+	// read under at least a read lock; it cannot change mid-GC because
+	// only structural jobs mutate it and those hold maintMu.
 	collect := map[uint32]bool{}
 	activeNum, hasActive := db.vl.ActiveNum()
+	minPinned, hasPinned := db.vl.MinPinned()
+	if !locked {
+		p.mu.RLock()
+	}
 	for n := range p.logs {
 		if hasActive && n == activeNum {
 			continue
 		}
+		// A pinned append window means an in-flight merge may be
+		// writing into this or any later log; leave them alone.
+		if hasPinned && n >= minPinned {
+			continue
+		}
 		collect[n] = true
+	}
+	if !locked {
+		p.mu.RUnlock()
 	}
 	if len(collect) == 0 {
 		return nil
@@ -102,6 +137,11 @@ func (p *partition) gcLocked() error {
 		return err
 	}
 
+	if !locked {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+
 	// New log set: uncollected logs plus the rewrite target.
 	newLogs := map[uint32]bool{}
 	for n := range p.logs {
@@ -138,7 +178,7 @@ func (p *partition) gcLocked() error {
 		released = append(released, n)
 	}
 	db.releaseLogs(released)
-	p.garbageBytes = 0
+	p.garbageBytes.Store(0)
 	db.stats.GCs.Add(1)
 	db.stats.GCBytesRewritten.Add(rewritten)
 	return nil

@@ -64,7 +64,7 @@ func TestLazyValueSplitLifecycle(t *testing.T) {
 	// Force GC in every partition that still has garbage.
 	for _, p := range db.partitions() {
 		p.mu.Lock()
-		err := p.gcLocked()
+		err := p.gcTables(true)
 		p.mu.Unlock()
 		if err != nil {
 			t.Fatal(err)

@@ -111,18 +111,57 @@ func tableMetas(tables []*sorted.Table) []manifest.TableMeta {
 // ---------------------------------------------------------------------------
 // Unsorted → Sorted merge with partial KV separation.
 
-// mergeLocked drains the UnsortedStore into the SortedStore: keys are
-// merge-sorted with the existing run; values of incoming (hot-tier) records
-// are appended to the value log and replaced by pointers; existing pointers
-// are carried through untouched. Requires p.mu held for writing.
+// mergeLocked drains the UnsortedStore into the SortedStore. Requires
+// p.mu held for writing (inline mode and CompactAll).
 func (p *partition) mergeLocked() error {
-	if p.uns.NumTables() == 0 {
+	return p.mergeTables(p.uns.Tables(), true)
+}
+
+// backgroundMerge is the merge job: it snapshots the UnsortedStore's
+// current tables (flush order is append-only, so the snapshot stays a
+// stable prefix while concurrent flushes land behind it), re-checks the
+// trigger, and runs the heavy merge without the partition lock.
+func (p *partition) backgroundMerge() error {
+	p.mu.RLock()
+	if p.uns.SizeBytes() < p.db.opts.UnsortedLimit {
+		p.mu.RUnlock()
+		return nil
+	}
+	snap := append([]*unsorted.Table(nil), p.uns.Tables()...)
+	p.mu.RUnlock()
+	if h := p.db.testHookMergeBuild; h != nil {
+		h(p) // test-only gate: hold the merge "mid-build", no locks held
+	}
+	return p.mergeTables(snap, false)
+}
+
+// mergeTables merges snap (a prefix of the UnsortedStore in flush order)
+// and the SortedStore run into a new sorted run: keys are merge-sorted
+// with the existing run; values of incoming (hot-tier) records are
+// appended to the value log and replaced by pointers; existing pointers
+// are carried through untouched.
+//
+// locked means the caller already holds p.mu for writing and owns the
+// whole UnsortedStore (snap is all of it). Otherwise the build runs
+// without the lock — the SortedStore and the snapshot are stable because
+// structural jobs are serialized by maintMu and flushes only append —
+// and the commit re-locks to install the new run, keeping whatever
+// tables were flushed after the snapshot.
+func (p *partition) mergeTables(snap []*unsorted.Table, locked bool) error {
+	if len(snap) == 0 {
 		return nil
 	}
 	db := p.db
 
+	// Separated values land in the shared active log, which can rotate
+	// mid-merge; their pointers become visible only at commit. Pin the
+	// append window so a concurrent GC in another partition does not
+	// collect the logs we are writing into.
+	pin := db.vl.Pin()
+	defer db.vl.Unpin(pin)
+
 	var iters []recIter
-	for _, t := range p.uns.Tables() {
+	for _, t := range snap {
 		iters = append(iters, t.Reader.NewIterator())
 	}
 	iters = append(iters, p.srt.NewIterator())
@@ -185,6 +224,11 @@ func (p *partition) mergeLocked() error {
 		return err
 	}
 
+	if !locked {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+
 	// Log set: keep everything previously referenced (their pointers were
 	// carried through) plus the logs the new values landed in.
 	var added []uint32
@@ -195,12 +239,15 @@ func (p *partition) mergeLocked() error {
 		}
 	}
 
-	oldUnsorted := p.uns.Tables()
+	// Tables flushed after the snapshot stay in the UnsortedStore (their
+	// local IDs are positional, so removing the merged prefix rebuilds
+	// the index over the survivors).
+	remaining := append([]*unsorted.Table(nil), p.uns.Tables()[len(snap):]...)
 	oldSorted := p.srt.Tables()
 	oldCkpt := p.hashCkpt
 
 	if err := db.man.Apply(
-		manifest.SetUnsorted(p.id, nil),
+		manifest.SetUnsorted(p.id, unsortedMetas(remaining)),
 		manifest.SetSorted(p.id, tableMetas(tables)),
 		manifest.SetLogs(p.id, p.logsSliceLocked()),
 		manifest.SetHashCkpt(p.id, 0),
@@ -212,11 +259,13 @@ func (p *partition) mergeLocked() error {
 	db.retainLogs(added)
 
 	// Swap in-memory state, then delete the replaced files.
-	p.uns.Reset()
+	if err := p.uns.ReplaceTables(remaining); err != nil {
+		return err
+	}
 	p.srt.ReplaceAll(tables)
 	p.hashCkpt = 0
 	p.flushesSinceCkpt = 0
-	for _, t := range oldUnsorted {
+	for _, t := range snap {
 		t.Reader.Close()
 		db.fs.Remove(tableName(p.dir, t.Meta.FileNum))
 	}
@@ -231,6 +280,19 @@ func (p *partition) mergeLocked() error {
 	return nil
 }
 
+// unsortedMetas extracts manifest metadata from unsorted tables (nil for
+// an empty set, matching the manifest's "no tables" encoding).
+func unsortedMetas(tables []*unsorted.Table) []manifest.TableMeta {
+	if len(tables) == 0 {
+		return nil
+	}
+	out := make([]manifest.TableMeta, len(tables))
+	for i, t := range tables {
+		out[i] = t.Meta
+	}
+	return out
+}
+
 // accountGarbage records that rec's value (if log-resident) became dead.
 func (p *partition) accountGarbage(rec record.Record) {
 	if rec.Kind != record.KindSetPtr {
@@ -241,7 +303,7 @@ func (p *partition) accountGarbage(rec record.Record) {
 		return
 	}
 	p.db.vl.AddGarbage(ptr.LogNum, int64(ptr.Length)+8)
-	p.garbageBytes += int64(ptr.Length) + 8
+	p.garbageBytes.Add(int64(ptr.Length) + 8)
 }
 
 // ---------------------------------------------------------------------------
@@ -251,13 +313,34 @@ func (p *partition) accountGarbage(rec record.Record) {
 // (they still shadow the SortedStore).
 
 func (p *partition) scanMergeLocked() error {
-	if p.uns.NumTables() <= 1 {
+	return p.scanMergeTables(p.uns.Tables(), true)
+}
+
+// backgroundScanMerge is the scan-merge job (snapshot semantics as in
+// backgroundMerge).
+func (p *partition) backgroundScanMerge() error {
+	p.mu.RLock()
+	if p.db.opts.DisableScanMerge || p.uns.NumTables() < p.db.opts.ScanMergeLimit {
+		p.mu.RUnlock()
+		return nil
+	}
+	snap := append([]*unsorted.Table(nil), p.uns.Tables()...)
+	p.mu.RUnlock()
+	return p.scanMergeTables(snap, false)
+}
+
+// scanMergeTables compacts snap into a single table that keeps tombstones
+// and inline values. In background mode the merged table takes the oldest
+// position and later-flushed tables keep shadowing it, preserving
+// newest-first probe order.
+func (p *partition) scanMergeTables(snap []*unsorted.Table, locked bool) error {
+	if len(snap) <= 1 {
 		return nil
 	}
 	db := p.db
 
 	var iters []recIter
-	for _, t := range p.uns.Tables() {
+	for _, t := range snap {
 		iters = append(iters, t.Reader.NewIterator())
 	}
 	m := newMergeIter(iters)
@@ -311,21 +394,26 @@ func (p *partition) scanMergeLocked() error {
 		MinSeq: props.MinSeq, MaxSeq: props.MaxSeq,
 	}
 
-	oldTables := p.uns.Tables()
+	if !locked {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	newSet := append([]*unsorted.Table{{Meta: meta, Reader: rdr}},
+		p.uns.Tables()[len(snap):]...)
 	oldCkpt := p.hashCkpt
 	if err := db.man.Apply(
-		manifest.SetUnsorted(p.id, []manifest.TableMeta{meta}),
+		manifest.SetUnsorted(p.id, unsortedMetas(newSet)),
 		manifest.SetHashCkpt(p.id, 0),
 		db.nextFileEdit(),
 	); err != nil {
 		return err
 	}
-	if err := p.uns.ReplaceAll(&unsorted.Table{Meta: meta, Reader: rdr}); err != nil {
+	if err := p.uns.ReplaceTables(newSet); err != nil {
 		return err
 	}
 	p.hashCkpt = 0
 	p.flushesSinceCkpt = 0
-	for _, t := range oldTables {
+	for _, t := range snap {
 		t.Reader.Close()
 		db.fs.Remove(tableName(p.dir, t.Meta.FileNum))
 	}

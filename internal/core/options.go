@@ -49,6 +49,22 @@ type Options struct {
 	SyncWrites bool
 	// DisableWAL skips the write-ahead log entirely.
 	DisableWAL bool
+	// BackgroundWorkers sizes the maintenance worker pool. 0 (the default)
+	// keeps the original inline scheduling: flush/merge/GC/split run
+	// synchronously in the writer under the partition lock, which is
+	// deterministic and what the crash-injection tests arm against. Any
+	// positive value moves maintenance onto that many background workers:
+	// a full memtable is frozen onto an immutable queue (still readable)
+	// and writers only slow down or stall when maintenance falls behind
+	// (see SlowdownImmutables/StallImmutables).
+	BackgroundWorkers int
+	// SlowdownImmutables starts soft write throttling (a 1 ms sleep per
+	// write) once a partition has this many frozen memtables waiting for
+	// flush. Only meaningful with BackgroundWorkers > 0. Default 2.
+	SlowdownImmutables int
+	// StallImmutables blocks writers entirely until a flush completes once
+	// the immutable queue reaches this depth. Default 4.
+	StallImmutables int
 
 	// Ablation toggles (experiment fig11). Each disables one of the
 	// paper's techniques.
@@ -107,6 +123,15 @@ func (o Options) Sanitize() Options {
 			n = 1
 		}
 		o.HashCheckpointEvery = n
+	}
+	if o.BackgroundWorkers < 0 {
+		o.BackgroundWorkers = 0
+	}
+	if o.SlowdownImmutables <= 0 {
+		o.SlowdownImmutables = 2
+	}
+	if o.StallImmutables <= o.SlowdownImmutables {
+		o.StallImmutables = o.SlowdownImmutables + 2
 	}
 	if o.FS == nil {
 		o.FS = vfs.NewOS()

@@ -3,6 +3,7 @@ package core
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"unikv/internal/codec"
 	"unikv/internal/manifest"
@@ -24,8 +25,18 @@ type partition struct {
 	lower []byte // inclusive; nil/empty = -inf
 	upper []byte // exclusive; nil = +inf
 
+	// maintMu serializes structural background jobs (merge/scan-merge/
+	// GC/split) on this partition; flushMu serializes flushes (a flush
+	// may run concurrently with a structural job, but not with a split
+	// or a user-driven Flush draining the immutable queue). Both are
+	// acquired before mu; see scheduler.go for the full lock order.
+	maintMu sync.Mutex
+	flushMu sync.Mutex
+
 	mu       sync.RWMutex
 	mem      *memtable.Memtable
+	imm      []*memtable.Memtable // frozen, flush-pending; oldest first
+	immWALs  []uint64             // WAL file per frozen memtable (0 = none)
 	wal      *wal.Writer
 	walNum   uint64
 	uns      *unsorted.Store
@@ -34,7 +45,10 @@ type partition struct {
 	hashCkpt uint64          // current checkpoint file number (0 = none)
 
 	flushesSinceCkpt int
-	garbageBytes     int64 // dead value bytes attributed to this partition
+	garbageBytes     atomic.Int64 // dead value bytes attributed to this partition
+
+	stallMu sync.Mutex
+	stallCh chan struct{} // closed to wake throttled writers
 }
 
 // covers reports whether key belongs to this partition.
@@ -169,11 +183,21 @@ func (p *partition) putBatch(recs []record.Record) (wantSplit bool, err error) {
 	return p.afterWriteLocked()
 }
 
-// afterWriteLocked runs the inline scheduling that follows a write: flush
-// at MemtableSize, merge at UnsortedLimit (then maybe GC, then report a
-// split wish), size-based scan merge at ScanMergeLimit.
+// afterWriteLocked runs the scheduling that follows a write. Inline mode
+// (no scheduler): flush at MemtableSize, merge at UnsortedLimit (then
+// maybe GC, then report a split wish), size-based scan merge at
+// ScanMergeLimit — all synchronously, under the lock. Background mode:
+// freeze the full memtable onto the immutable queue and hand everything
+// else to the worker pool.
 func (p *partition) afterWriteLocked() (wantSplit bool, err error) {
 	if p.mem.Size() < p.db.opts.MemtableSize {
+		return false, nil
+	}
+	if p.db.sched != nil {
+		if err := p.freezeMemLocked(); err != nil {
+			return false, err
+		}
+		p.db.sched.enqueue(p, jobFlush)
 		return false, nil
 	}
 	if err := p.flushLocked(); err != nil {
@@ -214,27 +238,64 @@ func (p *partition) logBytesLocked() int64 {
 	return size
 }
 
-// sizeLocked returns the partition's data footprint: table bytes, memtable
-// bytes, and its attributed share of the value-log bytes.
-func (p *partition) sizeLocked() int64 {
-	return p.uns.SizeBytes() + p.srt.SizeBytes() + p.mem.Size() + p.logBytesLocked()
+// immBytesLocked sums the frozen memtables' sizes.
+func (p *partition) immBytesLocked() int64 {
+	var size int64
+	for _, m := range p.imm {
+		size += m.Size()
+	}
+	return size
 }
 
-// flushLocked writes the memtable to a new UnsortedStore table, commits it,
-// rotates the WAL, and checkpoints the hash index on schedule.
-func (p *partition) flushLocked() error {
+// sizeLocked returns the partition's data footprint: table bytes, memtable
+// bytes (live and frozen), and its attributed share of the value-log
+// bytes.
+func (p *partition) sizeLocked() int64 {
+	return p.uns.SizeBytes() + p.srt.SizeBytes() + p.mem.Size() + p.immBytesLocked() + p.logBytesLocked()
+}
+
+// freezeMemLocked moves the full memtable (and its WAL) onto the immutable
+// queue and installs a fresh memtable + WAL. No manifest edit happens
+// here: file numbers are allocated monotonically, so recovery replays the
+// committed WAL plus every later-numbered WAL file in the directory, and
+// each flush commit advances the manifest pointer to the oldest WAL still
+// holding unflushed data.
+func (p *partition) freezeMemLocked() error {
 	if p.mem.Empty() {
 		return nil
 	}
+	frozenWAL := p.walNum
+	if p.wal != nil {
+		if err := p.wal.Sync(); err != nil {
+			return err
+		}
+		p.wal.Close()
+		p.wal = nil
+		if err := p.newWALLocked(); err != nil {
+			return err
+		}
+	} else {
+		frozenWAL = 0
+	}
+	p.imm = append(p.imm, p.mem)
+	p.immWALs = append(p.immWALs, frozenWAL)
+	p.mem = newMemtable()
+	return nil
+}
+
+// buildTable writes mem's live records into a new table file and opens a
+// reader over it. It only touches fresh files and the given (frozen or
+// caller-locked) memtable, so background flushes run it without p.mu.
+func (p *partition) buildTable(mem *memtable.Memtable) (*unsorted.Table, [][]byte, error) {
 	num := p.db.allocFileNum()
 	name := tableName(p.dir, num)
 	f, err := p.db.fs.Create(name)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	b := sstable.NewBuilder(f, sstable.BuilderOptions{BlockSize: p.db.opts.BlockSize})
 	var keys [][]byte
-	it := p.mem.NewIterator()
+	it := mem.NewIterator()
 	var last []byte
 	for ok := it.First(); ok; ok = it.Next() {
 		rec := it.Record()
@@ -248,31 +309,44 @@ func (p *partition) flushLocked() error {
 	props, err := b.Finish()
 	if err != nil {
 		f.Close()
-		return err
+		return nil, nil, err
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return nil, nil, err
 	}
 	rf, err := p.db.fs.Open(name)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	rdr, err := sstable.Open(rf)
 	if err != nil {
 		rf.Close()
-		return err
+		return nil, nil, err
 	}
 	meta := manifest.TableMeta{
 		FileNum: num, Size: props.Size, Count: props.Count,
 		Smallest: props.Smallest, Largest: props.Largest,
 		MinSeq: props.MinSeq, MaxSeq: props.MaxSeq,
 	}
+	return &unsorted.Table{Meta: meta, Reader: rdr}, keys, nil
+}
+
+// flushLocked writes the live memtable to a new UnsortedStore table,
+// commits it, rotates the WAL, and checkpoints the hash index on schedule.
+func (p *partition) flushLocked() error {
+	if p.mem.Empty() {
+		return nil
+	}
+	tbl, keys, err := p.buildTable(p.mem)
+	if err != nil {
+		return err
+	}
 
 	// Rotate the WAL under the same commit so replay never duplicates the
 	// flushed data.
 	oldWAL := p.walNum
 	edits := []manifest.Edit{
-		manifest.AddUnsorted(p.id, meta),
+		manifest.AddUnsorted(p.id, tbl.Meta),
 		manifest.LastSeq(p.db.seq.Load()),
 	}
 	if p.wal != nil {
@@ -293,7 +367,7 @@ func (p *partition) flushLocked() error {
 	if oldWAL != 0 {
 		p.db.fs.Remove(walName(p.dir, oldWAL))
 	}
-	if err := p.uns.AddTable(&unsorted.Table{Meta: meta, Reader: rdr}, keys); err != nil {
+	if err := p.uns.AddTable(tbl, keys); err != nil {
 		return err
 	}
 	p.mem = newMemtable()
@@ -304,6 +378,85 @@ func (p *partition) flushLocked() error {
 	p.flushesSinceCkpt++
 	if !p.db.opts.DisableHashCkpt && p.flushesSinceCkpt >= p.db.opts.HashCheckpointEvery {
 		if err := p.checkpointHashLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commitImmLocked installs a table built from the oldest frozen memtable:
+// one manifest batch adds the table and advances the WAL pointer to the
+// oldest WAL still holding unflushed data, then the memtable leaves the
+// queue and its WAL file is removed. Requires p.mu held for writing.
+func (p *partition) commitImmLocked(tbl *unsorted.Table, keys [][]byte) error {
+	oldWAL := p.immWALs[0]
+	nextWAL := p.walNum
+	if len(p.immWALs) > 1 {
+		nextWAL = p.immWALs[1]
+	}
+	edits := []manifest.Edit{
+		manifest.AddUnsorted(p.id, tbl.Meta),
+		manifest.LastSeq(p.db.seq.Load()),
+	}
+	if nextWAL != 0 {
+		edits = append(edits, manifest.SetWAL(p.id, nextWAL))
+	}
+	edits = append(edits, p.db.nextFileEdit())
+	if err := p.db.man.Apply(edits...); err != nil {
+		tbl.Reader.Close()
+		return err
+	}
+	if err := p.uns.AddTable(tbl, keys); err != nil {
+		return err
+	}
+	p.imm = p.imm[1:]
+	p.immWALs = p.immWALs[1:]
+	if oldWAL != 0 {
+		p.db.fs.Remove(walName(p.dir, oldWAL))
+	}
+	p.db.stats.Flushes.Add(1)
+	p.flushesSinceCkpt++
+	if !p.db.opts.DisableHashCkpt && p.flushesSinceCkpt >= p.db.opts.HashCheckpointEvery {
+		if err := p.checkpointHashLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// backgroundFlush is the flush job: it builds the table from the oldest
+// frozen memtable without the partition lock (readers keep hitting the
+// frozen memtable meanwhile) and takes the lock only to commit.
+func (p *partition) backgroundFlush() error {
+	p.flushMu.Lock()
+	defer p.flushMu.Unlock()
+	p.mu.RLock()
+	if len(p.imm) == 0 {
+		p.mu.RUnlock()
+		return nil
+	}
+	mem := p.imm[0]
+	p.mu.RUnlock()
+
+	tbl, keys, err := p.buildTable(mem)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.commitImmLocked(tbl, keys)
+}
+
+// drainImmLocked flushes every frozen memtable, oldest first. Requires
+// p.mu; callers racing the worker pool (Flush, CompactAll, split) must
+// also hold flushMu so no flush job is mid-build.
+func (p *partition) drainImmLocked() error {
+	for len(p.imm) > 0 {
+		tbl, keys, err := p.buildTable(p.imm[0])
+		if err != nil {
+			return err
+		}
+		if err := p.commitImmLocked(tbl, keys); err != nil {
 			return err
 		}
 	}

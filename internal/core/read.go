@@ -35,6 +35,12 @@ func (p *partition) getLocked(key []byte) ([]byte, error) {
 	if rec, ok := p.mem.Get(key); ok {
 		return p.resolve(rec)
 	}
+	// Frozen memtables awaiting background flush, newest first.
+	for i := len(p.imm) - 1; i >= 0; i-- {
+		if rec, ok := p.imm[i].Get(key); ok {
+			return p.resolve(rec)
+		}
+	}
 	if rec, ok, err := p.uns.Get(key); err != nil {
 		return nil, err
 	} else if ok {
@@ -129,6 +135,9 @@ func (db *DB) Scan(start, end []byte, limit int) ([]KV, error) {
 func (p *partition) scanLocked(start, end []byte, n int) ([]KV, error) {
 	var iters []recIter
 	iters = append(iters, p.mem.NewIterator())
+	for i := len(p.imm) - 1; i >= 0; i-- {
+		iters = append(iters, p.imm[i].NewIterator())
+	}
 	for _, t := range p.uns.Tables() {
 		iters = append(iters, t.Reader.NewIterator())
 	}

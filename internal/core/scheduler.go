@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Background maintenance scheduling (BackgroundWorkers > 0).
+//
+// In background mode a write only appends to the WAL and the memtable; a
+// full memtable is frozen onto the partition's immutable queue (still
+// served by Get/Scan) and every other maintenance step — flush, merge,
+// scan merge, GC, split — becomes a job executed by a fixed worker pool.
+// Jobs are deduplicated per (partition, kind): at most one instance of a
+// kind is queued or running for a partition at a time, and each completed
+// job re-evaluates the partition's triggers, so chains like
+// flush → merge → GC → split still happen, just off the foreground path.
+//
+// Structural jobs (merge/scan-merge/GC/split) are serialized per partition
+// by partition.maintMu because they replace table sets the others read;
+// flushes take only partition.flushMu, so a flush commits concurrently
+// with a long merge build. Lock order with the pool:
+//
+//	maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu
+//
+// A job error trips the DB into a failed state: writes return the error,
+// reads keep working, no further jobs run.
+
+type jobKind uint8
+
+const (
+	jobFlush jobKind = iota
+	jobMerge
+	jobScanMerge
+	jobGC
+	jobSplit
+	numJobKinds
+)
+
+func (k jobKind) String() string {
+	switch k {
+	case jobFlush:
+		return "flush"
+	case jobMerge:
+		return "merge"
+	case jobScanMerge:
+		return "scan-merge"
+	case jobGC:
+		return "gc"
+	case jobSplit:
+		return "split"
+	}
+	return "unknown"
+}
+
+type task struct {
+	p    *partition
+	kind jobKind
+}
+
+// scheduler owns the worker pool and the deduplicated job queue.
+type scheduler struct {
+	db *DB
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []task
+	pending map[uint32]*[numJobKinds]bool // queued or running, per partition
+	closing bool
+	wg      sync.WaitGroup
+}
+
+func newScheduler(db *DB, workers int) *scheduler {
+	s := &scheduler{db: db, pending: make(map[uint32]*[numJobKinds]bool)}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// enqueue schedules kind for p unless the same job is already queued or
+// running there.
+func (s *scheduler) enqueue(p *partition, kind jobKind) {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return
+	}
+	flags := s.pending[p.id]
+	if flags == nil {
+		flags = new([numJobKinds]bool)
+		s.pending[p.id] = flags
+	}
+	if flags[kind] {
+		s.mu.Unlock()
+		return
+	}
+	flags[kind] = true
+	s.queue = append(s.queue, task{p: p, kind: kind})
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// pendingJobs counts jobs queued or running (the StatsSnapshot gauge).
+func (s *scheduler) pendingJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, flags := range s.pending {
+		for _, set := range flags {
+			if set {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// close stops accepting jobs and waits for running ones; queued jobs are
+// dropped (Close drains partitions inline afterwards).
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closing {
+			s.cond.Wait()
+		}
+		if s.closing {
+			s.mu.Unlock()
+			return
+		}
+		t := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+
+		err := s.run(t)
+
+		s.mu.Lock()
+		if flags := s.pending[t.p.id]; flags != nil {
+			flags[t.kind] = false
+		}
+		s.mu.Unlock()
+
+		// Wake throttled writers (and let them observe a failure).
+		t.p.wakeStalled()
+		if err != nil {
+			s.db.setFailed(err)
+			continue
+		}
+		// A completed job may arm the next trigger (flush fills the
+		// UnsortedStore, merge creates garbage, GC shrinks toward a split
+		// decision). A split changes the partition set, so re-check all.
+		if t.kind == jobSplit {
+			for _, q := range s.db.partitions() {
+				s.db.checkMaintenance(q)
+			}
+		} else {
+			s.db.checkMaintenance(t.p)
+		}
+	}
+}
+
+// run executes one job, re-checking its trigger (state may have moved
+// since it was queued).
+func (s *scheduler) run(t task) error {
+	db := s.db
+	if db.closed.Load() || db.failedErr() != nil {
+		return nil
+	}
+	p := t.p
+	if h := db.testHookJobStart; h != nil {
+		h(p, t.kind)
+	}
+	if t.kind == jobFlush {
+		return p.backgroundFlush()
+	}
+	p.maintMu.Lock()
+	defer p.maintMu.Unlock()
+	switch t.kind {
+	case jobMerge:
+		return p.backgroundMerge()
+	case jobScanMerge:
+		return p.backgroundScanMerge()
+	case jobGC:
+		return p.backgroundGC()
+	case jobSplit:
+		p.flushMu.Lock()
+		defer p.flushMu.Unlock()
+		return db.splitPartition(p)
+	}
+	return nil
+}
+
+// checkMaintenance re-evaluates p's triggers and enqueues what the current
+// state calls for. Runs after a write freezes a memtable and after every
+// completed job.
+func (db *DB) checkMaintenance(p *partition) {
+	if db.sched == nil || db.closed.Load() || db.failedErr() != nil {
+		return
+	}
+	p.mu.RLock()
+	nImm := len(p.imm)
+	unsBytes := p.uns.SizeBytes()
+	unsTables := p.uns.NumTables()
+	needGC := false
+	if !db.opts.DisableKVSeparation {
+		refBytes := p.logBytesLocked()
+		needGC = refBytes > 0 && float64(p.garbageBytes.Load()) >= db.opts.GCRatio*float64(refBytes)
+	}
+	needSplit := !db.opts.DisablePartitioning && p.sizeLocked() >= db.opts.PartitionSizeLimit
+	p.mu.RUnlock()
+
+	if nImm > 0 {
+		db.sched.enqueue(p, jobFlush)
+	}
+	if unsBytes >= db.opts.UnsortedLimit {
+		db.sched.enqueue(p, jobMerge)
+	} else if !db.opts.DisableScanMerge && unsTables >= db.opts.ScanMergeLimit {
+		db.sched.enqueue(p, jobScanMerge)
+	}
+	if needGC {
+		db.sched.enqueue(p, jobGC)
+	}
+	if needSplit {
+		db.sched.enqueue(p, jobSplit)
+	}
+}
+
+// setFailed records the first background error; writes then fail with it
+// while reads keep serving the (still consistent) on-disk state.
+func (db *DB) setFailed(err error) {
+	if err == nil {
+		return
+	}
+	wrapped := fmt.Errorf("unikv: background maintenance failed: %w", err)
+	if db.bgErr.CompareAndSwap(nil, &wrapped) {
+		db.stats.BackgroundErrors.Add(1)
+		for _, p := range db.partitions() {
+			p.wakeStalled()
+		}
+	}
+}
+
+// failedErr returns the error that tripped the DB into its failed state,
+// or nil.
+func (db *DB) failedErr() error {
+	if e := db.bgErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Write throttling. Backpressure has two stages keyed to the immutable
+// queue depth (and, as a backstop, to an UnsortedStore that outgrew its
+// limit because merges lag): a soft slowdown sleeps each write briefly so
+// flushes can catch up; a hard stall blocks writers until a maintenance
+// job completes. Throttling happens before the partition lock is taken,
+// so stalled writers never block readers.
+
+const (
+	slowdownUnsFactor = 2 // soft throttle at 2x UnsortedLimit
+	stallUnsFactor    = 4 // hard stall at 4x UnsortedLimit
+	slowdownSleep     = time.Millisecond
+	stallRecheck      = 10 * time.Millisecond
+)
+
+// throttle applies write backpressure for p. Returns the failure/closed
+// error a stalled writer should surface instead of waiting forever.
+func (db *DB) throttle(p *partition) error {
+	if db.sched == nil {
+		return nil
+	}
+	stalled := false
+	for {
+		if db.closed.Load() {
+			return ErrClosed
+		}
+		if err := db.failedErr(); err != nil {
+			return err
+		}
+		p.mu.RLock()
+		nImm := len(p.imm)
+		unsBytes := p.uns.SizeBytes()
+		p.mu.RUnlock()
+		switch {
+		case nImm >= db.opts.StallImmutables || unsBytes >= stallUnsFactor*db.opts.UnsortedLimit:
+			if !stalled {
+				stalled = true
+				db.stats.Stalls.Add(1)
+			}
+			ch := p.stallWait()
+			start := time.Now()
+			select {
+			case <-ch:
+			case <-time.After(stallRecheck):
+			}
+			db.stats.StallNanos.Add(time.Since(start).Nanoseconds())
+		case nImm >= db.opts.SlowdownImmutables || unsBytes >= slowdownUnsFactor*db.opts.UnsortedLimit:
+			start := time.Now()
+			time.Sleep(slowdownSleep)
+			db.stats.SlowdownNanos.Add(time.Since(start).Nanoseconds())
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// stallWait returns a channel closed at the next maintenance wake-up.
+func (p *partition) stallWait() <-chan struct{} {
+	p.stallMu.Lock()
+	if p.stallCh == nil {
+		p.stallCh = make(chan struct{})
+	}
+	ch := p.stallCh
+	p.stallMu.Unlock()
+	return ch
+}
+
+// wakeStalled releases every writer blocked in a hard stall on p.
+func (p *partition) wakeStalled() {
+	p.stallMu.Lock()
+	if p.stallCh != nil {
+		close(p.stallCh)
+		p.stallCh = nil
+	}
+	p.stallMu.Unlock()
+}

@@ -1,0 +1,521 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"unikv/internal/vfs"
+)
+
+// bgOpts is smallOpts plus a worker pool, so every maintenance mechanism
+// runs in the background during these tests.
+func bgOpts(fs vfs.FS) Options {
+	opts := smallOpts(fs)
+	opts.BackgroundWorkers = 2
+	return opts
+}
+
+// TestBackgroundBasic exercises the full write/read/scan/delete surface in
+// background mode, then reopens inline and verifies the on-disk state is
+// the same database.
+func TestBackgroundBasic(t *testing.T) {
+	fs := vfs.NewMem()
+	db, err := Open("db", bgOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrites and deletes interleaved with background maintenance.
+	for i := 0; i < n; i += 3 {
+		if err := db.Put(key(i), val(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i += 5 {
+		if err := db.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(db *DB) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			got, err := db.Get(key(i))
+			switch {
+			case i%5 == 1:
+				if err != ErrNotFound {
+					t.Fatalf("deleted key %d: got %q, %v", i, got, err)
+				}
+			case i%3 == 0:
+				if err != nil || !bytes.Equal(got, val(i+1)) {
+					t.Fatalf("overwritten key %d: got %q, %v", i, got, err)
+				}
+			default:
+				if err != nil || !bytes.Equal(got, val(i)) {
+					t.Fatalf("key %d: got %q, %v", i, got, err)
+				}
+			}
+		}
+		kvs, err := db.Scan(key(0), key(40), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for i := 0; i < 40; i++ {
+			if i%5 != 1 {
+				want++
+			}
+		}
+		if len(kvs) != want {
+			t.Fatalf("scan got %d keys, want %d", len(kvs), want)
+		}
+	}
+	check(db)
+	m := db.Metrics()
+	if m.Flushes == 0 || m.Merges == 0 {
+		t.Fatalf("background maintenance never ran: %+v", m)
+	}
+	if m.BackgroundErrors != 0 {
+		t.Fatalf("background errors: %d", m.BackgroundErrors)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with inline scheduling: the persisted state is mode-agnostic.
+	db2, err := Open("db", smallOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	check(db2)
+}
+
+// TestBackgroundReopenWithFrozenMemtables closes while frozen memtables
+// are still queued (Close drains them) and also reopens after an abandoned
+// handle, where only the WAL files carry the frozen data.
+func TestBackgroundReopenWithFrozenMemtables(t *testing.T) {
+	fs := vfs.NewMem()
+	opts := bgOpts(fs)
+	opts.BackgroundWorkers = 1
+	// Keep the write throttle out of the way: this test parks the flush
+	// worker on purpose, and a stalled writer would deadlock against it.
+	opts.SlowdownImmutables = 500
+	opts.StallImmutables = 600
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stall the flush worker so freezes accumulate.
+	release := make(chan struct{})
+	db.testHookJobStart = func(p *partition, k jobKind) {
+		if k == jobFlush {
+			<-release
+		}
+	}
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Metrics().ImmutableMemtables; got == 0 {
+		t.Fatal("no memtable froze; MemtableSize too large for the workload?")
+	}
+	// Reads must see frozen data.
+	for i := 0; i < n; i++ {
+		if got, err := db.Get(key(i)); err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("key %d while frozen: %q, %v", i, got, err)
+		}
+	}
+	close(release)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open("db", smallOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < n; i++ {
+		if got, err := db2.Get(key(i)); err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("key %d after reopen: %q, %v", i, got, err)
+		}
+	}
+}
+
+// TestBackgroundAbandonedHandle writes in background mode and abandons the
+// handle without Close while frozen memtables are queued: recovery must
+// replay the per-memtable WAL files (which carry the only copy of the
+// frozen data).
+func TestBackgroundAbandonedHandle(t *testing.T) {
+	fs := vfs.NewMem()
+	opts := bgOpts(fs)
+	opts.BackgroundWorkers = 1
+	opts.SlowdownImmutables = 500
+	opts.StallImmutables = 600
+	opts.SyncWrites = true
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	db.testHookJobStart = func(p *partition, k jobKind) { <-block }
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Metrics().ImmutableMemtables; got == 0 {
+		t.Fatal("no memtable froze")
+	}
+	// Abandon the handle: the frozen memtables only exist in their WALs.
+	// (The worker stays parked on the hook; it belongs to the dead DB.)
+
+	db2, err := Open("db", smallOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < n; i++ {
+		if got, err := db2.Get(key(i)); err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("key %d after abandoned handle: %q, %v", i, got, err)
+		}
+	}
+}
+
+// TestBackgroundCrash randomizes a FailFS budget over a synced background
+// load and verifies every acknowledged write survives reopening —
+// the background-mode analogue of TestCrashDuringLoad (which keeps its
+// deterministic arming points by running inline).
+func TestBackgroundCrash(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xBADC0DE))
+	for round := 0; round < 8; round++ {
+		failAt := 20 + rng.Int63n(2000)
+		t.Run(fmt.Sprintf("failAt=%d", failAt), func(t *testing.T) {
+			inner := vfs.NewMem()
+			ffs := vfs.NewFail(inner)
+			opts := bgOpts(ffs)
+			opts.SyncWrites = true
+			db, err := Open("db", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ffs.Arm(failAt)
+			acked := 0
+			for i := 0; i < 1200; i++ {
+				if err := db.Put(key(i), val(i)); err != nil {
+					break
+				}
+				acked = i + 1
+			}
+			// Give in-flight jobs a moment to hit the armed failure too.
+			for i := 0; i < 100 && !ffs.Failed(); i++ {
+				time.Sleep(time.Millisecond)
+			}
+			// Abandon the handle (no Close: simulate the crash) — but park
+			// its workers first, while the FS is still armed, so no job of
+			// the dead instance mutates the disk after "power-off".
+			db.closed.Store(true)
+			db.sched.close()
+			ffs.Disarm()
+
+			db2, err := Open("db", smallOpts(inner))
+			if err != nil {
+				t.Fatalf("reopen after crash at %d ops: %v", failAt, err)
+			}
+			defer db2.Close()
+			for i := 0; i < acked; i++ {
+				got, err := db2.Get(key(i))
+				if err != nil || !bytes.Equal(got, val(i)) {
+					t.Fatalf("acked key %d (of %d) lost after crash at %d: %v",
+						i, acked, failAt, err)
+				}
+			}
+			if err := db2.Put([]byte("post-crash"), []byte("ok")); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBackgroundReadsDuringMerge verifies the tentpole latency property:
+// while one partition is mid-merge in the background, reads and writes on
+// another partition (and reads on the merging one) complete within a tight
+// bound instead of waiting for the merge.
+func TestBackgroundReadsDuringMerge(t *testing.T) {
+	fs := vfs.NewMem()
+	// Load inline until the database has split into 2+ partitions.
+	db0, err := Open("db", smallOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000 && len(db0.partitions()) < 2; i++ {
+		if err := db0.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(db0.partitions()) < 2 {
+		t.Skip("workload never split; partition sizing changed")
+	}
+	if err := db0.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open("db", bgOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	parts := db.partitions()
+	busy := parts[len(parts)-1] // partition B: gets the merge
+	idleKey := key(0)           // partition A: first partition's range
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	db.testHookMergeBuild = func(p *partition) {
+		if p == busy {
+			once.Do(func() { close(entered) })
+			<-release
+		}
+	}
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+
+	// Fill partition B's UnsortedStore past the merge trigger. Keys above
+	// its lower bound route to it (it is the last partition).
+	busyKey := func(i int) []byte {
+		return append(append([]byte(nil), busy.lower...), fmt.Sprintf("~busy-%06d", i)...)
+	}
+	go func() {
+		for i := 0; i < 20000; i++ {
+			select {
+			case <-entered:
+				return
+			default:
+			}
+			if err := db.Put(busyKey(i), val(i)); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("merge job never started on the busy partition")
+	}
+
+	// Partition B is now parked inside its merge build. Operations
+	// elsewhere (and reads on B itself) must not wait for it.
+	const bound = 2 * time.Second
+	ops := []struct {
+		name string
+		fn   func() error
+	}{
+		{"get-idle", func() error { _, err := db.Get(idleKey); return err }},
+		{"put-idle", func() error { return db.Put([]byte("key-000000-x"), []byte("v")) }},
+		{"scan-idle", func() error { _, err := db.Scan(key(0), key(50), 10); return err }},
+		{"get-busy", func() error { _, err := db.Get(busyKey(0)); return err }},
+	}
+	for _, op := range ops {
+		done := make(chan error, 1)
+		start := time.Now()
+		go func() { done <- op.fn() }()
+		select {
+		case err := <-done:
+			if err != nil && err != ErrNotFound {
+				t.Fatalf("%s during merge: %v", op.name, err)
+			}
+			t.Logf("%s completed in %v", op.name, time.Since(start))
+		case <-time.After(bound):
+			t.Fatalf("%s blocked behind a background merge (> %v)", op.name, bound)
+		}
+	}
+	close(release)
+}
+
+// TestBackgroundThrottle parks the flush worker so frozen memtables pile
+// up, and verifies the two-stage backpressure engages (slowdown then hard
+// stall) and releases once flushing resumes.
+func TestBackgroundThrottle(t *testing.T) {
+	fs := vfs.NewMem()
+	opts := bgOpts(fs)
+	opts.BackgroundWorkers = 1
+	opts.SlowdownImmutables = 1
+	opts.StallImmutables = 2
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	release := make(chan struct{})
+	var once sync.Once
+	db.testHookJobStart = func(p *partition, k jobKind) {
+		if k == jobFlush {
+			<-release
+		}
+	}
+
+	const n = 600
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := db.Put(key(i), val(i)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	// Wait until the writer hits a hard stall, then unpark the worker.
+	deadline := time.Now().Add(10 * time.Second)
+	for db.stats.Stalls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never stalled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	once.Do(func() { close(release) })
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if m.Stalls == 0 || m.StallNanos == 0 {
+		t.Fatalf("stall counters not recorded: %+v", m)
+	}
+	if m.SlowdownNanos == 0 {
+		t.Fatal("soft slowdown never engaged")
+	}
+	for i := 0; i < n; i++ {
+		if got, err := db.Get(key(i)); err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("key %d after throttled load: %q, %v", i, got, err)
+		}
+	}
+}
+
+// TestBackgroundHandoffRace hammers the freeze/flush handoff from multiple
+// writers with concurrent readers; its real assertions come from running
+// under -race.
+func TestBackgroundHandoffRace(t *testing.T) {
+	fs := vfs.NewMem()
+	db, err := Open("db", bgOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 4
+		perW    = 800
+	)
+	var writeWG, readWG sync.WaitGroup
+	errs := make(chan error, writers+2)
+	for w := 0; w < writers; w++ {
+		w := w
+		writeWG.Add(1)
+		go func() {
+			defer writeWG.Done()
+			for i := 0; i < perW; i++ {
+				k := w*perW + i
+				if err := db.Put(key(k), val(k)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			rng := rand.New(rand.NewSource(int64(42)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(writers * perW)
+				if _, err := db.Get(key(k)); err != nil && err != ErrNotFound {
+					errs <- err
+					return
+				}
+				if _, err := db.Scan(key(k), nil, 5); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	// Wait for the writers, then stop the readers.
+	writerWG := make(chan struct{})
+	go func() {
+		writeWG.Wait()
+		close(writerWG)
+	}()
+	timer := time.NewTimer(60 * time.Second)
+	defer timer.Stop()
+	for done := false; !done; {
+		select {
+		case err := <-errs:
+			close(stop)
+			t.Fatal(err)
+		case <-writerWG:
+			done = true
+		case <-timer.C:
+			close(stop)
+			t.Fatal("stress run timed out")
+		}
+	}
+	close(stop)
+	readWG.Wait()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open("db", smallOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for k := 0; k < writers*perW; k++ {
+		if got, err := db2.Get(key(k)); err != nil || !bytes.Equal(got, val(k)) {
+			t.Fatalf("key %d after stress: %q, %v", k, got, err)
+		}
+	}
+}
+
+// BenchmarkPutCopy measures the write path's per-op allocations (the
+// single-copy key/value path).
+func BenchmarkPutCopy(b *testing.B) {
+	fs := vfs.NewMem()
+	opts := Options{FS: fs, MemtableSize: 64 << 20, UnsortedLimit: 1 << 30}
+	db, err := Open("db", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	k := make([]byte, 16)
+	v := bytes.Repeat([]byte("v"), 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(k, fmt.Sprintf("bench-%010d", i))
+		if err := db.Put(k, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

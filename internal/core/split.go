@@ -33,6 +33,11 @@ func (db *DB) splitPartition(parent *partition) error {
 	}
 
 	// Step 1: flush buffered writes so the merge stream sees everything.
+	// In background mode frozen memtables may still be queued; the caller
+	// holds flushMu, so no flush job races this drain.
+	if err := parent.drainImmLocked(); err != nil {
+		return err
+	}
 	if err := parent.flushLocked(); err != nil {
 		return err
 	}
@@ -222,11 +227,11 @@ func (db *DB) splitPartition(parent *partition) error {
 	parent.flushesSinceCkpt = 0
 	parent.upper = boundary
 	parent.logs = leftLogs
-	parent.garbageBytes /= 2
+	parent.garbageBytes.Store(parent.garbageBytes.Load() / 2)
 	child.lower = boundary
 	child.srt.ReplaceAll(rightTables)
 	child.logs = rightLogs
-	child.garbageBytes = parent.garbageBytes
+	child.garbageBytes.Store(parent.garbageBytes.Load())
 
 	// Insert the child after the parent in router order.
 	parts := db.router.parts

@@ -26,23 +26,39 @@ func (db *DB) Delete(key []byte) error {
 	return db.apply(key, nil, record.KindDelete)
 }
 
+// copyRecord builds the engine-owned record for a write: the caller's key
+// and value are copied exactly once, into a single allocation (the record
+// outlives the call — it lands in the memtable — so it cannot alias caller
+// memory).
+func copyRecord(key, value []byte, seq uint64, kind record.Kind) record.Record {
+	buf := make([]byte, len(key)+len(value))
+	copy(buf, key)
+	copy(buf[len(key):], value)
+	rec := record.Record{Key: buf[:len(key):len(key)], Seq: seq, Kind: kind}
+	if len(value) > 0 {
+		rec.Value = buf[len(key):]
+	}
+	return rec
+}
+
 // apply routes one write to its partition, retrying if a concurrent split
 // moves the boundary, and runs the split the partition requests.
 func (db *DB) apply(key, value []byte, kind record.Kind) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if err := db.failedErr(); err != nil {
+		return err
+	}
 	if len(key) == 0 || len(key) >= maxKeyLen || len(value) >= maxValueLen {
 		return ErrKeyTooLarge
 	}
-	rec := record.Record{
-		Key:   append([]byte(nil), key...),
-		Seq:   db.seq.Add(1),
-		Kind:  kind,
-		Value: append([]byte(nil), value...),
-	}
+	rec := copyRecord(key, value, db.seq.Add(1), kind)
 	for {
 		p := db.partitionFor(key)
+		if err := db.throttle(p); err != nil {
+			return err
+		}
 		p.mu.Lock()
 		if !p.covers(key) {
 			p.mu.Unlock()
@@ -56,20 +72,32 @@ func (db *DB) apply(key, value []byte, kind record.Kind) error {
 		if wantSplit {
 			return db.splitPartition(p)
 		}
+		if db.sched != nil {
+			db.checkMaintenance(p)
+		}
 		return nil
 	}
 }
 
 // Flush forces the partition memtables to disk (tests, benchmarks, and
-// clean shutdown sequencing).
+// clean shutdown sequencing). flushMu excludes concurrent background flush
+// jobs while the immutable queue is drained.
 func (db *DB) Flush() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if err := db.failedErr(); err != nil {
+		return err
+	}
 	for _, p := range db.partitions() {
+		p.flushMu.Lock()
 		p.mu.Lock()
-		err := p.flushLocked()
+		err := p.drainImmLocked()
+		if err == nil {
+			err = p.flushLocked()
+		}
 		p.mu.Unlock()
+		p.flushMu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -78,18 +106,29 @@ func (db *DB) Flush() error {
 }
 
 // CompactAll drains every partition's UnsortedStore into its SortedStore
-// (benchmarks use it to measure steady-state reads).
+// (benchmarks use it to measure steady-state reads). maintMu excludes
+// concurrent structural jobs, flushMu concurrent flush jobs.
 func (db *DB) CompactAll() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if err := db.failedErr(); err != nil {
+		return err
+	}
 	for _, p := range db.partitions() {
+		p.maintMu.Lock()
+		p.flushMu.Lock()
 		p.mu.Lock()
-		err := p.flushLocked()
+		err := p.drainImmLocked()
+		if err == nil {
+			err = p.flushLocked()
+		}
 		if err == nil {
 			err = p.mergeLocked()
 		}
 		p.mu.Unlock()
+		p.flushMu.Unlock()
+		p.maintMu.Unlock()
 		if err != nil {
 			return err
 		}

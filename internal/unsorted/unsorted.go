@@ -170,10 +170,23 @@ func (s *Store) Reset() {
 // ReplaceAll swaps the table set for the single merged table produced by
 // the size-based merge (scan optimization) and rebuilds the index over it.
 func (s *Store) ReplaceAll(t *Table) error {
+	return s.ReplaceTables([]*Table{t})
+}
+
+// ReplaceTables swaps the full table set, rebuilding the index (local IDs
+// are positional, so survivors of a partial replacement need fresh IDs).
+// Background merges use this to drop the merged prefix while keeping
+// tables flushed during the merge build.
+func (s *Store) ReplaceTables(tables []*Table) error {
 	s.tables = nil
 	s.size = 0
 	s.index.Reset()
-	return s.AddTable(t, nil)
+	for _, t := range tables {
+		if err := s.AddTable(t, nil); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------

@@ -58,6 +58,8 @@ type Manager struct {
 	sizes   map[uint32]int64 // total bytes per log
 	garbage map[uint32]int64 // dead bytes per log (greedy GC accounting)
 	readers map[uint32]vfs.File
+	pins    map[uint64]uint32 // open append windows: token → lowest log num
+	pinSeq  uint64
 
 	prefetchMu  sync.Mutex
 	prefetchLog uint32
@@ -95,6 +97,7 @@ func Open(fs vfs.FS, dir string, opts Options) (*Manager, error) {
 		sizes:   make(map[uint32]int64),
 		garbage: make(map[uint32]int64),
 		readers: make(map[uint32]vfs.File),
+		pins:    make(map[uint64]uint32),
 	}
 	names, err := fs.List(dir)
 	if err != nil {
@@ -432,6 +435,47 @@ func (m *Manager) SealActive() error {
 	}
 	m.active = nil
 	return nil
+}
+
+// Pin opens an append window and returns its token: until Unpin, every
+// log numbered at or above the window's bound may be receiving values
+// whose pointers are not yet visible to readers. GC must treat those
+// logs as live (see MinPinned) — the active log can rotate mid-merge,
+// and without the pin a concurrent GC in another partition could
+// collect-and-delete the pre-rotation log while the merge still holds
+// uncommitted pointers into it.
+func (m *Manager) Pin() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bound := m.nextNum
+	if m.active != nil {
+		bound = m.activeNum
+	}
+	m.pinSeq++
+	m.pins[m.pinSeq] = bound
+	return m.pinSeq
+}
+
+// Unpin closes the append window opened by Pin.
+func (m *Manager) Unpin(token uint64) {
+	m.mu.Lock()
+	delete(m.pins, token)
+	m.mu.Unlock()
+}
+
+// MinPinned returns the lowest bound across open append windows, or
+// (0, false) when none are open.
+func (m *Manager) MinPinned() (uint32, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var min uint32
+	ok := false
+	for _, b := range m.pins {
+		if !ok || b < min {
+			min, ok = b, true
+		}
+	}
+	return min, ok
 }
 
 // ActiveNum returns the number of the log currently receiving appends, or

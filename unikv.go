@@ -93,6 +93,13 @@ type Options struct {
 	// (selective KV separation — worthwhile for small-KV workloads).
 	// 0 separates everything.
 	ValueThreshold int
+	// BackgroundWorkers moves maintenance (memtable flush, merge, GC,
+	// partition split) onto this many background workers: a full memtable
+	// is frozen onto an immutable queue — still served by reads — and the
+	// writer returns immediately instead of doing the work inline. Writers
+	// only slow down or stall when maintenance falls behind. 0 (the
+	// default) keeps maintenance inline in the writing goroutine.
+	BackgroundWorkers int
 
 	// Advanced / experiment knobs. Leave zero unless reproducing the
 	// paper's ablations.
@@ -127,6 +134,7 @@ func (o *Options) toCore() core.Options {
 		HashBuckets:         o.HashBuckets,
 		ScanWorkers:         o.ScanWorkers,
 		ValueThreshold:      o.ValueThreshold,
+		BackgroundWorkers:   o.BackgroundWorkers,
 		SyncWrites:          o.SyncWrites,
 		DisableWAL:          o.DisableWAL,
 		DisableHashIndex:    o.DisableHashIndex,
