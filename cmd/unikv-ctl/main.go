@@ -61,6 +61,11 @@ func main() {
 			fmt.Printf("  splits:              %d\n", m.Splits)
 			fmt.Printf("  write stalls:        %d (%d ns stalled, %d ns slowed)\n", m.Stalls, m.StallNanos, m.SlowdownNanos)
 			fmt.Printf("  background errors:   %d\n", m.BackgroundErrors)
+			fmt.Println("read cache:")
+			fmt.Printf("  resident:            %d entries (%d bytes)\n", m.CacheEntries, m.CacheBytes)
+			fmt.Printf("  block hits/misses:   %d / %d\n", m.CacheBlockHits, m.CacheBlockMisses)
+			fmt.Printf("  value hits/misses:   %d / %d\n", m.CacheValueHits, m.CacheValueMisses)
+			fmt.Printf("  evictions:           %d\n", m.CacheEvictions)
 		})
 	case "get":
 		if flag.NArg() < 2 {

@@ -36,6 +36,7 @@ func init() {
 	register("fig-param-partition", "sensitivity: PartitionSizeLimit", FigParamPartition)
 	register("fig-scanopt", "scan optimization breakdown", FigScanOpt)
 	register("fig-latency", "per-op latency: inline vs background maintenance", FigLatency)
+	register("fig-cache", "read cache: hit rate and throughput vs cache size", FigCache)
 }
 
 // Lookup finds an experiment by ID.

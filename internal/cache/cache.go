@@ -1,0 +1,257 @@
+// Package cache implements the engine-wide read cache: a sharded,
+// capacity-bounded LRU holding two pools of entries — SSTable data blocks
+// keyed by (tableID, blockIdx) and hot value-log entries keyed by
+// (logNum, offset).
+//
+// UniKV drops Bloom filters, so a SortedStore point lookup costs exactly
+// one table check and one data-block read (paper §Design). Under the
+// skewed mixed workloads the paper targets that block read *is* the hot
+// path; an in-memory cache over the hot set absorbs it (F2 makes the same
+// observation for large skewed workloads, REMIX for repeated ranges).
+//
+// Correctness notes:
+//
+//   - Table file numbers and value-log numbers are allocated monotonically
+//     and never reused, so a stale entry can never be re-keyed to new
+//     data. Invalidation (EvictTable/EvictLog, called when merge/GC/split
+//     retire a table or collect a log) exists to reclaim memory promptly
+//     and to keep the "no stale entry is ever served" property independent
+//     of that allocation detail.
+//   - Cached byte slices are immutable. Block-pool entries are only read
+//     inside the sstable package (records parsed from them are copied
+//     before leaving the engine); value-pool hits are copied before being
+//     returned, because vlog.Read hands its buffer to the caller.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool discriminates the two entry namespaces.
+type Pool uint8
+
+const (
+	// PoolBlock holds SSTable data blocks keyed by (tableID, blockIdx).
+	PoolBlock Pool = iota
+	// PoolValue holds value-log entries keyed by (logNum, offset).
+	PoolValue
+)
+
+// Key identifies one cached entry.
+type Key struct {
+	Pool Pool
+	ID   uint64 // table file number or value-log number
+	Off  uint64 // block index or log offset
+}
+
+// entryOverhead approximates the per-entry bookkeeping bytes charged on
+// top of the payload (map bucket + list element + key + slice header).
+const entryOverhead = 96
+
+// entry is one resident payload.
+type entry struct {
+	key  Key
+	data []byte
+}
+
+// shard is one independently locked LRU.
+type shard struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	table    map[Key]*list.Element
+	lru      list.List // front = most recently used
+}
+
+// Stats is a point-in-time copy of the cache counters.
+type Stats struct {
+	BlockHits, BlockMisses int64
+	ValueHits, ValueMisses int64
+	Evictions              int64
+	Bytes                  int64
+	Entries                int64
+}
+
+// Cache is a sharded LRU shared by every table reader and the value-log
+// manager of one DB. The zero value is not usable; call New. A nil *Cache
+// is valid and behaves as "always miss, never store".
+type Cache struct {
+	shards []shard
+	mask   uint64
+
+	blockHits, blockMisses atomic.Int64
+	valueHits, valueMisses atomic.Int64
+	evictions              atomic.Int64
+	bytes                  atomic.Int64
+	entries                atomic.Int64
+}
+
+// New returns a cache bounded at capacityBytes, split over nShards
+// power-of-two shards (nShards <= 0 picks 16). capacityBytes <= 0 returns
+// nil — the disabled cache.
+func New(capacityBytes int64, nShards int) *Cache {
+	if capacityBytes <= 0 {
+		return nil
+	}
+	if nShards <= 0 {
+		nShards = 16
+	}
+	// Round up to a power of two for mask indexing.
+	n := 1
+	for n < nShards {
+		n <<= 1
+	}
+	c := &Cache{shards: make([]shard, n), mask: uint64(n - 1)}
+	per := capacityBytes / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].capacity = per
+		c.shards[i].table = make(map[Key]*list.Element)
+	}
+	return c
+}
+
+// hash mixes a key into a shard index (fmix64 finalizer over the fields).
+func (k Key) hash() uint64 {
+	h := k.ID*0x9e3779b97f4a7c15 ^ k.Off ^ uint64(k.Pool)<<56
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+func (c *Cache) shardFor(k Key) *shard { return &c.shards[k.hash()&c.mask] }
+
+// Get returns the payload cached under k. The returned slice aliases the
+// cache and MUST NOT be modified; callers that pass it onward copy first.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	el, ok := s.table[k]
+	if ok {
+		s.lru.MoveToFront(el)
+	}
+	var data []byte
+	if ok {
+		data = el.Value.(*entry).data
+	}
+	s.mu.Unlock()
+	if k.Pool == PoolBlock {
+		if ok {
+			c.blockHits.Add(1)
+		} else {
+			c.blockMisses.Add(1)
+		}
+	} else {
+		if ok {
+			c.valueHits.Add(1)
+		} else {
+			c.valueMisses.Add(1)
+		}
+	}
+	return data, ok
+}
+
+// Add inserts data under k, evicting LRU entries as needed. Entries larger
+// than half a shard's capacity are not admitted (they would evict the
+// whole shard for one resident). data is retained as-is; the caller must
+// not modify it afterwards.
+func (c *Cache) Add(k Key, data []byte) {
+	if c == nil {
+		return
+	}
+	charge := int64(len(data)) + entryOverhead
+	s := c.shardFor(k)
+	if charge > s.capacity/2 {
+		return
+	}
+	s.mu.Lock()
+	if el, ok := s.table[k]; ok {
+		// Same key re-inserted (two racing misses): keep the resident copy.
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	var evicted int64
+	for s.used+charge > s.capacity {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.table, e.key)
+		s.used -= int64(len(e.data)) + entryOverhead
+		c.bytes.Add(-(int64(len(e.data)) + entryOverhead))
+		evicted++
+	}
+	s.table[k] = s.lru.PushFront(&entry{key: k, data: data})
+	s.used += charge
+	s.mu.Unlock()
+	c.bytes.Add(charge)
+	c.entries.Add(1 - evicted)
+	c.evictions.Add(evicted)
+}
+
+// evictMatching removes every entry for which match returns true.
+func (c *Cache) evictMatching(match func(Key) bool) {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		var dropped, droppedBytes int64
+		for k, el := range s.table {
+			if !match(k) {
+				continue
+			}
+			e := el.Value.(*entry)
+			s.lru.Remove(el)
+			delete(s.table, k)
+			s.used -= int64(len(e.data)) + entryOverhead
+			droppedBytes += int64(len(e.data)) + entryOverhead
+			dropped++
+		}
+		s.mu.Unlock()
+		c.bytes.Add(-droppedBytes)
+		c.entries.Add(-dropped)
+	}
+}
+
+// EvictTable drops every block cached for table id (called when a merge,
+// scan merge, GC, or split retires the table file).
+func (c *Cache) EvictTable(id uint64) {
+	c.evictMatching(func(k Key) bool { return k.Pool == PoolBlock && k.ID == id })
+}
+
+// EvictLog drops every value cached for log n (called when GC or the lazy
+// value split collects the log).
+func (c *Cache) EvictLog(n uint32) {
+	c.evictMatching(func(k Key) bool { return k.Pool == PoolValue && k.ID == uint64(n) })
+}
+
+// Snapshot returns a copy of the counters and occupancy gauges.
+func (c *Cache) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		BlockHits:   c.blockHits.Load(),
+		BlockMisses: c.blockMisses.Load(),
+		ValueHits:   c.valueHits.Load(),
+		ValueMisses: c.valueMisses.Load(),
+		Evictions:   c.evictions.Load(),
+		Bytes:       c.bytes.Load(),
+		Entries:     c.entries.Load(),
+	}
+}

@@ -1,0 +1,157 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func blockKey(id uint64, idx uint64) Key { return Key{Pool: PoolBlock, ID: id, Off: idx} }
+func valueKey(n uint64, off uint64) Key  { return Key{Pool: PoolValue, ID: n, Off: off} }
+
+func TestGetAddBasic(t *testing.T) {
+	c := New(1<<20, 4)
+	if _, ok := c.Get(blockKey(1, 0)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Add(blockKey(1, 0), []byte("blockdata"))
+	got, ok := c.Get(blockKey(1, 0))
+	if !ok || string(got) != "blockdata" {
+		t.Fatalf("got %q ok=%v", got, ok)
+	}
+	// Pools are disjoint namespaces.
+	if _, ok := c.Get(valueKey(1, 0)); ok {
+		t.Fatal("value pool hit for block entry")
+	}
+	s := c.Snapshot()
+	if s.BlockHits != 1 || s.BlockMisses != 1 || s.ValueMisses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Entries != 1 || s.Bytes <= 0 {
+		t.Fatalf("occupancy %+v", s)
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	c.Add(blockKey(1, 1), []byte("x"))
+	if _, ok := c.Get(blockKey(1, 1)); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	c.EvictTable(1)
+	c.EvictLog(1)
+	if s := c.Snapshot(); s != (Stats{}) {
+		t.Fatalf("nil snapshot %+v", s)
+	}
+	if New(0, 4) != nil || New(-1, 4) != nil {
+		t.Fatal("New with non-positive capacity must return nil")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard so the LRU order is deterministic.
+	c := New(4*(128+entryOverhead), 1)
+	payload := make([]byte, 128)
+	for i := uint64(0); i < 4; i++ {
+		c.Add(blockKey(1, i), payload)
+	}
+	// Touch block 0 so it is MRU, then insert two more: 1 and 2 evict.
+	c.Get(blockKey(1, 0))
+	c.Add(blockKey(1, 4), payload)
+	c.Add(blockKey(1, 5), payload)
+	if _, ok := c.Get(blockKey(1, 0)); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	if _, ok := c.Get(blockKey(1, 1)); ok {
+		t.Fatal("LRU entry survived")
+	}
+	s := c.Snapshot()
+	if s.Evictions != 2 {
+		t.Fatalf("evictions = %d want 2", s.Evictions)
+	}
+	if s.Bytes > 4*(128+entryOverhead) {
+		t.Fatalf("over capacity: %d", s.Bytes)
+	}
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	c := New(1024, 1)
+	c.Add(blockKey(1, 0), make([]byte, 2048))
+	if _, ok := c.Get(blockKey(1, 0)); ok {
+		t.Fatal("oversized entry admitted")
+	}
+	if s := c.Snapshot(); s.Entries != 0 {
+		t.Fatalf("entries = %d", s.Entries)
+	}
+}
+
+func TestEvictTableAndLog(t *testing.T) {
+	c := New(1<<20, 4)
+	for i := uint64(0); i < 10; i++ {
+		c.Add(blockKey(7, i), []byte("b"))
+		c.Add(blockKey(8, i), []byte("b"))
+		c.Add(valueKey(3, i*16), []byte("v"))
+	}
+	c.EvictTable(7)
+	for i := uint64(0); i < 10; i++ {
+		if _, ok := c.Get(blockKey(7, i)); ok {
+			t.Fatal("table 7 entry survived eviction")
+		}
+		if _, ok := c.Get(blockKey(8, i)); !ok {
+			t.Fatal("table 8 entry wrongly evicted")
+		}
+	}
+	c.EvictLog(3)
+	for i := uint64(0); i < 10; i++ {
+		if _, ok := c.Get(valueKey(3, i*16)); ok {
+			t.Fatal("log 3 entry survived eviction")
+		}
+	}
+	if s := c.Snapshot(); s.Entries != 10 {
+		t.Fatalf("entries = %d want 10", s.Entries)
+	}
+}
+
+func TestDuplicateAddKeepsResident(t *testing.T) {
+	c := New(1<<20, 1)
+	c.Add(blockKey(1, 0), []byte("first"))
+	c.Add(blockKey(1, 0), []byte("second"))
+	got, _ := c.Get(blockKey(1, 0))
+	if string(got) != "first" {
+		t.Fatalf("resident copy replaced: %q", got)
+	}
+	if s := c.Snapshot(); s.Entries != 1 {
+		t.Fatalf("entries = %d", s.Entries)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64<<10, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := blockKey(uint64(g%4), uint64(i%64))
+				if d, ok := c.Get(k); ok {
+					if string(d) != fmt.Sprintf("t%d-b%d", g%4, i%64) {
+						t.Errorf("wrong payload for %v: %q", k, d)
+						return
+					}
+				} else {
+					c.Add(k, []byte(fmt.Sprintf("t%d-b%d", g%4, i%64)))
+				}
+				if i%97 == 0 {
+					c.EvictTable(uint64(g % 4))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.BlockHits+s.BlockMisses == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}

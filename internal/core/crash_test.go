@@ -200,6 +200,105 @@ func TestCrashEverywhereScan(t *testing.T) {
 	}
 }
 
+// TestCrashLosesUnsyncedDirEntries models a whole-machine power loss with
+// memFS's Crash(): only bytes fsynced through File.Sync survive, and only
+// files whose directory entry was SyncDir'd are findable at all. Every
+// publish point (WAL creation, manifest swap, table publish, vlog
+// rotation) must pair its file sync with a directory sync, or an
+// acknowledged write vanishes with its file.
+func TestCrashLosesUnsyncedDirEntries(t *testing.T) {
+	for _, n := range []int{3, 50, 400, 1200} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			fs := vfs.NewMem()
+			opts := smallOpts(fs)
+			opts.SyncWrites = true
+			db, err := Open("db", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if err := db.Put(key(i), val(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Power loss: abandon the handle (no Close — Close syncs) and
+			// drop everything that is not durable.
+			fs.(vfs.Crasher).Crash()
+
+			db2, err := Open("db", smallOpts(fs))
+			if err != nil {
+				t.Fatalf("reopen after crash: %v", err)
+			}
+			defer db2.Close()
+			for i := 0; i < n; i++ {
+				got, err := db2.Get(key(i))
+				if err != nil || !bytes.Equal(got, val(i)) {
+					t.Fatalf("acked key %d of %d lost to power loss: %v", i, n, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashSweepCacheVariants reruns a crash sweep with the read cache in
+// both non-default configurations — tiny (constant eviction and
+// invalidation racing recovery-relevant state) and off — to show crash
+// consistency does not depend on the cache's default sizing.
+func TestCrashSweepCacheVariants(t *testing.T) {
+	for _, cfg := range []struct {
+		name  string
+		bytes int64
+	}{
+		{"tiny", 256 << 10},
+		{"off", CacheOff},
+	} {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			for _, failAt := range []int64{20, 120, 700, 1800} {
+				inner := vfs.NewMem()
+				ffs := vfs.NewFail(inner)
+				opts := smallOpts(ffs)
+				opts.SyncWrites = true
+				opts.GCRatio = 0.25
+				opts.CacheBytes = cfg.bytes
+				db, err := Open("db", opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ffs.Arm(failAt)
+				acked := 0
+				for i := 0; i < 1500; i++ {
+					k := i % 500
+					if err := db.Put(key(k), val(k+i)); err != nil {
+						break
+					}
+					acked = i + 1
+				}
+				ffs.Disarm()
+
+				opts2 := smallOpts(inner)
+				opts2.CacheBytes = cfg.bytes
+				db2, err := Open("db", opts2)
+				if err != nil {
+					t.Fatalf("cache=%s failAt=%d reopen: %v", cfg.name, failAt, err)
+				}
+				// Every key overwritten before the in-flight op must hold
+				// one of its acked values (overwrites make exact-value
+				// tracking the sweep in TestCrashEverywhereScan's job; here
+				// we assert no loss and no dangling pointers).
+				for k := 0; k < 500 && k < acked; k++ {
+					if _, err := db2.Get(key(k)); err != nil {
+						t.Fatalf("cache=%s failAt=%d key %d unreadable: %v",
+							cfg.name, failAt, k, err)
+					}
+				}
+				db2.Close()
+			}
+		})
+	}
+}
+
 // TestRecoveryUsesHashCheckpoint verifies the checkpoint actually reduces
 // recovery work: with a checkpoint present, reopening reads less table data
 // than a cold rebuild.

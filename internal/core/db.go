@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"unikv/internal/cache"
 	"unikv/internal/codec"
 	"unikv/internal/manifest"
 	"unikv/internal/sstable"
@@ -30,6 +31,11 @@ type DB struct {
 
 	man *manifest.Manifest
 	vl  *vlog.Manager
+
+	// cache is the shared block/value read cache (nil when CacheBytes is
+	// CacheOff). Table readers attach to it at open; the vlog manager holds
+	// it via its options.
+	cache *cache.Cache
 
 	seq      atomic.Uint64
 	nextFile atomic.Uint64
@@ -95,6 +101,15 @@ type StatsSnapshot struct {
 	BackgroundErrors                         int64
 	PendingJobs                              int
 	ImmutableMemtables                       int
+
+	// Read-cache counters (all zero when the cache is disabled).
+	CacheBlockHits   int64
+	CacheBlockMisses int64
+	CacheValueHits   int64
+	CacheValueMisses int64
+	CacheEvictions   int64
+	CacheBytes       int64
+	CacheEntries     int64
 }
 
 // file-name helpers -----------------------------------------------------
@@ -144,8 +159,9 @@ func Open(dir string, opts Options) (*DB, error) {
 	state := man.State()
 	db.nextFile.Store(state.NextFileNum)
 	db.seq.Store(state.LastSeq)
+	db.cache = cache.New(opts.CacheBytes, 0)
 
-	vl, err := vlog.Open(db.fs, db.vlogDir(), vlog.Options{MaxLogSize: opts.MaxLogSize})
+	vl, err := vlog.Open(db.fs, db.vlogDir(), vlog.Options{MaxLogSize: opts.MaxLogSize, Cache: db.cache})
 	if err != nil {
 		man.Close()
 		return nil, err
@@ -274,7 +290,13 @@ func (db *DB) recoverPartition(meta *manifest.PartitionMeta) (*partition, error)
 		if err != nil {
 			return nil, err
 		}
-		return sstable.Open(f)
+		rdr, err := sstable.Open(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		rdr.SetCache(db.cache, tm.FileNum)
+		return rdr, nil
 	}
 
 	// UnsortedStore: checkpoint + replay.
@@ -592,6 +614,14 @@ func (db *DB) Metrics() StatsSnapshot {
 	}
 	s.ValueLogs = len(db.vl.LogNums())
 	s.ValueLogBytes = db.vl.TotalSize()
+	cs := db.cache.Snapshot()
+	s.CacheBlockHits = cs.BlockHits
+	s.CacheBlockMisses = cs.BlockMisses
+	s.CacheValueHits = cs.ValueHits
+	s.CacheValueMisses = cs.ValueMisses
+	s.CacheEvictions = cs.Evictions
+	s.CacheBytes = cs.Bytes
+	s.CacheEntries = cs.Entries
 	return s
 }
 

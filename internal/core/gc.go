@@ -109,7 +109,9 @@ func (p *partition) gcTables(locked bool) error {
 			}
 			continue
 		}
-		val, err := db.vl.Read(ptr)
+		// Bypass the value cache: GC touches every live value once and
+		// would otherwise flush the hot set with dead-cold data.
+		val, err := db.vl.ReadUncached(ptr)
 		if err != nil {
 			return err
 		}
@@ -156,6 +158,11 @@ func (p *partition) gcTables(locked bool) error {
 	oldLogs := p.logs
 	p.logs = newLogs
 
+	// New tables and the rewrite log must be findable after a crash before
+	// the GC_done commit (d.Finish synced the vlog directory).
+	if err := db.fs.SyncDir(p.dir); err != nil {
+		return err
+	}
 	if err := db.man.Apply(
 		manifest.SetSorted(p.id, tableMetas(tables)),
 		manifest.SetLogs(p.id, p.logsSliceLocked()),

@@ -77,6 +77,7 @@ func (w *tableWriter) roll() error {
 		rf.Close()
 		return err
 	}
+	rdr.SetCache(w.p.db.cache, w.num)
 	w.tables = append(w.tables, &sorted.Table{
 		Meta: manifest.TableMeta{
 			FileNum: w.num, Size: props.Size, Count: props.Count,
@@ -246,6 +247,11 @@ func (p *partition) mergeTables(snap []*unsorted.Table, locked bool) error {
 	oldSorted := p.srt.Tables()
 	oldCkpt := p.hashCkpt
 
+	// Make the new run's directory entries durable before the commit
+	// references them (vl.Sync above covered the value-log directory).
+	if err := db.fs.SyncDir(p.dir); err != nil {
+		return err
+	}
 	if err := db.man.Apply(
 		manifest.SetUnsorted(p.id, unsortedMetas(remaining)),
 		manifest.SetSorted(p.id, tableMetas(tables)),
@@ -388,6 +394,7 @@ func (p *partition) scanMergeTables(snap []*unsorted.Table, locked bool) error {
 		rf.Close()
 		return err
 	}
+	rdr.SetCache(db.cache, num)
 	meta := manifest.TableMeta{
 		FileNum: num, Size: props.Size, Count: props.Count,
 		Smallest: props.Smallest, Largest: props.Largest,
@@ -401,6 +408,9 @@ func (p *partition) scanMergeTables(snap []*unsorted.Table, locked bool) error {
 	newSet := append([]*unsorted.Table{{Meta: meta, Reader: rdr}},
 		p.uns.Tables()[len(snap):]...)
 	oldCkpt := p.hashCkpt
+	if err := db.fs.SyncDir(p.dir); err != nil {
+		return err
+	}
 	if err := db.man.Apply(
 		manifest.SetUnsorted(p.id, unsortedMetas(newSet)),
 		manifest.SetHashCkpt(p.id, 0),

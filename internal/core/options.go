@@ -9,6 +9,10 @@ import (
 	"unikv/internal/vfs"
 )
 
+// CacheOff disables the block/value cache when assigned to
+// Options.CacheBytes (0 means "use the default size").
+const CacheOff = -1
+
 // Options tunes the engine. The zero value is usable; Sanitize fills
 // defaults matching the paper's configuration scaled to test sizes.
 type Options struct {
@@ -65,6 +69,11 @@ type Options struct {
 	// StallImmutables blocks writers entirely until a flush completes once
 	// the immutable queue reaches this depth. Default 4.
 	StallImmutables int
+	// CacheBytes bounds the shared read cache holding hot SSTable data
+	// blocks and value-log entries. The cache is on by default: 0 selects
+	// the default size (32 MiB); a negative value (CacheOff) disables
+	// caching entirely, restoring the uncached read path byte for byte.
+	CacheBytes int64
 
 	// Ablation toggles (experiment fig11). Each disables one of the
 	// paper's techniques.
@@ -132,6 +141,11 @@ func (o Options) Sanitize() Options {
 	}
 	if o.StallImmutables <= o.SlowdownImmutables {
 		o.StallImmutables = o.SlowdownImmutables + 2
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 32 << 20
+	} else if o.CacheBytes < 0 {
+		o.CacheBytes = 0 // CacheOff: post-Sanitize 0 means disabled
 	}
 	if o.FS == nil {
 		o.FS = vfs.NewOS()

@@ -75,11 +75,16 @@ func (p *partition) initEmptyStores() error {
 }
 
 // newWALLocked creates a fresh WAL file (no manifest commit; callers batch
-// the SetWAL edit).
+// the SetWAL edit). The directory entry is fsynced immediately: every
+// subsequent WAL Sync only makes the file's contents durable, and an
+// acknowledged write would be lost if a crash dropped the entry itself.
 func (p *partition) newWALLocked() error {
 	num := p.db.allocFileNum()
 	f, err := p.db.fs.Create(walName(p.dir, num))
 	if err != nil {
+		return err
+	}
+	if err := p.db.fs.SyncDir(p.dir); err != nil {
 		return err
 	}
 	p.wal = wal.NewWriter(f)
@@ -323,6 +328,7 @@ func (p *partition) buildTable(mem *memtable.Memtable) (*unsorted.Table, [][]byt
 		rf.Close()
 		return nil, nil, err
 	}
+	rdr.SetCache(p.db.cache, num)
 	meta := manifest.TableMeta{
 		FileNum: num, Size: props.Size, Count: props.Count,
 		Smallest: props.Smallest, Largest: props.Largest,
@@ -361,6 +367,11 @@ func (p *partition) flushLocked() error {
 		edits = append(edits, manifest.SetWAL(p.id, p.walNum))
 	}
 	edits = append(edits, p.db.nextFileEdit())
+	// Make the new table's directory entry durable before the manifest
+	// commit references it.
+	if err := p.db.fs.SyncDir(p.dir); err != nil {
+		return err
+	}
 	if err := p.db.man.Apply(edits...); err != nil {
 		return err
 	}
@@ -402,6 +413,10 @@ func (p *partition) commitImmLocked(tbl *unsorted.Table, keys [][]byte) error {
 		edits = append(edits, manifest.SetWAL(p.id, nextWAL))
 	}
 	edits = append(edits, p.db.nextFileEdit())
+	if err := p.db.fs.SyncDir(p.dir); err != nil {
+		tbl.Reader.Close()
+		return err
+	}
 	if err := p.db.man.Apply(edits...); err != nil {
 		tbl.Reader.Close()
 		return err
@@ -470,6 +485,9 @@ func (p *partition) checkpointHashLocked() error {
 		return err
 	}
 	old := p.hashCkpt
+	if err := p.db.fs.SyncDir(p.dir); err != nil {
+		return err
+	}
 	if err := p.db.man.Apply(
 		manifest.SetHashCkpt(p.id, num),
 		p.db.nextFileEdit(),

@@ -235,7 +235,10 @@ func (p *partition) scanLocked(start, end []byte, n int) ([]KV, error) {
 	// worker queue and sleeping threads fetch them in parallel). Small
 	// fetch sets run inline — dispatch would cost more than it saves.
 	fetchOne := func(f pending) error {
-		val, err := p.db.vl.Read(f.ptr)
+		// ReadUncached: scan traffic bypasses the value cache so one large
+		// range query cannot evict the point-read hot set (the prefetch
+		// buffer above already serves the dense case).
+		val, err := p.db.vl.ReadUncached(f.ptr)
 		if err != nil {
 			return err
 		}

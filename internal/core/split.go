@@ -206,6 +206,15 @@ func (db *DB) splitPartition(parent *partition) error {
 		db.nextFileEdit(),
 	}
 	edits = append(edits, childEdits...)
+	// Both children's new tables must be findable after a crash before the
+	// manifest references them (the vlog and WAL directory entries were
+	// synced by DedicatedLog.Finish and newWALLocked above).
+	if err := db.fs.SyncDir(parent.dir); err != nil {
+		return err
+	}
+	if err := db.fs.SyncDir(childDir); err != nil {
+		return err
+	}
 	if err := db.man.Apply(edits...); err != nil {
 		return err
 	}

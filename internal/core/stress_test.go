@@ -15,9 +15,26 @@ import (
 // merges, GCs, and splits, then verifies the final state against each
 // writer's model.
 func TestConcurrentStress(t *testing.T) {
+	runConcurrentStress(t, nil)
+}
+
+// TestConcurrentStressTinyCache reruns the stress with a read cache small
+// enough to evict constantly while merges/GCs/splits retire tables and
+// logs underneath it. The model verification at the end is the coherence
+// check: a stale or cross-key cache hit surfaces as a wrong value.
+func TestConcurrentStressTinyCache(t *testing.T) {
+	// 256 KiB: large enough that 4 KiB blocks pass the per-shard admission
+	// filter, small enough to evict continuously under the workload.
+	runConcurrentStress(t, func(o *Options) { o.CacheBytes = 256 << 10 })
+}
+
+func runConcurrentStress(t *testing.T, tweak func(*Options)) {
 	fs := vfs.NewMem()
 	opts := smallOpts(fs)
 	opts.GCRatio = 0.25
+	if tweak != nil {
+		tweak(&opts)
+	}
 	db, err := Open("db", opts)
 	if err != nil {
 		t.Fatal(err)
@@ -136,7 +153,13 @@ func TestConcurrentStress(t *testing.T) {
 	if err := db.VerifyIntegrity(); err != nil {
 		t.Fatalf("integrity after stress: %v", err)
 	}
-	if db.Metrics().Merges == 0 {
+	m := db.Metrics()
+	if m.Merges == 0 {
 		t.Fatal("stress never merged — limits too large for the workload")
+	}
+	// The cache defaults on; the workload must actually have exercised it
+	// or the coherence claim above is vacuous.
+	if m.CacheBlockHits+m.CacheBlockMisses+m.CacheValueHits+m.CacheValueMisses == 0 {
+		t.Fatal("read cache never consulted during stress")
 	}
 }

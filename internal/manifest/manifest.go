@@ -515,7 +515,19 @@ func (m *Manifest) writeFresh() error {
 		f.Close()
 		return err
 	}
+	// Persist the new manifest's directory entry before CURRENT names it,
+	// and the CURRENT rename itself before anything relies on the swap.
+	// Without these a crash can lose the just-published generation even
+	// though its contents were fsynced.
+	if err := m.fs.SyncDir(m.dir); err != nil {
+		f.Close()
+		return err
+	}
 	if err := m.fs.WriteFile(filepath.Join(m.dir, currentName), []byte(name+"\n")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := m.fs.SyncDir(m.dir); err != nil {
 		f.Close()
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"unikv/internal/cache"
 	"unikv/internal/codec"
 	"unikv/internal/record"
 	"unikv/internal/vfs"
@@ -28,6 +29,12 @@ type Reader struct {
 	index  []blockHandle
 	filter []byte
 
+	// cache, when attached via SetCache, holds verified data blocks under
+	// (cacheID, blockIdx); cacheID is the table's file number, which the
+	// engine never reuses.
+	cache   *cache.Cache
+	cacheID uint64
+
 	count    int
 	minSeq   uint64
 	maxSeq   uint64
@@ -35,9 +42,18 @@ type Reader struct {
 	largest  []byte
 	size     int64
 
-	// BlockReads counts data-block fetches, powering the read-amplification
-	// and access-frequency experiments.
+	// BlockReads counts data-block fetches that reach the file (cache hits
+	// excluded), powering the read-amplification and access-frequency
+	// experiments.
 	BlockReads atomic.Int64
+}
+
+// SetCache attaches the shared block cache, keying this table's blocks by
+// id (its file number). Call before the reader is shared between
+// goroutines. A nil cache leaves the reader uncached.
+func (r *Reader) SetCache(c *cache.Cache, id uint64) {
+	r.cache = c
+	r.cacheID = id
 }
 
 // Open loads the footer, meta, and index of the table in f.
@@ -153,11 +169,23 @@ func (r *Reader) readChecked(off uint64, length uint32) ([]byte, error) {
 	return payload, nil
 }
 
-// readBlock fetches data block i.
+// readBlock fetches data block i, consulting the attached cache first. The
+// returned bytes may be shared with the cache and other readers: callers
+// must treat them as immutable (records parsed from a block are copied
+// before they leave the engine).
 func (r *Reader) readBlock(i int) ([]byte, error) {
+	ck := cache.Key{Pool: cache.PoolBlock, ID: r.cacheID, Off: uint64(i)}
+	if b, ok := r.cache.Get(ck); ok {
+		return b, nil
+	}
 	h := r.index[i]
 	r.BlockReads.Add(1)
-	return r.readChecked(h.offset, h.length)
+	b, err := r.readChecked(h.offset, h.length)
+	if err != nil {
+		return nil, err
+	}
+	r.cache.Add(ck, b)
+	return b, nil
 }
 
 // parsedBlock provides random access to a block's records via the offset
@@ -278,8 +306,9 @@ func (r *Reader) Get(key []byte) (record.Record, bool, error) {
 	if codec.Compare(rec.Key, key) != 0 {
 		return record.Record{}, false, nil
 	}
-	// The block buffer is freshly allocated per read, so the record may
-	// alias it safely.
+	// The record aliases the block buffer, which is either freshly
+	// allocated or a shared immutable cache resident; callers copy before
+	// exposing bytes outside the engine and never mutate records in place.
 	return rec, true, nil
 }
 
@@ -312,15 +341,25 @@ func (r *Reader) Size() int64 { return r.size }
 // NumBlocks returns the number of data blocks.
 func (r *Reader) NumBlocks() int { return len(r.index) }
 
-// Close releases the underlying file.
-func (r *Reader) Close() error { return r.f.Close() }
+// Close releases the underlying file and drops the table's cached blocks.
+// Every retirement path (merge, scan merge, GC, split) closes the old
+// readers, so eviction here keeps the cache free of dead tables.
+func (r *Reader) Close() error {
+	if r.cache != nil {
+		r.cache.EvictTable(r.cacheID)
+	}
+	return r.f.Close()
+}
 
 // VerifyChecksums reads every data block (plus the already-validated meta
 // and index blocks) and reports the first corruption found. Used by the
-// unikv-ctl verify command.
+// unikv-ctl verify command; it bypasses the block cache so the bytes on
+// disk — not a cached copy — are what gets checked.
 func (r *Reader) VerifyChecksums() error {
 	for i := range r.index {
-		block, err := r.readBlock(i)
+		h := r.index[i]
+		r.BlockReads.Add(1)
+		block, err := r.readChecked(h.offset, h.length)
 		if err != nil {
 			return fmt.Errorf("block %d: %w", i, err)
 		}

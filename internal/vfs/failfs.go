@@ -113,6 +113,16 @@ func (fs *FailFS) WriteFile(name string, data []byte) error {
 	return fs.inner.WriteFile(name, data)
 }
 
+// SyncDir is a mutating op for failure-injection purposes: it publishes
+// directory entries, so the crash sweeps must be able to kill the engine
+// right before one.
+func (fs *FailFS) SyncDir(dir string) error {
+	if err := fs.step(); err != nil {
+		return err
+	}
+	return fs.inner.SyncDir(dir)
+}
+
 type failFile struct {
 	f  File
 	fs *FailFS

@@ -30,6 +30,7 @@ type Counters struct {
 	WriteOps     atomic.Int64
 	ReadOps      atomic.Int64
 	Syncs        atomic.Int64
+	DirSyncs     atomic.Int64
 	FilesCreated atomic.Int64
 	FilesDeleted atomic.Int64
 }
@@ -42,6 +43,7 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		WriteOps:     c.WriteOps.Load(),
 		ReadOps:      c.ReadOps.Load(),
 		Syncs:        c.Syncs.Load(),
+		DirSyncs:     c.DirSyncs.Load(),
 		FilesCreated: c.FilesCreated.Load(),
 		FilesDeleted: c.FilesDeleted.Load(),
 	}
@@ -54,6 +56,7 @@ type CounterSnapshot struct {
 	WriteOps     int64
 	ReadOps      int64
 	Syncs        int64
+	DirSyncs     int64
 	FilesCreated int64
 	FilesDeleted int64
 }
@@ -66,14 +69,15 @@ func (s CounterSnapshot) Sub(old CounterSnapshot) CounterSnapshot {
 		WriteOps:     s.WriteOps - old.WriteOps,
 		ReadOps:      s.ReadOps - old.ReadOps,
 		Syncs:        s.Syncs - old.Syncs,
+		DirSyncs:     s.DirSyncs - old.DirSyncs,
 		FilesCreated: s.FilesCreated - old.FilesCreated,
 		FilesDeleted: s.FilesDeleted - old.FilesDeleted,
 	}
 }
 
 func (s CounterSnapshot) String() string {
-	return fmt.Sprintf("written=%d read=%d wops=%d rops=%d syncs=%d",
-		s.BytesWritten, s.BytesRead, s.WriteOps, s.ReadOps, s.Syncs)
+	return fmt.Sprintf("written=%d read=%d wops=%d rops=%d syncs=%d dirsyncs=%d",
+		s.BytesWritten, s.BytesRead, s.WriteOps, s.ReadOps, s.Syncs, s.DirSyncs)
 }
 
 // File is the subset of *os.File behaviour the storage layers need.
@@ -108,8 +112,21 @@ type FS interface {
 	// WriteFile atomically replaces the named file with data
 	// (write temp + fsync + rename).
 	WriteFile(name string, data []byte) error
+	// SyncDir fsyncs the directory itself, making the Create/Rename/Remove
+	// of entries inside it durable. Fsyncing a file persists its contents
+	// but not the directory entry pointing at it; every publish point
+	// (manifest swap, table publish, WAL rotation, log finish) must call
+	// this before declaring the new file durable.
+	SyncDir(dir string) error
 	// Counters exposes the accumulated I/O statistics of this FS.
 	Counters() *Counters
+}
+
+// Crasher is implemented by file systems that can simulate a power loss:
+// Crash discards every directory entry that was not made durable via
+// SyncDir and truncates surviving files to their last Sync'd length.
+type Crasher interface {
+	Crash()
 }
 
 // ---------------------------------------------------------------------------
@@ -209,6 +226,22 @@ func (fs *osFS) WriteFile(name string, data []byte) error {
 	return os.Rename(tmp, name)
 }
 
+func (fs *osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fs.counters.DirSyncs.Add(1)
+	return nil
+}
+
 type osFile struct {
 	f *os.File
 	c *Counters
@@ -247,9 +280,15 @@ func (f *osFile) Size() (int64, error) {
 // In-memory implementation (tests and benchmarks that should not touch disk).
 
 // memFS implements FS in process memory. It is safe for concurrent use.
+//
+// It models directory-entry durability: the live files map reflects what an
+// uncrashed process observes, while durable records the entries captured by
+// SyncDir. Crash rebuilds files from durable and truncates each survivor to
+// its last Sync'd length, simulating a power loss.
 type memFS struct {
 	mu       sync.Mutex
 	files    map[string]*memData
+	durable  map[string]*memData
 	dirs     map[string]bool
 	counters Counters
 }
@@ -262,7 +301,11 @@ type memData struct {
 
 // NewMem returns an FS that keeps all files in memory.
 func NewMem() FS {
-	return &memFS{files: make(map[string]*memData), dirs: map[string]bool{".": true, "/": true}}
+	return &memFS{
+		files:   make(map[string]*memData),
+		durable: make(map[string]*memData),
+		dirs:    map[string]bool{".": true, "/": true},
+	}
 }
 
 func (fs *memFS) Counters() *Counters { return &fs.counters }
@@ -388,6 +431,48 @@ func (fs *memFS) WriteFile(name string, data []byte) error {
 		return err
 	}
 	return f.Close()
+}
+
+func (fs *memFS) SyncDir(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir = filepath.Clean(dir)
+	for name, d := range fs.files {
+		if filepath.Dir(name) == dir {
+			fs.durable[name] = d
+		}
+	}
+	for name := range fs.durable {
+		if filepath.Dir(name) == dir {
+			if _, live := fs.files[name]; !live {
+				delete(fs.durable, name)
+			}
+		}
+	}
+	fs.counters.DirSyncs.Add(1)
+	return nil
+}
+
+// Crash simulates a power loss: only entries captured by SyncDir survive,
+// and each survivor keeps only the bytes covered by its last file Sync.
+// Directories themselves are kept (MkdirAll is treated as durable; the
+// engine creates its directory tree once at open).
+func (fs *memFS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	files := make(map[string]*memData, len(fs.durable))
+	for name, d := range fs.durable {
+		d.mu.Lock()
+		nd := &memData{data: append([]byte(nil), d.data[:d.synced]...)}
+		nd.synced = len(nd.data)
+		d.mu.Unlock()
+		files[name] = nd
+	}
+	fs.files = files
+	fs.durable = make(map[string]*memData, len(files))
+	for name, d := range files {
+		fs.durable[name] = d
+	}
 }
 
 type memFile struct {

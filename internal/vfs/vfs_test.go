@@ -224,3 +224,98 @@ func TestFailFS(t *testing.T) {
 		t.Fatalf("disarm did not restore operation: %v", err)
 	}
 }
+
+// TestSyncDirCrashModel exercises the memFS power-loss model: a file whose
+// bytes were Sync'd but whose directory entry was never SyncDir'd vanishes
+// at Crash; a SyncDir'd file survives truncated to its last file Sync; a
+// Remove only sticks across a crash after the directory is synced again.
+func TestSyncDirCrashModel(t *testing.T) {
+	fs := NewMem()
+	if err := fs.MkdirAll("db"); err != nil {
+		t.Fatal(err)
+	}
+
+	// published: bytes synced, entry synced, then a tail appended without
+	// either.
+	f, err := fs.Create("db/published")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("db"); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("-lost-tail"))
+	f.Close()
+
+	// orphan: fully synced bytes, but the directory entry never made
+	// durable — the classic missing-dir-fsync bug.
+	if err := fs.WriteFile("db/orphan", []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.(Crasher).Crash()
+	if fs.Exists("db/orphan") {
+		t.Fatal("file with unsynced directory entry survived the crash")
+	}
+	got, err := fs.ReadFile("db/published")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable" {
+		t.Fatalf("survivor = %q, want synced prefix only", got)
+	}
+
+	// A Remove without a directory sync resurrects at the next crash...
+	if err := fs.Remove("db/published"); err != nil {
+		t.Fatal(err)
+	}
+	fs.(Crasher).Crash()
+	if !fs.Exists("db/published") {
+		t.Fatal("unsynced Remove stuck across a crash")
+	}
+	// ...and stays gone once the directory is synced.
+	if err := fs.Remove("db/published"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("db"); err != nil {
+		t.Fatal(err)
+	}
+	fs.(Crasher).Crash()
+	if fs.Exists("db/published") {
+		t.Fatal("synced Remove undone by crash")
+	}
+}
+
+// TestSyncDirCounted checks both implementations count directory syncs.
+func TestSyncDirCounted(t *testing.T) {
+	fsCases(t, func(t *testing.T, fs FS, dir string) {
+		before := fs.Counters().Snapshot().DirSyncs
+		if err := fs.SyncDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		if got := fs.Counters().Snapshot().DirSyncs; got != before+1 {
+			t.Fatalf("DirSyncs = %d, want %d", got, before+1)
+		}
+	})
+}
+
+// TestFailFSSyncDir verifies SyncDir draws from the failure budget like
+// every other mutating operation.
+func TestFailFSSyncDir(t *testing.T) {
+	fs := NewFail(NewMem())
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Arm(1)
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != ErrInjected {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	fs.Disarm()
+}

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"sync"
 
+	"unikv/internal/cache"
 	"unikv/internal/codec"
 	"unikv/internal/record"
 	"unikv/internal/vfs"
@@ -41,6 +42,10 @@ type Options struct {
 	MaxLogSize int64
 	// Partition is stamped into returned pointers.
 	Partition uint32
+	// Cache, when non-nil, holds hot values for point reads (PoolValue,
+	// keyed by (logNum, offset)). Scan fetches and GC rewrites bypass it
+	// via ReadUncached so bulk traffic cannot flush the hot set.
+	Cache *cache.Cache
 }
 
 // Manager owns the value logs in one directory.
@@ -54,6 +59,7 @@ type Manager struct {
 	activeNum uint32
 	activeOff int64
 	nextNum   uint32
+	dirDirty  bool // a log file was created since the last SyncDir
 
 	sizes   map[uint32]int64 // total bytes per log
 	garbage map[uint32]int64 // dead bytes per log (greedy GC accounting)
@@ -150,6 +156,7 @@ func (m *Manager) ensureActiveLocked() error {
 	m.activeNum = num
 	m.activeOff = 0
 	m.sizes[num] = 0
+	m.dirDirty = true
 	return nil
 }
 
@@ -223,6 +230,9 @@ func (m *Manager) NewDedicatedLog(partition uint32) (*DedicatedLog, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.mu.Lock()
+	m.dirDirty = true
+	m.mu.Unlock()
 	return &DedicatedLog{m: m, f: f, num: num, part: partition}, nil
 }
 
@@ -271,17 +281,37 @@ func (d *DedicatedLog) Finish() (nonEmpty bool, err error) {
 		d.m.mu.Unlock()
 		return false, d.m.fs.Remove(filepath.Join(d.m.dir, LogName(d.num)))
 	}
-	return true, nil
+	// The file's bytes are durable; make its directory entry durable too
+	// before the caller commits pointers to it in the manifest.
+	d.m.mu.Lock()
+	defer d.m.mu.Unlock()
+	return true, d.m.syncDirLocked()
 }
 
-// Sync makes appended values durable.
+// syncDirLocked fsyncs the log directory if any log file was created since
+// the last call. Requires m.mu held.
+func (m *Manager) syncDirLocked() error {
+	if !m.dirDirty {
+		return nil
+	}
+	if err := m.fs.SyncDir(m.dir); err != nil {
+		return err
+	}
+	m.dirDirty = false
+	return nil
+}
+
+// Sync makes appended values durable: file contents plus, if a log was
+// created since the last call, the directory entry pointing at it.
 func (m *Manager) Sync() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.active == nil {
-		return nil
+	if m.active != nil {
+		if err := m.active.Sync(); err != nil {
+			return err
+		}
 	}
-	return m.active.Sync()
+	return m.syncDirLocked()
 }
 
 // reader returns a cached read handle for log n.
@@ -299,19 +329,56 @@ func (m *Manager) reader(n uint32) (vfs.File, error) {
 	return f, nil
 }
 
-// Read fetches the value at ptr, verifying length and checksum. The
-// prefetch cache is consulted first.
+// Read fetches the value at ptr for a point lookup, verifying length and
+// checksum. The scan readahead buffer is consulted first, then the value
+// cache; a miss reads the log and caches the verified value. The returned
+// buffer is owned by the caller.
 func (m *Manager) Read(ptr record.ValuePtr) ([]byte, error) {
 	if b, ok := m.fromPrefetch(ptr); ok {
 		return b, nil
 	}
+	ck := cache.Key{Pool: cache.PoolValue, ID: uint64(ptr.LogNum), Off: uint64(ptr.Offset)}
+	if b, ok := m.opts.Cache.Get(ck); ok && uint32(len(b)) == ptr.Length {
+		// Cached bytes are shared and immutable; Read hands the buffer to
+		// the caller, so copy.
+		return append([]byte(nil), b...), nil
+	}
+	val, err := m.readFramed(ptr)
+	if err != nil {
+		return nil, err
+	}
+	m.opts.Cache.Add(ck, append([]byte(nil), val...))
+	return val, nil
+}
+
+// ReadUncached is Read without value-cache participation (it neither
+// consults nor populates it). Scans and GC use it so bulk value traffic
+// cannot evict the point-read hot set.
+func (m *Manager) ReadUncached(ptr record.ValuePtr) ([]byte, error) {
+	if b, ok := m.fromPrefetch(ptr); ok {
+		return b, nil
+	}
+	return m.readFramed(ptr)
+}
+
+// readFramed reads and validates the framed value at ptr from the log
+// file. A short read — a pointer past the synced tail after a crash — is
+// an explicit error, never partial data: ReadAt can return n < len(buf)
+// with io.EOF, and the stale/zero suffix of buf must not reach the
+// decoder as if it had been read.
+func (m *Manager) readFramed(ptr record.ValuePtr) ([]byte, error) {
 	f, err := m.reader(ptr.LogNum)
 	if err != nil {
 		return nil, err
 	}
 	buf := make([]byte, headerLen+int(ptr.Length))
-	if _, err := f.ReadAt(buf, int64(ptr.Offset)); err != nil && err != io.EOF {
+	n, err := f.ReadAt(buf, int64(ptr.Offset))
+	if err != nil && err != io.EOF {
 		return nil, err
+	}
+	if n < len(buf) {
+		return nil, fmt.Errorf("vlog: log %d truncated at offset %d (%d of %d bytes): %w",
+			ptr.LogNum, ptr.Offset, n, len(buf), ErrBadPointer)
 	}
 	return decodeValue(buf, ptr.Length)
 }
@@ -344,6 +411,9 @@ func (m *Manager) Prefetch(n uint32, off int64, length int64) error {
 		return nil
 	}
 	buf := make([]byte, length)
+	// A short read is fine here: the buffer is truncated to the bytes
+	// actually read, so fromPrefetch's coverage check rejects pointers
+	// past the tail and they fall back to the per-value read path.
 	rd, err := f.ReadAt(buf, off)
 	if err != nil && err != io.EOF {
 		return err
@@ -489,8 +559,11 @@ func (m *Manager) ActiveNum() (uint32, bool) {
 	return m.activeNum, true
 }
 
-// Remove deletes log n (after GC has rewritten its live values).
+// Remove deletes log n (after GC has rewritten its live values). Cached
+// values from the log are dropped first so no read started after the
+// removal can observe collected data.
 func (m *Manager) Remove(n uint32) error {
+	m.opts.Cache.EvictLog(n)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.active != nil && m.activeNum == n {
@@ -562,8 +635,15 @@ func (m *Manager) VerifyLog(n uint32) (int, error) {
 	var off int64
 	hdr := make([]byte, headerLen)
 	for off < size {
-		if _, err := f.ReadAt(hdr, off); err != nil && err != io.EOF {
+		// hdr is reused across iterations: a tolerated short read would
+		// leave the previous header's bytes in place and fabricate a frame,
+		// so require the full header (and below, the full value).
+		n, err := f.ReadAt(hdr, off)
+		if err != nil && err != io.EOF {
 			return count, err
+		}
+		if n < headerLen {
+			return count, fmt.Errorf("vlog: truncated header at offset %d", off)
 		}
 		length, rest, _ := codec.Uint32(hdr)
 		crc, _, _ := codec.Uint32(rest)
@@ -571,8 +651,12 @@ func (m *Manager) VerifyLog(n uint32) (int, error) {
 			return count, fmt.Errorf("vlog: truncated value at offset %d", off)
 		}
 		val := make([]byte, length)
-		if _, err := f.ReadAt(val, off+headerLen); err != nil && err != io.EOF {
+		n, err = f.ReadAt(val, off+headerLen)
+		if err != nil && err != io.EOF {
 			return count, err
+		}
+		if n < int(length) {
+			return count, fmt.Errorf("vlog: truncated value at offset %d", off)
 		}
 		if codec.MaskChecksum(codec.Checksum(val)) != crc {
 			return count, fmt.Errorf("vlog: checksum mismatch at offset %d", off)

@@ -142,6 +142,63 @@ func TestCorruptValueDetected(t *testing.T) {
 	}
 }
 
+// TestTruncatedTailRejected simulates a crash that loses the tail of a
+// log file. Pointers past the cut must fail loudly — ReadAt tolerates
+// short reads (n < len(buf) with io.EOF), and the undecoded stale/zero
+// suffix must never be returned as value bytes. Values before the cut
+// stay readable, and VerifyLog counts the intact prefix then reports the
+// damage.
+func TestTruncatedTailRejected(t *testing.T) {
+	fs := vfs.NewMem()
+	m := newMgr(t, fs, Options{})
+	var ptrs []record.ValuePtr
+	var vals [][]byte
+	for i := 0; i < 10; i++ {
+		v := []byte(fmt.Sprintf("value-%04d-%s", i, bytes.Repeat([]byte("y"), 30)))
+		ptr, err := m.Append(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, ptr)
+		vals = append(vals, v)
+	}
+	m.Close()
+
+	last := ptrs[len(ptrs)-1]
+	name := "p0/" + LogName(last.LogNum)
+	whole, err := fs.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{
+		int(last.Offset) + 3,             // mid-header
+		int(last.Offset) + headerLen + 5, // mid-value
+	} {
+		fs.WriteFile(name, whole[:cut])
+		m2 := newMgr(t, fs, Options{})
+		if v, err := m2.Read(last); err == nil {
+			t.Fatalf("cut=%d: Read returned %q past the truncation point", cut, v)
+		}
+		if v, err := m2.ReadUncached(last); err == nil {
+			t.Fatalf("cut=%d: ReadUncached returned %q past the truncation point", cut, v)
+		}
+		for i := 0; i < len(ptrs)-1; i++ {
+			got, err := m2.Read(ptrs[i])
+			if err != nil || !bytes.Equal(got, vals[i]) {
+				t.Fatalf("cut=%d: intact value %d unreadable: %v", cut, i, err)
+			}
+		}
+		n, err := m2.VerifyLog(last.LogNum)
+		if err == nil {
+			t.Fatalf("cut=%d: VerifyLog missed the truncation", cut)
+		}
+		if n != len(ptrs)-1 {
+			t.Fatalf("cut=%d: VerifyLog counted %d intact values, want %d", cut, n, len(ptrs)-1)
+		}
+		m2.Close()
+	}
+}
+
 func TestPrefetch(t *testing.T) {
 	fs := vfs.NewMem()
 	m := newMgr(t, fs, Options{})

@@ -52,6 +52,10 @@ var ErrClosed = core.ErrClosed
 // on-disk format limits (64 KiB keys, 1 GiB values).
 var ErrKeyTooLarge = core.ErrKeyTooLarge
 
+// CacheOff disables the block/value read cache when assigned to
+// Options.CacheBytes (0 means "use the default size").
+const CacheOff = core.CacheOff
+
 // KV is one key-value pair returned by Scan.
 type KV = core.KV
 
@@ -100,6 +104,11 @@ type Options struct {
 	// only slow down or stall when maintenance falls behind. 0 (the
 	// default) keeps maintenance inline in the writing goroutine.
 	BackgroundWorkers int
+	// CacheBytes bounds the in-memory read cache shared by all partitions,
+	// holding hot SSTable data blocks and hot value-log entries. The cache
+	// is on by default: 0 selects the default size (32 MiB); CacheOff (any
+	// negative value) disables caching entirely.
+	CacheBytes int64
 
 	// Advanced / experiment knobs. Leave zero unless reproducing the
 	// paper's ablations.
@@ -135,6 +144,7 @@ func (o *Options) toCore() core.Options {
 		ScanWorkers:         o.ScanWorkers,
 		ValueThreshold:      o.ValueThreshold,
 		BackgroundWorkers:   o.BackgroundWorkers,
+		CacheBytes:          o.CacheBytes,
 		SyncWrites:          o.SyncWrites,
 		DisableWAL:          o.DisableWAL,
 		DisableHashIndex:    o.DisableHashIndex,
