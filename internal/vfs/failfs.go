@@ -2,6 +2,7 @@ package vfs
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 )
 
@@ -20,12 +21,13 @@ type FailFS struct {
 	mu        sync.Mutex
 	remaining int64 // mutating ops allowed before failure; <0 = unlimited
 	failed    bool
+	locked    map[string]bool // dirs locked through this wrapper
 }
 
 // NewFail wraps inner; the file system operates normally until Arm is
 // called.
 func NewFail(inner FS) *FailFS {
-	return &FailFS{inner: inner, remaining: -1}
+	return &FailFS{inner: inner, remaining: -1, locked: make(map[string]bool)}
 }
 
 // Arm allows n more mutating operations (writes, syncs, creates, renames,
@@ -121,6 +123,48 @@ func (fs *FailFS) SyncDir(dir string) error {
 		return err
 	}
 	return fs.inner.SyncDir(dir)
+}
+
+// TryLockDir keeps its own lock table instead of forwarding to the inner
+// FS: a FailFS models one process, and the crash tests "kill" it by
+// abandoning the handle and reopening through the inner FS (or a fresh
+// wrapper) — the dead process's locks must not survive it, exactly like
+// flock. Two opens through the same wrapper still conflict.
+func (fs *FailFS) TryLockDir(dir string) (DirLock, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.locked[dir] {
+		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+	}
+	fs.locked[dir] = true
+	return &failDirLock{fs: fs, dir: dir}, nil
+}
+
+// DropLocks implements LockDropper: it releases the locks held through this
+// wrapper and, when the inner FS supports it, those held directly on it.
+func (fs *FailFS) DropLocks() {
+	fs.mu.Lock()
+	fs.locked = make(map[string]bool)
+	fs.mu.Unlock()
+	if ld, ok := fs.inner.(LockDropper); ok {
+		ld.DropLocks()
+	}
+}
+
+type failDirLock struct {
+	fs       *FailFS
+	dir      string
+	released bool
+}
+
+func (l *failDirLock) Release() error {
+	l.fs.mu.Lock()
+	defer l.fs.mu.Unlock()
+	if !l.released {
+		delete(l.fs.locked, l.dir)
+		l.released = true
+	}
+	return nil
 }
 
 type failFile struct {

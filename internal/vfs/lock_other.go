@@ -1,0 +1,47 @@
+//go:build !unix
+
+package vfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// TryLockDir on platforms without flock falls back to an O_EXCL lock file.
+// Unlike the flock variant this can leave a stale LOCK behind after a crash
+// (delete it by hand to recover); the supported serving platforms are all
+// unix, so the fallback only keeps builds working elsewhere.
+func (fs *osFS) TryLockDir(dir string) (DirLock, error) {
+	path := filepath.Join(dir, LockFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("%w: %s (stale after a crash? remove %s)", ErrLocked, dir, path)
+		}
+		return nil, err
+	}
+	return &osDirLock{f: f, path: path}, nil
+}
+
+type osDirLock struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	released bool
+}
+
+func (l *osDirLock) Release() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.released {
+		return nil
+	}
+	l.released = true
+	err := l.f.Close()
+	if rerr := os.Remove(l.path); err == nil {
+		err = rerr
+	}
+	return err
+}

@@ -1,0 +1,48 @@
+//go:build unix
+
+package vfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+)
+
+// TryLockDir takes a non-blocking flock(2) on dir/LOCK. flock locks belong
+// to the open file description, so a second handle — same process or not —
+// gets EWOULDBLOCK, and a crashed owner's lock vanishes with its fds: no
+// stale-lockfile recovery is ever needed.
+func (fs *osFS) TryLockDir(dir string) (DirLock, error) {
+	f, err := os.OpenFile(filepath.Join(dir, LockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+		}
+		return nil, &os.PathError{Op: "flock", Path: dir, Err: err}
+	}
+	return &osDirLock{f: f}, nil
+}
+
+type osDirLock struct {
+	mu       sync.Mutex
+	f        *os.File
+	released bool
+}
+
+// Release drops the flock by closing the fd. The LOCK file itself stays in
+// the directory (LevelDB convention); it carries no state.
+func (l *osDirLock) Release() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.released {
+		return nil
+	}
+	l.released = true
+	return l.f.Close()
+}

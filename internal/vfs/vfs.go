@@ -118,8 +118,29 @@ type FS interface {
 	// (manifest swap, table publish, WAL rotation, log finish) must call
 	// this before declaring the new file durable.
 	SyncDir(dir string) error
+	// TryLockDir acquires an exclusive advisory lock on dir (creating a
+	// LOCK file inside it on real file systems), so that at most one live
+	// database handle owns the directory at a time. It returns ErrLocked —
+	// without blocking — when the lock is already held. The lock dies with
+	// the owning process (flock semantics); Release frees it earlier.
+	TryLockDir(dir string) (DirLock, error)
 	// Counters exposes the accumulated I/O statistics of this FS.
 	Counters() *Counters
+}
+
+// LockFileName is the name of the lock file TryLockDir maintains inside the
+// locked directory on OS-backed file systems (LevelDB's convention).
+const LockFileName = "LOCK"
+
+// ErrLocked is returned by TryLockDir when another live FS handle (for the
+// OS file system: another process or another open handle) already holds the
+// named directory's lock.
+var ErrLocked = errors.New("vfs: directory already locked")
+
+// DirLock is an exclusive advisory lock on a directory, obtained from
+// FS.TryLockDir. Release frees it; releasing twice is a no-op.
+type DirLock interface {
+	Release() error
 }
 
 // Crasher is implemented by file systems that can simulate a power loss:
@@ -127,6 +148,15 @@ type FS interface {
 // SyncDir and truncates surviving files to their last Sync'd length.
 type Crasher interface {
 	Crash()
+}
+
+// LockDropper is implemented by the test file systems. DropLocks releases
+// every directory lock held through this handle — simulating the death of
+// the process(es) that acquired them (flocks die with their owner) without
+// altering any file data the way Crash does. Crash tests that abandon a DB
+// handle and reopen the same FS call this at the simulated kill point.
+type LockDropper interface {
+	DropLocks()
 }
 
 // ---------------------------------------------------------------------------
@@ -290,6 +320,7 @@ type memFS struct {
 	files    map[string]*memData
 	durable  map[string]*memData
 	dirs     map[string]bool
+	locked   map[string]bool // dirs with a live TryLockDir lock
 	counters Counters
 }
 
@@ -305,7 +336,46 @@ func NewMem() FS {
 		files:   make(map[string]*memData),
 		durable: make(map[string]*memData),
 		dirs:    map[string]bool{".": true, "/": true},
+		locked:  make(map[string]bool),
 	}
+}
+
+// TryLockDir records the lock in an in-process table: handles sharing this
+// memFS (two "processes" pointed at one directory) conflict, while a fresh
+// wrapper over the same files — how the crash tests model a process death —
+// starts with a clean table, matching flock's die-with-the-process behavior.
+func (fs *memFS) TryLockDir(dir string) (DirLock, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir = filepath.Clean(dir)
+	if fs.locked[dir] {
+		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+	}
+	fs.locked[dir] = true
+	return &memDirLock{fs: fs, dir: dir}, nil
+}
+
+// DropLocks implements LockDropper.
+func (fs *memFS) DropLocks() {
+	fs.mu.Lock()
+	fs.locked = make(map[string]bool)
+	fs.mu.Unlock()
+}
+
+type memDirLock struct {
+	fs       *memFS
+	dir      string
+	released bool
+}
+
+func (l *memDirLock) Release() error {
+	l.fs.mu.Lock()
+	defer l.fs.mu.Unlock()
+	if !l.released {
+		delete(l.fs.locked, l.dir)
+		l.released = true
+	}
+	return nil
 }
 
 func (fs *memFS) Counters() *Counters { return &fs.counters }
@@ -473,6 +543,8 @@ func (fs *memFS) Crash() {
 	for name, d := range files {
 		fs.durable[name] = d
 	}
+	// Power loss kills every process holding a lock; flocks die with them.
+	fs.locked = make(map[string]bool)
 }
 
 type memFile struct {

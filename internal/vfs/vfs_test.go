@@ -1,6 +1,7 @@
 package vfs
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -318,4 +319,82 @@ func TestFailFSSyncDir(t *testing.T) {
 		t.Fatalf("want ErrInjected, got %v", err)
 	}
 	fs.Disarm()
+}
+
+// TestTryLockDir exercises the exclusive directory lock on both
+// implementations: second acquisition fails with ErrLocked, Release makes
+// the lock available again, and double-Release is harmless.
+func TestTryLockDir(t *testing.T) {
+	fsCases(t, func(t *testing.T, fs FS, dir string) {
+		l1, err := fs.TryLockDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.TryLockDir(dir); !errors.Is(err, ErrLocked) {
+			t.Fatalf("second lock: want ErrLocked, got %v", err)
+		}
+		// Another directory is independent.
+		other := filepath.Join(dir, "sub")
+		if err := fs.MkdirAll(other); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := fs.TryLockDir(other)
+		if err != nil {
+			t.Fatalf("independent dir: %v", err)
+		}
+		if err := l2.Release(); err != nil {
+			t.Fatal(err)
+		}
+		if err := l1.Release(); err != nil {
+			t.Fatal(err)
+		}
+		if err := l1.Release(); err != nil {
+			t.Fatalf("double release: %v", err)
+		}
+		l3, err := fs.TryLockDir(dir)
+		if err != nil {
+			t.Fatalf("relock after release: %v", err)
+		}
+		l3.Release()
+	})
+}
+
+// TestTryLockDirDiesWithProcess models process death for both test file
+// systems: memFS.Crash (power loss) and DropLocks (kill) both free the
+// lock, and a FailFS wrapper's locks are invisible to a fresh wrapper over
+// the same inner FS (a new process).
+func TestTryLockDirDiesWithProcess(t *testing.T) {
+	fs := NewMem()
+	if err := fs.MkdirAll("db"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.TryLockDir("db"); err != nil {
+		t.Fatal(err)
+	}
+	fs.(Crasher).Crash()
+	l, err := fs.TryLockDir("db")
+	if err != nil {
+		t.Fatalf("lock after crash: %v", err)
+	}
+	l.Release()
+
+	ffs := NewFail(fs)
+	if _, err := ffs.TryLockDir("db"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ffs.TryLockDir("db"); !errors.Is(err, ErrLocked) {
+		t.Fatalf("same wrapper: want ErrLocked, got %v", err)
+	}
+	// A fresh wrapper over the same files is a new process: no conflict.
+	l2, err := NewFail(fs).TryLockDir("db")
+	if err != nil {
+		t.Fatalf("fresh wrapper: %v", err)
+	}
+	l2.Release()
+	ffs.DropLocks()
+	l3, err := ffs.TryLockDir("db")
+	if err != nil {
+		t.Fatalf("after DropLocks: %v", err)
+	}
+	l3.Release()
 }
