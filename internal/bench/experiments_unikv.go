@@ -210,7 +210,9 @@ func TabRecovery(p Params) []Table {
 			db.Put(ycsb.Key(i), ycsb.Value(i, p.ValueSize))
 		}
 		db.Flush()
-		// Abandon without Close: reopen does the recovery work.
+		// Abandon without Close: reopen does the recovery work. The dead
+		// process's directory lock dies with it.
+		fs.(vfs.LockDropper).DropLocks()
 		before := fs.Counters().Snapshot()
 		start := time.Now()
 		db2, err := core.Open("db", opts)

@@ -105,7 +105,8 @@ func TestBatchDurableAfterCrash(t *testing.T) {
 	if err := db.ApplyBatch(b); err != nil {
 		t.Fatal(err)
 	}
-	// Crash (no Close).
+	// Crash (no Close): the dead process's directory lock dies with it.
+	inner.(vfs.LockDropper).DropLocks()
 	db2, err := Open("db", opts)
 	if err != nil {
 		t.Fatal(err)

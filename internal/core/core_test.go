@@ -371,7 +371,9 @@ func TestReopenUnflushedWAL(t *testing.T) {
 		db.Put(key(i), val(i))
 	}
 	// Simulate crash: do NOT Close (Close would flush); drop the handle.
-	// The WAL was synced per write, so everything must recover.
+	// The WAL was synced per write, so everything must recover. The dead
+	// process's directory lock dies with it.
+	fs.(vfs.LockDropper).DropLocks()
 	db2, err := Open("db", opts)
 	if err != nil {
 		t.Fatal(err)

@@ -324,7 +324,9 @@ func TestRecoveryUsesHashCheckpoint(t *testing.T) {
 		}
 		db.Flush()
 		// Abandon without Close (Close would flush; we want table replay
-		// work at open). Note tables are already flushed.
+		// work at open). Note tables are already flushed. The abandoned
+		// handle's directory lock dies with its "process".
+		fs.(vfs.LockDropper).DropLocks()
 		before := fs.Counters().Snapshot()
 		db2, err := Open("db", opts)
 		if err != nil {

@@ -23,6 +23,13 @@ var ErrClosed = errors.New("unikv: database closed")
 // ErrNotFound is returned by Get when the key does not exist.
 var ErrNotFound = errors.New("unikv: key not found")
 
+// ErrDBLocked is returned by Open when another live process (or handle)
+// already owns the database directory. Before the LOCK file existed, the
+// second opener would rotate CURRENT to its own manifest generation and its
+// orphan sweep would delete the first process's files — observed losing a
+// live database (see ROADMAP, PR 3).
+var ErrDBLocked = errors.New("unikv: database locked by another process")
+
 // DB is a UniKV instance.
 type DB struct {
 	opts Options
@@ -31,6 +38,10 @@ type DB struct {
 
 	man *manifest.Manifest
 	vl  *vlog.Manager
+
+	// dirLock is the exclusive LOCK-file lock on dir, held from Open until
+	// Close so a second process cannot adopt (and then sweep) the directory.
+	dirLock vfs.DirLock
 
 	// cache is the shared block/value read cache (nil when CacheBytes is
 	// CacheOff). Table readers attach to it at open; the vlog manager holds
@@ -151,8 +162,20 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err := db.fs.MkdirAll(dir); err != nil {
 		return nil, err
 	}
+	// Lock the directory before reading any state: losing the race here is
+	// how a second opener used to rotate CURRENT and sweep the live owner's
+	// files.
+	dirLock, err := db.fs.TryLockDir(dir)
+	if err != nil {
+		if errors.Is(err, vfs.ErrLocked) {
+			return nil, fmt.Errorf("%w: %s", ErrDBLocked, dir)
+		}
+		return nil, err
+	}
+	db.dirLock = dirLock
 	man, err := manifest.Open(db.fs, dir)
 	if err != nil {
+		db.releaseDirLock()
 		return nil, err
 	}
 	db.man = man
@@ -164,6 +187,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	vl, err := vlog.Open(db.fs, db.vlogDir(), vlog.Options{MaxLogSize: opts.MaxLogSize, Cache: db.cache})
 	if err != nil {
 		man.Close()
+		db.releaseDirLock()
 		return nil, err
 	}
 	db.vl = vl
@@ -412,7 +436,24 @@ func (db *DB) Close() error {
 			first = err
 		}
 	}
+	// Release the directory lock last: until here the files above are still
+	// being flushed and must stay fenced from a concurrent opener. Released
+	// even when an earlier step failed — a dead handle must not wedge the
+	// directory.
+	if err := db.releaseDirLock(); err != nil && first == nil {
+		first = err
+	}
 	return first
+}
+
+// releaseDirLock drops the LOCK-file lock if held. Safe to call twice.
+func (db *DB) releaseDirLock() error {
+	if db.dirLock == nil {
+		return nil
+	}
+	err := db.dirLock.Release()
+	db.dirLock = nil
+	return err
 }
 
 // partitionFor routes key to its partition (largest lower bound <= key).

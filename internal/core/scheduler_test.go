@@ -180,7 +180,8 @@ func TestBackgroundAbandonedHandle(t *testing.T) {
 	}
 	// Abandon the handle: the frozen memtables only exist in their WALs.
 	// (The worker stays parked on the hook; it belongs to the dead DB.)
-
+	// The dead process's directory lock dies with it.
+	fs.(vfs.LockDropper).DropLocks()
 	db2, err := Open("db", smallOpts(fs))
 	if err != nil {
 		t.Fatal(err)

@@ -52,6 +52,11 @@ var ErrClosed = core.ErrClosed
 // on-disk format limits (64 KiB keys, 1 GiB values).
 var ErrKeyTooLarge = core.ErrKeyTooLarge
 
+// ErrDBLocked is returned by Open when another live process already owns
+// the database directory (its LOCK file is flock'd). The lock is released
+// by Close and dies with the owning process.
+var ErrDBLocked = core.ErrDBLocked
+
 // CacheOff disables the block/value read cache when assigned to
 // Options.CacheBytes (0 means "use the default size").
 const CacheOff = core.CacheOff

@@ -2,6 +2,7 @@ package unikv
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -166,5 +167,74 @@ func TestPublicValueThreshold(t *testing.T) {
 		if i%3 != 0 && string(v) != "small" {
 			t.Fatalf("key %d: %q", i, v)
 		}
+	}
+}
+
+// TestOpenLockedDir is the regression test for the PR 3 observed data loss:
+// before the LOCK file existed, a second Open of a live directory rotated
+// CURRENT to its own manifest generation and its orphan sweep deleted the
+// first process's files. Now the second Open must fail with ErrDBLocked
+// while the first handle keeps serving, and the directory must remain
+// openable — with all data — once the first handle closes.
+func TestOpenLockedDir(t *testing.T) {
+	cases := []struct {
+		name string
+		opts func(t *testing.T) (string, *Options)
+	}{
+		{"mem", func(t *testing.T) (string, *Options) {
+			return "db", &Options{FS: vfs.NewMem()}
+		}},
+		// Default FS: the real flock(2) path.
+		{"os", func(t *testing.T) (string, *Options) {
+			return t.TempDir(), nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, opts := tc.opts(t)
+			db, err := Open(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			if _, err := Open(dir, opts); !errors.Is(err, ErrDBLocked) {
+				t.Fatalf("second Open: want ErrDBLocked, got %v", err)
+			}
+
+			// The first handle is unharmed: reads and writes still work.
+			if got, err := db.Get([]byte("k0100")); err != nil || string(got) != "v100" {
+				t.Fatalf("first handle after contended open: %q %v", got, err)
+			}
+			if err := db.Put([]byte("post-contention"), []byte("ok")); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The lock died with the handle; every key survived.
+			db2, err := Open(dir, opts)
+			if err != nil {
+				t.Fatalf("reopen after close: %v", err)
+			}
+			defer db2.Close()
+			for i := 0; i < 200; i++ {
+				got, err := db2.Get([]byte(fmt.Sprintf("k%04d", i)))
+				if err != nil || string(got) != fmt.Sprintf("v%d", i) {
+					t.Fatalf("key %d lost across contended open: %q %v", i, got, err)
+				}
+			}
+			if got, _ := db2.Get([]byte("post-contention")); string(got) != "ok" {
+				t.Fatal("post-contention write lost")
+			}
+		})
 	}
 }
