@@ -1,0 +1,190 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The repository vendors nothing and builds offline, so the real x/tools
+// module is not available; this package provides just enough of its shape
+// for the unikvlint checkers (cmd/unikvlint) and their fixtures-based tests
+// (internal/analysis/analysistest). Two deliberate simplifications:
+//
+//   - No cross-package facts. Every checker works from a single package's
+//     syntax and types plus a one-level call-graph summary built inside the
+//     package, which is all the UniKV invariants need.
+//   - Suppression is built into the driver, not the checkers: a comment
+//     `//unikv:allow(check)` on — or immediately above — the offending line
+//     silences that check there (see Suppressed).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one invariant checker. Name doubles as the check name in
+// `//unikv:allow(<name>)` escape-hatch comments.
+type Analyzer struct {
+	// Name identifies the checker; lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects the package presented by pass, calling pass.Report (or
+	// Reportf) for each violation. The returned value is unused today and
+	// exists to keep the x/tools signature.
+	Run func(pass *Pass) (any, error)
+}
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a Diagnostic resolved to a position and tagged with the
+// analyzer that produced it — the driver-facing result type.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run applies each analyzer to the type-checked package (fset, files, pkg,
+// info), filters out findings suppressed by //unikv:allow comments, and
+// returns the survivors sorted by position. An analyzer returning an error
+// aborts the run.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	allow := collectAllows(fset, files)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if allow.suppressed(name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ---------------------------------------------------------------------------
+// //unikv:allow(...) suppression.
+
+// allowRe matches the escape-hatch comment. The convention is
+//
+//	//unikv:allow(check1,check2) one-line justification
+//
+// placed on the offending line or the line directly above it. A bare
+// `//unikv:allow` (no check list) suppresses every check on that line;
+// prefer the explicit form.
+var allowRe = regexp.MustCompile(`^//\s*unikv:allow(?:\(([^)]*)\))?`)
+
+// allowSet maps filename -> line -> the check names allowed there. The
+// empty string entry means "all checks".
+type allowSet map[string]map[int][]string
+
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := allowSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					set[pos.Filename] = lines
+				}
+				if m[1] == "" {
+					lines[pos.Line] = append(lines[pos.Line], "")
+					continue
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					lines[pos.Line] = append(lines[pos.Line], strings.TrimSpace(name))
+				}
+			}
+		}
+	}
+	return set
+}
+
+// suppressed reports whether check is allowed at pos: an allow comment on
+// the same line or the line directly above.
+func (s allowSet) suppressed(check string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == "" || name == check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NewInfo returns a types.Info with every map the checkers consume
+// allocated. Shared by the vet driver and the test harness so the two
+// always present identical passes.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,226 @@
+// Package analysistest runs an analyzer over source fixtures and checks
+// its diagnostics against `// want "regexp"` expectation comments — a
+// self-contained stand-in for golang.org/x/tools/go/analysis/analysistest
+// (unavailable offline) with the same fixture layout and comment syntax.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go. A fixture package
+// may import a sibling fixture package (resolved under the same src root)
+// or the standard library (type-checked from GOROOT source, so no network
+// or prebuilt export data is needed). Each expected diagnostic is declared
+// on its line:
+//
+//	os.Open("x") // want `use vfs\.FS`
+//
+// Multiple space-separated quoted regexps on one comment expect multiple
+// diagnostics on that line. The harness fails the test for every unmatched
+// expectation and every unexpected diagnostic, and — because it reuses the
+// production driver — `//unikv:allow(check)` comments suppress findings in
+// fixtures exactly as they do in the tree.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"unikv/internal/analysis"
+)
+
+// Run loads each fixture package under testdata/src and applies a to it,
+// reporting every expectation mismatch through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := &loader{
+		fset: token.NewFileSet(),
+		root: filepath.Join(testdata, "src"),
+		pkgs: map[string]*loaded{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	for _, path := range pkgpaths {
+		lp := l.load(path)
+		if lp.err != nil {
+			t.Errorf("loading fixture %s: %v", path, lp.err)
+			continue
+		}
+		findings, err := analysis.Run(l.fset, lp.files, lp.pkg, lp.info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkExpectations(t, l.fset, lp.files, findings)
+	}
+}
+
+// loaded is one parsed and type-checked fixture package.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+// loader resolves fixture-local import paths under root and everything
+// else through the GOROOT source importer.
+type loader struct {
+	fset *token.FileSet
+	root string
+	pkgs map[string]*loaded
+	std  types.Importer
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		lp := l.load(path)
+		return lp.pkg, lp.err
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) *loaded {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp
+	}
+	lp := &loaded{}
+	l.pkgs[path] = lp // set before type-checking to break import cycles loudly
+
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		lp.err = err
+		return lp
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			lp.err = err
+			return lp
+		}
+		lp.files = append(lp.files, f)
+	}
+	if len(lp.files) == 0 {
+		lp.err = fmt.Errorf("no Go files in %s", dir)
+		return lp
+	}
+	lp.info = analysis.NewInfo()
+	conf := types.Config{Importer: l}
+	lp.pkg, lp.err = conf.Check(path, l.fset, lp.files, lp.info)
+	return lp
+}
+
+// ---------------------------------------------------------------------------
+// Expectation checking.
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// checkExpectations compares findings against the // want comments in
+// files, failing t for every discrepancy.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	wants := map[lineKey][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := lineKey{pos.Filename, pos.Line}
+				exps, err := parseWant(m[1])
+				if err != nil {
+					t.Errorf("%s: bad want comment: %v", pos, err)
+					continue
+				}
+				wants[key] = append(wants[key], exps...)
+			}
+		}
+	}
+
+	for _, fd := range findings {
+		key := lineKey{fd.Pos.Filename, fd.Pos.Line}
+		matched := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.re.MatchString(fd.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", fd.Pos, fd.Message)
+		}
+	}
+
+	var keys []lineKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, exp := range wants[k] {
+			if !exp.matched {
+				t.Errorf("%s:%d: no diagnostic matching %s", k.file, k.line, exp.raw)
+			}
+		}
+	}
+}
+
+// parseWant parses the space-separated quoted regexps after "want".
+func parseWant(s string) ([]*expectation, error) {
+	var exps []*expectation
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return exps, nil
+		}
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad quoted regexp at %q: %v", s, err)
+		}
+		s = s[len(q):]
+		raw, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad regexp %s: %v", q, err)
+		}
+		exps = append(exps, &expectation{re: re, raw: q})
+	}
+}
