@@ -1,0 +1,132 @@
+// Package atomiccounter flags mixed atomic and plain access to the same
+// variable. A counter touched through sync/atomic anywhere must be touched
+// that way everywhere: one plain `x.n++` or `return x.n` next to
+// `atomic.AddInt64(&x.n, 1)` is a data race the race detector only catches
+// when the interleaving happens to occur. Fields typed atomic.Int64 (etc.)
+// are immune by construction; this check exists for the hand-rolled
+// int64-plus-atomic-calls pattern.
+package atomiccounter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"unikv/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccounter",
+	Doc: "forbid plain reads/writes of variables that are accessed via " +
+		"sync/atomic elsewhere in the package (use atomic.Int64-style typed " +
+		"atomics to make the rule structural)",
+	Run: run,
+}
+
+// span is a source range whose interior accesses are sanctioned (the &x
+// argument of an atomic call).
+type span struct{ pos, end token.Pos }
+
+func run(pass *analysis.Pass) (any, error) {
+	// Pass 1: find every object passed by address to a sync/atomic function
+	// and remember the sanctioned &x argument ranges.
+	atomicObjs := map[types.Object]token.Pos{} // object -> one atomic call site
+	var sanctioned []span
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isAtomicFunc(pass.TypesInfo, call) {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			obj := referencedObject(pass.TypesInfo, un.X)
+			if obj == nil {
+				return true
+			}
+			if _, seen := atomicObjs[obj]; !seen {
+				atomicObjs[obj] = call.Pos()
+			}
+			sanctioned = append(sanctioned, span{un.Pos(), un.End()})
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: any other reference to those objects is a plain access.
+	// Struct-literal keys are exempt — `&S{n: 0}` initializes before any
+	// concurrency and is the idiomatic zeroing form.
+	for _, f := range pass.Files {
+		literalKeys := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					literalKeys[id] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || literalKeys[id] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			atomicAt, hot := atomicObjs[obj]
+			if !hot {
+				return true
+			}
+			for _, s := range sanctioned {
+				if id.Pos() >= s.pos && id.End() <= s.end {
+					return true
+				}
+			}
+			pass.Reportf(id.Pos(),
+				"plain access to %s, which is accessed atomically at %s: use sync/atomic everywhere (or an atomic.Int64-style typed atomic)",
+				obj.Name(), pass.Fset.Position(atomicAt))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicFunc reports whether call invokes a package-level function of
+// sync/atomic (AddInt64, LoadUint32, CompareAndSwapPointer, ...). Methods
+// of the typed atomics also live in sync/atomic but have a receiver and are
+// excluded: values of those types cannot be accessed plainly anyway.
+func isAtomicFunc(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// referencedObject resolves the variable (field, package var, local) that
+// expr names, or nil when it is not a plain variable reference.
+func referencedObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	// &slice[i] and friends are deliberately untracked: flagging every
+	// other use of the container would drown the signal.
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomiccounter_test
+
+import (
+	"testing"
+
+	"unikv/internal/analysis/analysistest"
+	"unikv/internal/analysis/unikvlint/atomiccounter"
+)
+
+func TestAtomicCounter(t *testing.T) {
+	analysistest.Run(t, "testdata", atomiccounter.Analyzer, "counters")
+}

@@ -1,0 +1,78 @@
+// Fixture: hand-rolled atomic counters must not also be accessed plainly.
+package counters
+
+import "sync/atomic"
+
+type stats struct {
+	puts int64
+	gets int64
+	cold int64 // never touched atomically; plain access is fine
+}
+
+func (s *stats) incPut() {
+	atomic.AddInt64(&s.puts, 1)
+}
+
+func (s *stats) put() int64 {
+	return atomic.LoadInt64(&s.puts)
+}
+
+// Plain read of an atomically-written field: the race -race only sees when
+// the interleaving happens.
+func (s *stats) racyRead() int64 {
+	return s.puts // want `plain access to puts`
+}
+
+// Plain write is just as bad.
+func (s *stats) racyReset() {
+	s.puts = 0 // want `plain access to puts`
+}
+
+func (s *stats) swapGets(v int64) int64 {
+	return atomic.SwapInt64(&s.gets, v)
+}
+
+func (s *stats) racyIncrement() {
+	s.gets++ // want `plain access to gets`
+}
+
+func (s *stats) coldOK() int64 {
+	s.cold++
+	return s.cold
+}
+
+// Struct-literal keys initialize before concurrency and stay exempt.
+func newStats() *stats {
+	return &stats{puts: 0, gets: 0}
+}
+
+// Package-level counters are tracked the same way.
+var opsDone uint32
+
+func markDone() {
+	atomic.AddUint32(&opsDone, 1)
+}
+
+func doneRacy() uint32 {
+	return opsDone // want `plain access to opsDone`
+}
+
+func doneOK() uint32 {
+	return atomic.LoadUint32(&opsDone)
+}
+
+// Typed atomics are immune by construction and never flagged.
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) bump() int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}
+
+// The escape hatch: single-goroutine init phase, justified and annotated.
+func (s *stats) resetBeforeServing() {
+	//unikv:allow(atomiccounter) called before any goroutine starts
+	s.puts = 0
+}

@@ -1,0 +1,119 @@
+// Package lintutil holds the small helpers shared by the unikvlint
+// checkers: the restricted-package predicate, test-file detection, and
+// static-callee resolution for the one-level call-graph summaries.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// storePackages are the storage-layer packages whose I/O must go through
+// vfs.FS and whose publish points must SyncDir (ISSUE 4; DESIGN.md §5c).
+var storePackages = map[string]bool{
+	"core":      true,
+	"manifest":  true,
+	"vlog":      true,
+	"wal":       true,
+	"sstable":   true,
+	"unsorted":  true,
+	"sorted":    true,
+	"hashstore": true,
+}
+
+// RestrictedStorePackage reports whether the import path names one of the
+// storage packages (internal/{core,manifest,vlog,wal,sstable,unsorted,
+// sorted,hashstore} under any module prefix, subpackages included).
+// internal/vfs itself is deliberately absent: it is the one place allowed
+// to touch package os.
+func RestrictedStorePackage(path string) bool {
+	segs := strings.Split(path, "/")
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i] == "internal" && storePackages[segs[i+1]] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFile reports whether the file is a _test.go file.
+func TestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// StaticCallee resolves call to the package-level function or method it
+// statically invokes, or nil for dynamic calls (function values, interface
+// methods resolve to the interface method object — still a *types.Func).
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Deref strips every pointer layer from t.
+func Deref(t types.Type) types.Type {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// NamedName returns the declared name of t (pointers stripped), or "".
+func NamedName(t types.Type) string {
+	if n, ok := Deref(t).(interface{ Obj() *types.TypeName }); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// HasMethod reports whether t's method set (value or pointer receiver)
+// contains a method with the given name.
+func HasMethod(t types.Type, name string) bool {
+	if ms := types.NewMethodSet(t); lookupMethod(ms, name) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return lookupMethod(types.NewMethodSet(types.NewPointer(t)), name)
+	}
+	return false
+}
+
+func lookupMethod(ms *types.MethodSet, name string) bool {
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ExprString renders a selector/identifier chain ("db.router", "p.mu") for
+// diagnostics and lock/unlock pairing; other expression forms render as a
+// placeholder that never pairs.
+func ExprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return ExprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[...]"
+	default:
+		return "<expr>"
+	}
+}

@@ -1,0 +1,307 @@
+// Package lockorder enforces the engine's documented mutex hierarchy
+// (internal/core/db.go):
+//
+//	maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu
+//
+// Within each function it replays the acquisition sequence in source order
+// and reports any acquisition of a lower-ranked mutex while a higher-ranked
+// one is held. A one-level call-graph summary extends the check across a
+// single call edge: calling a same-package function that acquires a
+// lower-ranked mutex while holding a higher-ranked one is the cross-function
+// shape of the same inversion (PR 2's vlog/GC race was exactly this,
+// found only by -race stress at the time). It also reports a Lock with no
+// matching Unlock — direct, deferred, or in a deferred closure — anywhere
+// in the function; intentional lock handoffs need a //unikv:allow(lockorder)
+// with a reason.
+//
+// The analysis is path-insensitive: it walks statements in source order and
+// treats a release in any branch as releasing for the remainder, which
+// under-reports (never falsely) on branchy code.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"unikv/internal/analysis"
+	"unikv/internal/analysis/unikvlint/lintutil"
+)
+
+const docOrder = "maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "enforce the documented mutex acquisition order (" + docOrder + ") " +
+		"per function plus one call level, and require every Lock to have a " +
+		"matching Unlock or defer",
+	Run: run,
+}
+
+// mutexRef is one classified reference to a ranked mutex.
+type mutexRef struct {
+	rank  int
+	label string // human name from the documented order
+	key   string // textual receiver ("p.mu", "db.router") for pairing
+}
+
+var rankLabels = [...]string{"maintMu", "flushMu", "router.mu", "partition.mu", "logRefs.mu"}
+
+var acquireMethods = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+var releaseMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// classify resolves the receiver of a Lock/Unlock call to a ranked mutex.
+// maintMu, flushMu, router, and logRefs are identified by field name (the
+// latter two embed their mutex, so the lock method is called on the field
+// itself); partition.mu by a field named mu on a type named partition.
+func classify(info *types.Info, recv ast.Expr) (mutexRef, bool) {
+	var fieldName string
+	var owner ast.Expr
+	switch r := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		fieldName = r.Sel.Name
+		owner = r.X
+	case *ast.Ident:
+		fieldName = r.Name
+	default:
+		return mutexRef{}, false
+	}
+	rank := -1
+	switch fieldName {
+	case "maintMu":
+		rank = 0
+	case "flushMu":
+		rank = 1
+	case "router":
+		rank = 2
+	case "logRefs":
+		rank = 4
+	case "mu":
+		if owner != nil {
+			if tv, ok := info.Types[owner]; ok && lintutil.NamedName(tv.Type) == "partition" {
+				rank = 3
+			}
+		}
+	}
+	if rank < 0 {
+		return mutexRef{}, false
+	}
+	return mutexRef{rank: rank, label: rankLabels[rank], key: lintutil.ExprString(recv)}, true
+}
+
+// event is one step of a function's replayed lock sequence.
+type event struct {
+	kind eventKind
+	ref  mutexRef    // acquire / release / deferRelease
+	fn   *types.Func // call
+	pos  token.Pos
+}
+
+type eventKind int
+
+const (
+	evAcquire eventKind = iota
+	evRelease
+	evDeferRelease
+	evCall
+)
+
+// summary is a function's direct acquisitions, for the one-level
+// call-site check.
+type summary struct{ acquires []mutexRef }
+
+func run(pass *analysis.Pass) (any, error) {
+	// Pass A: per-function summaries.
+	summaries := map[*types.Func]*summary{}
+	type analyzedFn struct {
+		fn   *types.Func // nil for function literals
+		name string
+		body *ast.BlockStmt
+	}
+	var fns []analyzedFn
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			name := fd.Name.Name
+			if fd.Recv != nil && fn != nil {
+				name = fn.Name()
+			}
+			fns = append(fns, analyzedFn{fn: fn, name: name, body: fd.Body})
+		}
+	}
+	for _, af := range fns {
+		if af.fn == nil {
+			continue
+		}
+		s := &summary{}
+		events, _ := collect(pass, af.body)
+		for _, ev := range events {
+			if ev.kind == evAcquire {
+				s.acquires = append(s.acquires, ev.ref)
+			}
+		}
+		summaries[af.fn] = s
+	}
+
+	// Pass B: replay each function (and each non-deferred function
+	// literal, which runs as its own goroutine or callback).
+	for i := 0; i < len(fns); i++ {
+		af := fns[i]
+		events, lits := collect(pass, af.body)
+		for _, lit := range lits {
+			fns = append(fns, analyzedFn{name: af.name + " (func literal)", body: lit.Body})
+		}
+		replay(pass, af.fn, af.name, events, summaries)
+	}
+	return nil, nil
+}
+
+// collect linearizes body into lock events in source order. Deferred
+// unlocks — `defer x.Unlock()` or unlocks inside a `defer func(){...}()`
+// literal — become evDeferRelease. Other function literals are returned for
+// separate replay: their bodies run at some later time, not at this point
+// of the sequence.
+func collect(pass *analysis.Pass, body *ast.BlockStmt) ([]event, []*ast.FuncLit) {
+	var events []event
+	var lits []*ast.FuncLit
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// Deferred direct unlock.
+			if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok && releaseMethods[sel.Sel.Name] {
+				if ref, ok := classify(pass.TypesInfo, sel.X); ok {
+					events = append(events, event{kind: evDeferRelease, ref: ref, pos: n.Pos()})
+				}
+				return false
+			}
+			// Deferred closure: its unlocks release at function end; any
+			// acquisitions inside it are replayed separately below.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && releaseMethods[sel.Sel.Name] {
+						if ref, ok := classify(pass.TypesInfo, sel.X); ok {
+							events = append(events, event{kind: evDeferRelease, ref: ref, pos: call.Pos()})
+						}
+					}
+					return true
+				})
+				lits = append(lits, lit)
+				return false
+			}
+			return true
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			return false
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if acquireMethods[sel.Sel.Name] || releaseMethods[sel.Sel.Name] {
+					if ref, ok := classify(pass.TypesInfo, sel.X); ok {
+						kind := evAcquire
+						if releaseMethods[sel.Sel.Name] {
+							kind = evRelease
+						}
+						events = append(events, event{kind: kind, ref: ref, pos: n.Pos()})
+						return true
+					}
+				}
+			}
+			if fn := lintutil.StaticCallee(pass.TypesInfo, n); fn != nil && fn.Pkg() == pass.Pkg {
+				events = append(events, event{kind: evCall, fn: fn, pos: n.Pos()})
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return events, lits
+}
+
+// replay simulates the event sequence, reporting order inversions,
+// cross-call inversions, and unpaired Locks.
+func replay(pass *analysis.Pass, self *types.Func, name string, events []event, summaries map[*types.Func]*summary) {
+	type heldLock struct {
+		ref        mutexRef
+		pos        token.Pos
+		deferFreed bool
+	}
+	var held []heldLock
+	var pendingDefers []mutexRef // defers seen before their Lock (rare)
+
+	for _, ev := range events {
+		switch ev.kind {
+		case evAcquire:
+			for _, h := range held {
+				if h.ref.rank > ev.ref.rank {
+					pass.Reportf(ev.pos,
+						"acquires %s while %s (held since %s) — inverts the documented lock order %s",
+						ev.ref.label, h.ref.label, pass.Fset.Position(h.pos), docOrder)
+				}
+			}
+			// A defer registered before the Lock still pairs with it.
+			paired := false
+			for i, d := range pendingDefers {
+				if d.key == ev.ref.key {
+					pendingDefers = append(pendingDefers[:i], pendingDefers[i+1:]...)
+					paired = true
+					break
+				}
+			}
+			held = append(held, heldLock{ref: ev.ref, pos: ev.pos, deferFreed: paired})
+		case evRelease:
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].ref.key == ev.ref.key && !held[i].deferFreed {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		case evDeferRelease:
+			matched := false
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].ref.key == ev.ref.key && !held[i].deferFreed {
+					held[i].deferFreed = true // held to function end, but paired
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				pendingDefers = append(pendingDefers, ev.ref)
+			}
+		case evCall:
+			if len(held) == 0 || ev.fn == self {
+				continue
+			}
+			s := summaries[ev.fn]
+			if s == nil {
+				continue
+			}
+			for _, acq := range s.acquires {
+				for _, h := range held {
+					if h.ref.rank > acq.rank {
+						pass.Reportf(ev.pos,
+							"call to %s acquires %s while %s is held (since %s) — inverts the documented lock order %s across one call",
+							ev.fn.Name(), acq.label, h.ref.label, pass.Fset.Position(h.pos), docOrder)
+					}
+				}
+			}
+		}
+	}
+
+	for _, h := range held {
+		if h.deferFreed {
+			continue
+		}
+		pass.Reportf(h.pos,
+			"%s is locked here but never unlocked in %s (no Unlock or defer on any path); annotate intentional handoffs with //unikv:allow(lockorder)",
+			h.ref.label, name)
+	}
+}

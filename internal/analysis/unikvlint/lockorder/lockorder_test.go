@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"unikv/internal/analysis/analysistest"
+	"unikv/internal/analysis/unikvlint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "core")
+}

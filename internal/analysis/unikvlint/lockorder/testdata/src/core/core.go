@@ -1,0 +1,134 @@
+// Fixture: the documented lock hierarchy
+// maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu
+// replayed over local stand-ins (classification is by field name, so the
+// mutex types themselves need only Lock/Unlock-shaped methods).
+package core
+
+type mutex struct{}
+
+func (m *mutex) Lock()   {}
+func (m *mutex) Unlock() {}
+
+type rwmutex struct{}
+
+func (m *rwmutex) Lock()    {}
+func (m *rwmutex) Unlock()  {}
+func (m *rwmutex) RLock()   {}
+func (m *rwmutex) RUnlock() {}
+
+type partition struct {
+	mu   rwmutex
+	keys int
+}
+
+type DB struct {
+	maintMu mutex
+	flushMu mutex
+	router  struct {
+		rwmutex
+		parts []*partition
+	}
+	logRefs struct {
+		mutex
+		refs map[uint64]int
+	}
+}
+
+func doWork() {}
+
+// Every level in documented order, each paired: clean.
+func (db *DB) correctOrder(p *partition) {
+	db.maintMu.Lock()
+	defer db.maintMu.Unlock()
+	db.flushMu.Lock()
+	defer db.flushMu.Unlock()
+	db.router.RLock()
+	p.mu.Lock()
+	db.logRefs.Lock()
+	db.logRefs.Unlock()
+	p.mu.Unlock()
+	db.router.RUnlock()
+}
+
+// The PR 2 vlog/GC shape: router looked up while the logRefs table is held.
+func (db *DB) gcInversion() {
+	db.logRefs.Lock()
+	db.router.RLock() // want `acquires router\.mu while logRefs\.mu`
+	db.router.RUnlock()
+	db.logRefs.Unlock()
+}
+
+// Split path grabbing the flush lock after a partition lock.
+func (db *DB) splitInversion(p *partition) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	db.flushMu.Lock() // want `acquires flushMu while partition\.mu`
+	defer db.flushMu.Unlock()
+}
+
+// Locked on every path, released on none.
+func (db *DB) leaky() {
+	db.flushMu.Lock() // want `flushMu is locked here but never unlocked`
+	doWork()
+}
+
+// Unlock living in a deferred closure still pairs.
+func (db *DB) closureUnlock() {
+	db.maintMu.Lock()
+	defer func() {
+		doWork()
+		db.maintMu.Unlock()
+	}()
+	doWork()
+}
+
+// A goroutine body is replayed as its own sequence...
+func (db *DB) spawn() {
+	go func() {
+		db.maintMu.Lock()
+		defer db.maintMu.Unlock()
+		db.flushMu.Lock()
+		db.flushMu.Unlock()
+	}()
+}
+
+// ...so inversions inside it are still caught.
+func (db *DB) spawnBad() {
+	go func() {
+		db.logRefs.Lock()
+		defer db.logRefs.Unlock()
+		db.maintMu.Lock() // want `acquires maintMu while logRefs\.mu`
+		db.maintMu.Unlock()
+	}()
+}
+
+// One-level call summary: the helper is clean on its own…
+func (db *DB) flushLocked() {
+	db.flushMu.Lock()
+	defer db.flushMu.Unlock()
+	doWork()
+}
+
+// …and calling it under maintMu respects the order: clean.
+func (db *DB) maintThenFlush() {
+	db.maintMu.Lock()
+	defer db.maintMu.Unlock()
+	db.flushLocked()
+}
+
+// But calling it under a partition lock inverts across the call edge.
+func (db *DB) crossCallInversion(p *partition) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	db.flushLocked() // want `call to flushLocked acquires flushMu while partition\.mu is held`
+}
+
+// Intentional handoff to the caller, documented and annotated.
+func (db *DB) lockForCaller() {
+	//unikv:allow(lockorder) handoff: releaseMaint is the required pair
+	db.maintMu.Lock()
+}
+
+func (db *DB) releaseMaint() {
+	db.maintMu.Unlock()
+}

@@ -1,0 +1,147 @@
+// Package syncpublish enforces the publish protocol of DESIGN.md §5c in
+// the storage packages: a file Create or Rename on a vfs.FS only becomes
+// durable once the containing directory is fsynced, so every function that
+// creates or renames through the FS must reach a SyncDir — itself, in a
+// direct same-package callee, or in a direct same-package caller (the
+// build-then-commit split). PR 3 found every publish point in the tree
+// missing this; the check keeps the class extinct.
+package syncpublish
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"unikv/internal/analysis"
+	"unikv/internal/analysis/unikvlint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "syncpublish",
+	Doc: "require every vfs.FS Create/Rename in storage packages to be " +
+		"published with a SyncDir in the same function, a direct callee, or " +
+		"a direct caller (crash durability of directory entries, DESIGN.md §5c)",
+	Run: run,
+}
+
+// funcInfo summarizes one function's publish behavior.
+type funcInfo struct {
+	creates []creation    // unsynced-at-risk Create/Rename call sites
+	syncs   bool          // calls SyncDir directly
+	callees []*types.Func // same-package static callees
+}
+
+type creation struct {
+	pos  token.Pos
+	verb string // "Create" or "Rename"
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.RestrictedStorePackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	infos := map[*types.Func]*funcInfo{}
+	var order []*types.Func
+	for _, f := range pass.Files {
+		if lintutil.TestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := summarize(pass, fd.Body)
+			infos[fn] = info
+			order = append(order, fn)
+		}
+	}
+
+	// syncsNear: the function or one of its direct same-package callees
+	// calls SyncDir.
+	syncsNear := func(fn *types.Func) bool {
+		info := infos[fn]
+		if info == nil {
+			return false
+		}
+		if info.syncs {
+			return true
+		}
+		for _, c := range info.callees {
+			if ci := infos[c]; ci != nil && ci.syncs {
+				return true
+			}
+		}
+		return false
+	}
+
+	// coveredByCaller: some same-package function calls fn and itself
+	// reaches a SyncDir (build-then-commit: the commit side publishes).
+	coveredByCaller := func(fn *types.Func) bool {
+		for g, gi := range infos {
+			for _, c := range gi.callees {
+				if c == fn && syncsNear(g) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	for _, fn := range order {
+		info := infos[fn]
+		if len(info.creates) == 0 || syncsNear(fn) || coveredByCaller(fn) {
+			continue
+		}
+		for _, cr := range info.creates {
+			pass.Reportf(cr.pos,
+				"fs.%s in %s is never published: no SyncDir in this function, its direct callees, or its callers — the directory entry is lost on crash (DESIGN.md §5c)",
+				cr.verb, fn.Name())
+		}
+	}
+	return nil, nil
+}
+
+// summarize records the FS Create/Rename calls, SyncDir calls, and
+// same-package callees of one function body. Function literals inside the
+// body count toward it: a closure's publish runs under the same logical
+// operation.
+func summarize(pass *analysis.Pass, body *ast.BlockStmt) *funcInfo {
+	info := &funcInfo{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := lintutil.StaticCallee(pass.TypesInfo, call); fn != nil && fn.Pkg() == pass.Pkg {
+			info.callees = append(info.callees, fn)
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Create" && name != "Rename" && name != "SyncDir" {
+			return true
+		}
+		// Only calls on a value whose method set also carries SyncDir —
+		// the vfs.FS shape — are publish-protocol operations; Create on a
+		// bytes.Buffer-like type is not.
+		recv := pass.TypesInfo.Types[sel.X].Type
+		if recv == nil || !lintutil.HasMethod(recv, "SyncDir") {
+			return true
+		}
+		if name == "SyncDir" {
+			info.syncs = true
+		} else {
+			info.creates = append(info.creates, creation{pos: call.Pos(), verb: name})
+		}
+		return true
+	})
+	return info
+}

@@ -1,0 +1,12 @@
+package syncpublish_test
+
+import (
+	"testing"
+
+	"unikv/internal/analysis/analysistest"
+	"unikv/internal/analysis/unikvlint/syncpublish"
+)
+
+func TestSyncPublish(t *testing.T) {
+	analysistest.Run(t, "testdata", syncpublish.Analyzer, "internal/manifest")
+}

@@ -1,0 +1,103 @@
+// Fixture: publish points (Create/Rename) must reach a SyncDir, directly or
+// one call away, or the published name can vanish on power loss.
+package manifest
+
+import "vfs"
+
+type store struct {
+	fs  vfs.FS
+	dir string
+}
+
+// Create followed by SyncDir in the same function: durable, no diagnostic.
+func (s *store) writeSynced(name string) error {
+	f, err := s.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.fs.SyncDir(s.dir)
+}
+
+// Create with no SyncDir anywhere in reach.
+func (s *store) writeUnsynced(name string) error {
+	f, err := s.fs.Create(name) // want `Create in .* never published`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// The PR3 shape: CURRENT is swapped via tmp-file + rename but the directory
+// entry itself is never synced, so the swap may not survive a crash.
+func (s *store) swapCurrentUnsynced() error {
+	f, err := s.fs.Create("CURRENT.tmp") // want `Create in .* never published`
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.fs.Rename("CURRENT.tmp", "CURRENT") // want `Rename in .* never published`
+}
+
+// Same swap done right.
+func (s *store) swapCurrentSynced() error {
+	f, err := s.fs.Create("CURRENT.tmp")
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := s.fs.Rename("CURRENT.tmp", "CURRENT"); err != nil {
+		return err
+	}
+	return s.fs.SyncDir(s.dir)
+}
+
+// Helper creates; its caller owns the SyncDir. The one-level caller summary
+// keeps this quiet.
+func (s *store) createHelper(name string) error {
+	f, err := s.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func (s *store) publishViaHelper(name string) error {
+	if err := s.createHelper(name); err != nil {
+		return err
+	}
+	return s.fs.SyncDir(s.dir)
+}
+
+// The sync can also live in a direct callee.
+func (s *store) syncIt() error {
+	return s.fs.SyncDir(s.dir)
+}
+
+func (s *store) createThenDelegateSync(name string) error {
+	f, err := s.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.syncIt()
+}
+
+// Scratch files that are deleted before the function returns don't need
+// durability; annotate instead of restructuring.
+func (s *store) scratch(name string) error {
+	//unikv:allow(syncpublish) temp file is removed before return
+	f, err := s.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

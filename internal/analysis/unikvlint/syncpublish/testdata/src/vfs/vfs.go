@@ -1,0 +1,15 @@
+// Fixture: minimal shape of the real vfs.FS interface. The analyzer keys on
+// the receiver having a SyncDir method, so this local copy triggers it.
+package vfs
+
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+type FS interface {
+	Create(name string) (File, error)
+	Rename(oldname, newname string) error
+	SyncDir(dir string) error
+}

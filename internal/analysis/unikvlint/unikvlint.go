@@ -1,0 +1,32 @@
+// Package unikvlint bundles the UniKV invariant checkers. Each analyzer
+// machine-checks an invariant that a previous PR violated (or nearly did)
+// and that was, until now, enforced only by comments and stress tests:
+//
+//   - lockorder: the mutex hierarchy documented in internal/core/db.go
+//     (PR 2 shipped a cross-partition inversion found only by -race stress).
+//   - vfsonly: all storage I/O goes through vfs.FS, never package os.
+//   - syncpublish: every Create/Rename reaches a SyncDir publish point
+//     (PR 3 found every publish point in the tree missing one).
+//   - atomiccounter: no mixed atomic/plain access to the same variable.
+//
+// cmd/unikvlint runs the suite under `go vet -vettool`; findings are
+// suppressed case-by-case with `//unikv:allow(<check>) reason`.
+package unikvlint
+
+import (
+	"unikv/internal/analysis"
+	"unikv/internal/analysis/unikvlint/atomiccounter"
+	"unikv/internal/analysis/unikvlint/lockorder"
+	"unikv/internal/analysis/unikvlint/syncpublish"
+	"unikv/internal/analysis/unikvlint/vfsonly"
+)
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockorder.Analyzer,
+		vfsonly.Analyzer,
+		syncpublish.Analyzer,
+		atomiccounter.Analyzer,
+	}
+}

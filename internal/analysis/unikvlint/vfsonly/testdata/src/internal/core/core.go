@@ -1,0 +1,40 @@
+// Fixture: a storage package (import path ends in internal/core) whose
+// non-test files must not touch package os directly.
+package core
+
+import (
+	"io/ioutil" // want `import of io/ioutil in storage package internal/core`
+	"os"
+)
+
+func readState(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `direct os\.ReadFile in storage package internal/core`
+}
+
+func badPublish(dir string) error {
+	f, err := os.Create(dir + "/CURRENT.tmp") // want `direct os\.Create in storage package internal/core`
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return os.Rename(dir+"/CURRENT.tmp", dir+"/CURRENT") // want `direct os\.Rename in storage package internal/core`
+}
+
+func listDir(dir string) ([]os.DirEntry, error) {
+	return os.ReadDir(dir) // want `direct os\.ReadDir in storage package internal/core`
+}
+
+func legacyRead(path string) ([]byte, error) {
+	return ioutil.ReadFile(path)
+}
+
+// Non-I/O uses of package os are fine: errors, sentinels, types.
+func classify(err error) bool {
+	return os.IsNotExist(err) || err == os.ErrClosed
+}
+
+// The escape hatch silences a justified use.
+func pidFile() (*os.File, error) {
+	//unikv:allow(vfsonly) process-global pid file, intentionally outside the engine's FS
+	return os.Create("/tmp/unikv.pid")
+}

@@ -1,0 +1,8 @@
+// Fixture: a package outside the storage set may use package os freely.
+package other
+
+import "os"
+
+func fine(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,71 @@
+// Package vfsonly forbids direct package-os file I/O in the storage
+// packages. Every byte the engine moves must flow through vfs.FS: that is
+// what makes I/O accounting exact, failure injection (FailFS) possible, and
+// the crash-model tests (memFS SyncDir/Crash) honest — a single raw os.Open
+// silently bypasses all three.
+package vfsonly
+
+import (
+	"go/ast"
+	"strconv"
+
+	"unikv/internal/analysis"
+	"unikv/internal/analysis/unikvlint/lintutil"
+)
+
+// forbidden lists the package-os functions with a vfs.FS equivalent.
+var forbidden = map[string]bool{
+	"Open":       true,
+	"OpenFile":   true,
+	"Create":     true,
+	"CreateTemp": true,
+	"Rename":     true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"ReadFile":   true,
+	"WriteFile":  true,
+	"ReadDir":    true,
+	"Mkdir":      true,
+	"MkdirAll":   true,
+	"MkdirTemp":  true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "vfsonly",
+	Doc: "forbid direct os file I/O in storage packages: all engine I/O must " +
+		"go through vfs.FS so accounting, failure injection, and the crash " +
+		"model stay complete (_test.go files and internal/vfs are exempt)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.RestrictedStorePackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if lintutil.TestFile(pass.Fset, f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "io/ioutil" {
+				pass.Reportf(imp.Pos(),
+					"import of io/ioutil in storage package %s: route I/O through vfs.FS", pass.Pkg.Path())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" || !forbidden[obj.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"direct os.%s in storage package %s: route I/O through vfs.FS so accounting and failure injection see it",
+				obj.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil, nil
+}

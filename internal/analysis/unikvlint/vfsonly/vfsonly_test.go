@@ -1,0 +1,12 @@
+package vfsonly_test
+
+import (
+	"testing"
+
+	"unikv/internal/analysis/analysistest"
+	"unikv/internal/analysis/unikvlint/vfsonly"
+)
+
+func TestVfsonly(t *testing.T) {
+	analysistest.Run(t, "testdata", vfsonly.Analyzer, "internal/core", "other")
+}
