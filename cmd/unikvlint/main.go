@@ -1,0 +1,221 @@
+// Command unikvlint runs the unikv invariant checkers (lockorder, vfsonly,
+// syncpublish, atomiccounter) as a `go vet -vettool` backend:
+//
+//	go build -o bin/unikvlint ./cmd/unikvlint
+//	go vet -vettool=bin/unikvlint ./...
+//
+// It speaks the cmd/go vet-tool protocol by hand (the container that grows
+// this repo has no network, so golang.org/x/tools/go/analysis/unitchecker is
+// not available):
+//
+//   - `unikvlint -flags` prints the tool's analyzer flags as JSON; cmd/go
+//     uses the list to validate its command line. We expose none.
+//   - `unikvlint -V=full` prints "unikvlint version devel ... buildID=<id>";
+//     cmd/go folds the ID into its action cache key so edited checkers
+//     re-vet everything.
+//   - `unikvlint path/to/vet.cfg` analyzes one package described by the JSON
+//     config, printing findings to stderr and exiting 2 if there are any.
+//
+// Dependencies' type information is loaded from the export data (.a) files
+// listed in the config's PackageFile map, so no source re-typechecking and
+// no network are needed. The checkers keep no cross-package facts, which
+// makes the VetxOnly fast path trivial: write an empty facts file and exit.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"unikv/internal/analysis"
+	"unikv/internal/analysis/unikvlint"
+)
+
+// vetConfig mirrors the JSON written by cmd/go/internal/work.buildVetConfig.
+// Fields the checkers don't need (NonGoFiles, module info, ...) are omitted;
+// encoding/json ignores them.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string // source import path -> canonical package path
+	PackageFile map[string]string // canonical package path -> export data file
+	Standard    map[string]bool
+
+	VetxOnly   bool
+	VetxOutput string
+	GoVersion  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	versionFlag := flag.String("V", "", "print version and exit (use -V=full)")
+	flag.Parse()
+
+	switch {
+	case *printFlags:
+		// No tool-specific flags; cmd/go just needs valid JSON.
+		fmt.Println("[]")
+		return
+	case *versionFlag != "":
+		printVersion()
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: unikvlint [-flags] [-V=full] vet.cfg")
+		os.Exit(1)
+	}
+	findings, err := run(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unikvlint: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [unikvlint:%s]\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+// printVersion emits the -V=full line cmd/go parses for its action cache:
+// fields[1] must be "version" and, for a "devel" version, the last field
+// must be "buildID=<content-id>". Hashing our own executable means any
+// rebuild of the tool invalidates cached vet results.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("unikvlint version devel buildID=%x\n", h.Sum(nil))
+}
+
+func run(cfgPath string) ([]analysis.Finding, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// No cross-package facts: downstream packages never read our vetx, so
+	// fact-only runs are complete the moment the (empty) file exists.
+	if cfg.VetxOnly {
+		return nil, writeVetx(&cfg)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, writeVetx(&cfg)
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	tcfg := types.Config{
+		Importer: &mapImporter{
+			cfg: &cfg,
+			gc:  importer.ForCompiler(fset, cfg.Compiler, exportLookup(&cfg)),
+		},
+		Sizes:     types.SizesFor(cfg.Compiler, envOr("GOARCH", runtime.GOARCH)),
+		GoVersion: version.Lang(cfg.GoVersion),
+		Error:     func(error) {}, // collect nothing; first hard error aborts Check
+	}
+	info := analysis.NewInfo()
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, writeVetx(&cfg)
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	findings, err := analysis.Run(fset, files, pkg, info, unikvlint.Analyzers())
+	if err != nil {
+		return nil, err
+	}
+	if err := writeVetx(&cfg); err != nil {
+		return nil, err
+	}
+	return findings, nil
+}
+
+// writeVetx records the (empty) fact set so cmd/go can cache the action.
+func writeVetx(cfg *vetConfig) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte("unikvlint facts v1\n"), 0o666)
+}
+
+// mapImporter resolves source-level import paths through the config's
+// ImportMap (vendoring, test variants) before handing them to the gc
+// export-data importer.
+type mapImporter struct {
+	cfg *vetConfig
+	gc  types.Importer
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, m.cfg.Dir, 0)
+}
+
+func (m *mapImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := m.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	from, ok := m.gc.(types.ImporterFrom)
+	if !ok {
+		return m.gc.Import(path)
+	}
+	return from.ImportFrom(path, dir, 0)
+}
+
+// exportLookup opens the export-data file cmd/go compiled for a dependency.
+func exportLookup(cfg *vetConfig) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not in vet.cfg PackageFile)", path)
+		}
+		return os.Open(file)
+	}
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return strings.TrimSpace(fallback)
+}
