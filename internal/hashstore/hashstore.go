@@ -109,6 +109,12 @@ func Open(dir string, cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db.logw = f
+	// Make the log's directory entry durable now: records are fsynced on
+	// write, but without this a crash could drop the file itself and with
+	// it every synced record (DESIGN.md §5c).
+	if err := db.fs.SyncDir(dir); err != nil {
+		return nil, err
+	}
 	r, err := db.fs.Open(name)
 	if err != nil {
 		return nil, err
@@ -351,6 +357,11 @@ func (db *DB) rewrite(name string) error {
 	}
 	db.pending = nil
 	if err := db.logw.Sync(); err != nil {
+		return err
+	}
+	// Create truncates in place so the entry usually pre-exists, but a vfs
+	// may implement truncation as replace-by-new-file; sync the entry too.
+	if err := db.fs.SyncDir(db.dir); err != nil {
 		return err
 	}
 	r, err := db.fs.Open(name)
