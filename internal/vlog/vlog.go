@@ -148,6 +148,7 @@ func (m *Manager) ensureActiveLocked() error {
 	}
 	num := m.nextNum
 	m.nextNum++
+	//unikv:allow(syncpublish) deferred publish: dirDirty marks the entry and Sync/Publish fsync the dir before any pointer into this log commits
 	f, err := m.fs.Create(filepath.Join(m.dir, LogName(num)))
 	if err != nil {
 		return err
@@ -226,6 +227,7 @@ func (m *Manager) NewDedicatedLog(partition uint32) (*DedicatedLog, error) {
 	m.nextNum++
 	m.sizes[num] = 0
 	m.mu.Unlock()
+	//unikv:allow(syncpublish) deferred publish: dirDirty marks the entry and Publish fsyncs the dir before the caller commits pointers to it
 	f, err := m.fs.Create(filepath.Join(m.dir, LogName(num)))
 	if err != nil {
 		return nil, err
