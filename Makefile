@@ -1,0 +1,39 @@
+# Developer entry points; CI runs the same targets (.github/workflows/ci.yml).
+
+GO ?= go
+BIN := bin
+
+.PHONY: build test race lint bench-smoke clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint = the repo's own invariant checkers (cmd/unikvlint run through the
+# `go vet -vettool` protocol) plus staticcheck/govulncheck when installed.
+# The external tools are optional so `make lint` works offline.
+lint: $(BIN)/unikvlint
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(BIN)/unikvlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipping"; fi
+
+$(BIN)/unikvlint: FORCE
+	$(GO) build -o $(BIN)/unikvlint ./cmd/unikvlint
+
+# One iteration per benchmark: compiles and runs them without measuring.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/bench/
+
+clean:
+	rm -rf $(BIN)
+
+.PHONY: FORCE
+FORCE:
