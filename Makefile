@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race lint bench-smoke clean
+.PHONY: build test race lint bench-smoke fault-sweep clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,11 @@ $(BIN)/unikvlint: FORCE
 # One iteration per benchmark: compiles and runs them without measuring.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/bench/
+
+# The systematic fault-injection sweep (short, strided profile). Set
+# UNIKV_FAULT_SWEEP=full to arm a fault at every op index (minutes).
+fault-sweep:
+	$(GO) test -race -run 'TestFaultSweep|TestCorrupt|TestBackgroundTransient|TestBackgroundSticky' ./internal/core/
 
 clean:
 	rm -rf $(BIN)

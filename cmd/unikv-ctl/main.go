@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"time"
 
 	"unikv/internal/core"
 	"unikv/internal/manifest"
@@ -61,6 +62,11 @@ func main() {
 			fmt.Printf("  splits:              %d\n", m.Splits)
 			fmt.Printf("  write stalls:        %d (%d ns stalled, %d ns slowed)\n", m.Stalls, m.StallNanos, m.SlowdownNanos)
 			fmt.Printf("  background errors:   %d\n", m.BackgroundErrors)
+			fmt.Printf("  background retries:  %d\n", m.BackgroundRetries)
+			if m.Degraded {
+				fmt.Printf("  DEGRADED (read-only) since %s\n", time.Unix(0, m.DegradedSince).Format(time.RFC3339))
+				fmt.Printf("    cause: %s\n", m.DegradedCause)
+			}
 			fmt.Println("read cache:")
 			fmt.Printf("  resident:            %d entries (%d bytes)\n", m.CacheEntries, m.CacheBytes)
 			fmt.Printf("  block hits/misses:   %d / %d\n", m.CacheBlockHits, m.CacheBlockMisses)

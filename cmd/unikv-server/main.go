@@ -11,8 +11,9 @@
 //	-dir            database directory (required; created if absent)
 //	-addr           TCP listen address for the KV protocol (default :4090)
 //	-http           HTTP debug listen address exposing /metrics (the same
-//	                JSON snapshot as the STATS opcode) and /debug/vars
-//	                (expvar). Empty disables the listener.
+//	                JSON snapshot as the STATS opcode), /healthz (503 once
+//	                the engine is degraded, for load-balancer drains), and
+//	                /debug/vars (expvar). Empty disables the listener.
 //	-sync           fsync the WAL on every commit (group commit amortizes
 //	                the cost across concurrent writers)
 //	-bg-workers     background maintenance workers; the server defaults to
@@ -93,6 +94,9 @@ func main() {
 		// STATS JSON, /debug/vars carries it under the "unikv" var.
 		expvar.Publish("unikv", expvar.Func(func() any { return srv.Metrics() }))
 		http.Handle("/metrics", srv.MetricsHandler())
+		// /healthz flips to 503 when the engine degrades (read-only mode),
+		// so load balancers drain writes off the node.
+		http.Handle("/healthz", srv.HealthHandler())
 		hln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			log.Fatalf("http listen %s: %v", *httpAddr, err)

@@ -51,7 +51,7 @@ func (db *DB) ApplyBatch(b *Batch) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	if err := db.failedErr(); err != nil {
+	if err := db.degradedErr(); err != nil {
 		return err
 	}
 	for i := range b.ops {
@@ -93,11 +93,11 @@ func (db *DB) ApplyBatch(b *Batch) error {
 		wantSplit, err := p.putBatch(mine)
 		p.mu.Unlock()
 		if err != nil {
-			return err
+			return classified(err)
 		}
 		if wantSplit {
 			if err := db.splitPartition(p); err != nil {
-				return err
+				return classified(err)
 			}
 		}
 		if db.sched != nil {

@@ -73,9 +73,11 @@ type DB struct {
 
 	// sched is the background maintenance pool (nil in inline mode).
 	sched *scheduler
-	// bgErr is the first background job error; once set the DB is failed:
-	// writes return it, reads keep serving.
-	bgErr atomic.Pointer[error]
+	// degradedState holds the first terminal background failure; once set
+	// the DB is degraded: writes return a DegradedError, reads keep
+	// serving. Only a job error that classifies as corruption/fatal, or a
+	// transient error surviving JobRetries retries, lands here.
+	degradedState atomic.Pointer[DegradedError]
 
 	// Test hooks (nil in production). testHookJobStart fires as a worker
 	// picks up a job; testHookMergeBuild fires inside a background merge
@@ -91,7 +93,11 @@ type Stats struct {
 	GCBytesRewritten                         atomic.Int64
 	HashProbes                               atomic.Int64
 	Stalls, StallNanos, SlowdownNanos        atomic.Int64
-	BackgroundErrors                         atomic.Int64
+	// BackgroundErrors counts distinct terminal job failures (a job that
+	// exhausted its retries or hit corruption); BackgroundRetries counts
+	// job attempts that failed transiently and were retried.
+	BackgroundErrors  atomic.Int64
+	BackgroundRetries atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of Stats plus derived gauges.
@@ -109,9 +115,21 @@ type StatsSnapshot struct {
 	ValueLogBytes                            int64
 	TableBlockReads                          int64
 	Stalls, StallNanos, SlowdownNanos        int64
-	BackgroundErrors                         int64
-	PendingJobs                              int
-	ImmutableMemtables                       int
+	// BackgroundErrors counts terminal job failures; BackgroundRetries
+	// counts transiently failed attempts absorbed by the retry policy.
+	BackgroundErrors   int64
+	BackgroundRetries  int64
+	PendingJobs        int
+	ImmutableMemtables int
+
+	// Degraded mode (see DESIGN.md §5g). Degraded is true once a
+	// background job failed terminally: writes fail with ErrDegraded,
+	// reads keep serving. DegradedSince is the trip time in Unix
+	// nanoseconds (0 when healthy); DegradedCause names the failed job,
+	// partition, and error.
+	Degraded      bool
+	DegradedSince int64
+	DegradedCause string
 
 	// Read-cache counters (all zero when the cache is disabled).
 	CacheBlockHits   int64
@@ -403,12 +421,12 @@ func (db *DB) Close() error {
 	db.router.Unlock()
 	for _, p := range parts {
 		p.mu.Lock()
-		if len(p.imm) > 0 && db.failedErr() == nil {
+		if len(p.imm) > 0 && db.degradedErr() == nil {
 			if err := p.drainImmLocked(); err != nil && first == nil {
 				first = err
 			}
 		}
-		if !p.mem.Empty() && db.failedErr() == nil {
+		if !p.mem.Empty() && db.degradedErr() == nil {
 			if err := p.flushLocked(); err != nil && first == nil {
 				first = err
 			}
@@ -630,8 +648,14 @@ func (db *DB) Metrics() StatsSnapshot {
 		GCBytesRewritten: db.stats.GCBytesRewritten.Load(),
 		Stalls:           db.stats.Stalls.Load(),
 		StallNanos:       db.stats.StallNanos.Load(),
-		SlowdownNanos:    db.stats.SlowdownNanos.Load(),
-		BackgroundErrors: db.stats.BackgroundErrors.Load(),
+		SlowdownNanos:     db.stats.SlowdownNanos.Load(),
+		BackgroundErrors:  db.stats.BackgroundErrors.Load(),
+		BackgroundRetries: db.stats.BackgroundRetries.Load(),
+	}
+	if d := db.degradedState.Load(); d != nil {
+		s.Degraded = true
+		s.DegradedSince = d.Since.UnixNano()
+		s.DegradedCause = d.Cause
 	}
 	if db.sched != nil {
 		s.PendingJobs = db.sched.pendingJobs()

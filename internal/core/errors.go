@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"unikv/internal/codec"
+	"unikv/internal/hashindex"
+	"unikv/internal/manifest"
+	"unikv/internal/sstable"
+	"unikv/internal/unsorted"
+	"unikv/internal/vlog"
+)
+
+// Error taxonomy. Every background-job or write-path failure falls into
+// one of three classes, and the scheduler's policy is keyed entirely off
+// the class:
+//
+//   - transient: an I/O error that may succeed if retried (EINTR/ENOSPC
+//     hiccups, injected faults). Background jobs retry these with bounded
+//     exponential backoff before giving up.
+//   - corruption: a checksum or decode failure. The bytes on disk are
+//     wrong; retrying re-reads the same wrong bytes, so these are never
+//     retried — they trip degraded mode immediately.
+//   - fatal: a deterministic, non-I/O outcome (closed, locked, degraded,
+//     oversized key). Retrying cannot change it.
+//
+// Unknown errors default to transient: misclassifying a persistent fault
+// as transient costs a few bounded retries before degrading, while
+// misclassifying a recoverable fault as fatal bricks writes for no reason.
+
+// ErrDegraded marks the DB's degraded read-only mode: a background job
+// exhausted its retries (or hit corruption), writes now fail with an error
+// matching this sentinel, and reads keep serving the still-consistent
+// on-disk state. Reopening the database clears the mode (recovery replays
+// from the last committed state).
+var ErrDegraded = errors.New("unikv: database degraded (read-only)")
+
+// ErrorClass partitions engine errors by the recovery action they permit.
+type ErrorClass uint8
+
+const (
+	// ClassNone is the class of a nil error.
+	ClassNone ErrorClass = iota
+	// ClassTransient errors may succeed when retried.
+	ClassTransient
+	// ClassCorruption errors mean the stored bytes are wrong; retrying is
+	// useless and the failure is surfaced immediately.
+	ClassCorruption
+	// ClassFatal errors are deterministic outcomes retrying cannot change.
+	ClassFatal
+)
+
+// String names the class for stats, logs, and the degraded cause.
+func (c ErrorClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassTransient:
+		return "transient"
+	case ClassCorruption:
+		return "corruption"
+	case ClassFatal:
+		return "fatal"
+	}
+	return "unknown"
+}
+
+// ClassifiedError stamps an error with its class at the failure site, so
+// callers can switch on errors.As without re-deriving the classification.
+type ClassifiedError struct {
+	Class ErrorClass
+	Err   error
+}
+
+func (e *ClassifiedError) Error() string {
+	return fmt.Sprintf("%s [%s]", e.Err.Error(), e.Class)
+}
+
+func (e *ClassifiedError) Unwrap() error { return e.Err }
+
+// WithClass wraps err with an explicit class. Wrapping nil returns nil;
+// an error that already carries a class is returned unchanged.
+func WithClass(class ErrorClass, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ce *ClassifiedError
+	if errors.As(err, &ce) {
+		return err
+	}
+	return &ClassifiedError{Class: class, Err: err}
+}
+
+// classified stamps err with its derived class (nil stays nil) — the
+// write path uses it so callers can errors.As for ClassifiedError.
+func classified(err error) error { return WithClass(Classify(err), err) }
+
+// Classify derives the class of err. An explicit ClassifiedError wins;
+// otherwise known corruption sentinels (checksum/decode failures from
+// every substrate) classify as corruption, deterministic API errors as
+// fatal, and everything else — including plain I/O errors from the file
+// system — as transient.
+func Classify(err error) ErrorClass {
+	if err == nil {
+		return ClassNone
+	}
+	var ce *ClassifiedError
+	if errors.As(err, &ce) {
+		return ce.Class
+	}
+	switch {
+	case errors.Is(err, codec.ErrCorrupt),
+		errors.Is(err, sstable.ErrCorruptTable),
+		errors.Is(err, manifest.ErrCorrupt),
+		errors.Is(err, hashindex.ErrBadCheckpoint),
+		errors.Is(err, unsorted.ErrBadCheckpoint),
+		errors.Is(err, vlog.ErrBadPointer),
+		errors.Is(err, vlog.ErrCorrupt):
+		return ClassCorruption
+	case errors.Is(err, ErrClosed),
+		errors.Is(err, ErrDegraded),
+		errors.Is(err, ErrDBLocked),
+		errors.Is(err, ErrNotFound),
+		errors.Is(err, ErrKeyTooLarge):
+		return ClassFatal
+	}
+	return ClassTransient
+}
+
+// DegradedError is the error surfaced by writes (and recorded in
+// StatsSnapshot) once the DB enters degraded mode. It matches ErrDegraded
+// via errors.Is and unwraps to the job error that tripped the mode, so
+// the original classification stays reachable.
+type DegradedError struct {
+	// Cause names the failing job, its partition, and the error class,
+	// e.g. "merge job on partition 3 failed (transient, retries exhausted)".
+	Cause string
+	// Since is when the mode was entered.
+	Since time.Time
+	// Err is the final job error.
+	Err error
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("%s: %s: %v", ErrDegraded.Error(), e.Cause, e.Err)
+}
+
+func (e *DegradedError) Unwrap() error { return e.Err }
+
+// Is matches ErrDegraded so errors.Is(err, ErrDegraded) holds across the
+// server/client wire mapping and the embedded API alike.
+func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }

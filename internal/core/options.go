@@ -6,6 +6,8 @@
 package core
 
 import (
+	"time"
+
 	"unikv/internal/vfs"
 )
 
@@ -69,6 +71,17 @@ type Options struct {
 	// StallImmutables blocks writers entirely until a flush completes once
 	// the immutable queue reaches this depth. Default 4.
 	StallImmutables int
+	// JobRetries is how many times a background job whose error classifies
+	// as transient (see Classify) is retried before the DB enters degraded
+	// read-only mode. Corruption and fatal errors are never retried.
+	// Default 3; negative disables retries.
+	JobRetries int
+	// RetryBaseDelay is the first retry's backoff; each subsequent retry
+	// doubles it (with jitter) up to RetryMaxDelay. Default 10ms.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the exponential backoff between job retries.
+	// Default 1s.
+	RetryMaxDelay time.Duration
 	// CacheBytes bounds the shared read cache holding hot SSTable data
 	// blocks and value-log entries. The cache is on by default: 0 selects
 	// the default size (32 MiB); a negative value (CacheOff) disables
@@ -141,6 +154,17 @@ func (o Options) Sanitize() Options {
 	}
 	if o.StallImmutables <= o.SlowdownImmutables {
 		o.StallImmutables = o.SlowdownImmutables + 2
+	}
+	if o.JobRetries == 0 {
+		o.JobRetries = 3
+	} else if o.JobRetries < 0 {
+		o.JobRetries = 0
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = 10 * time.Millisecond
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = time.Second
 	}
 	if o.CacheBytes == 0 {
 		o.CacheBytes = 32 << 20

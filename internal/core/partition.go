@@ -148,9 +148,25 @@ func (p *partition) replayWAL(num uint64) error {
 	}
 }
 
+// ensureWALLocked lazily recreates the WAL after a failed rotation left
+// p.wal nil (a transient fault in newWALLocked aborts the rotating write
+// or flush, but the partition must not silently accept un-logged writes
+// afterwards: a later crash would lose them even though they were acked).
+// File numbers are monotonic, so the replacement WAL replays after the
+// closed one and write order is preserved.
+func (p *partition) ensureWALLocked() error {
+	if p.wal != nil || p.db.opts.DisableWAL {
+		return nil
+	}
+	return p.newWALLocked()
+}
+
 // put applies one record. It returns true when the partition wants a split
 // (checked by DB.Put, which owns the router lock ordering).
 func (p *partition) put(rec record.Record) (wantSplit bool, err error) {
+	if err := p.ensureWALLocked(); err != nil {
+		return false, err
+	}
 	if p.wal != nil {
 		if err := p.wal.AddRecord(rec.Encode(nil)); err != nil {
 			return false, err
@@ -168,6 +184,9 @@ func (p *partition) put(rec record.Record) (wantSplit bool, err error) {
 // putBatch applies several records with one WAL record — they become
 // durable atomically within this partition.
 func (p *partition) putBatch(recs []record.Record) (wantSplit bool, err error) {
+	if err := p.ensureWALLocked(); err != nil {
+		return false, err
+	}
 	if p.wal != nil {
 		var buf []byte
 		for _, rec := range recs {

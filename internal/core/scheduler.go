@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -24,8 +25,14 @@ import (
 //
 //	maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu
 //
-// A job error trips the DB into a failed state: writes return the error,
-// reads keep working, no further jobs run.
+// A job error is classified (see errors.go) before it can do damage: a
+// transient error is retried with bounded exponential backoff + jitter
+// (the job's dedup flag stays set, so the retries own the slot); only an
+// error surviving JobRetries retries, or one classifying as corruption or
+// fatal, trips the DB into degraded read-only mode — writes return a
+// DegradedError, reads keep working, no further jobs run. Retrying a job
+// from scratch is safe because every job mutates durable and in-memory
+// state only at its single manifest-Apply commit point.
 
 type jobKind uint8
 
@@ -68,11 +75,16 @@ type scheduler struct {
 	queue   []task
 	pending map[uint32]*[numJobKinds]bool // queued or running, per partition
 	closing bool
+	stopCh  chan struct{} // closed by close(); interrupts retry backoff
 	wg      sync.WaitGroup
 }
 
 func newScheduler(db *DB, workers int) *scheduler {
-	s := &scheduler{db: db, pending: make(map[uint32]*[numJobKinds]bool)}
+	s := &scheduler{
+		db:      db,
+		pending: make(map[uint32]*[numJobKinds]bool),
+		stopCh:  make(chan struct{}),
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -125,6 +137,7 @@ func (s *scheduler) close() {
 	s.mu.Lock()
 	s.closing = true
 	s.mu.Unlock()
+	close(s.stopCh) // interrupt retry backoffs so Close never waits on them
 	s.cond.Broadcast()
 	s.wg.Wait()
 }
@@ -144,7 +157,7 @@ func (s *scheduler) worker() {
 		s.queue = s.queue[1:]
 		s.mu.Unlock()
 
-		err := s.run(t)
+		err := s.runWithRetry(t)
 
 		s.mu.Lock()
 		if flags := s.pending[t.p.id]; flags != nil {
@@ -155,7 +168,7 @@ func (s *scheduler) worker() {
 		// Wake throttled writers (and let them observe a failure).
 		t.p.wakeStalled()
 		if err != nil {
-			s.db.setFailed(err)
+			s.db.setDegraded(t, err)
 			continue
 		}
 		// A completed job may arm the next trigger (flush fills the
@@ -171,11 +184,45 @@ func (s *scheduler) worker() {
 	}
 }
 
+// runWithRetry executes one job, retrying transient failures with bounded
+// exponential backoff + jitter. It returns nil when the job (eventually)
+// succeeded or the retry was abandoned by close; a non-nil return is a
+// terminal failure the caller escalates to degraded mode. Retrying from
+// scratch is safe: jobs commit durable and in-memory changes only at
+// their single manifest-Apply point, so a failed attempt left no partial
+// state behind (orphaned build output is swept at the next open).
+func (s *scheduler) runWithRetry(t task) error {
+	db := s.db
+	delay := db.opts.RetryBaseDelay
+	for attempt := 0; ; attempt++ {
+		err := s.run(t)
+		if err == nil {
+			return nil
+		}
+		if Classify(err) != ClassTransient || attempt >= db.opts.JobRetries {
+			db.stats.BackgroundErrors.Add(1)
+			return err
+		}
+		db.stats.BackgroundRetries.Add(1)
+		// Jittered backoff: half fixed, half random, so competing retries
+		// de-synchronize. Interruptible so close() never waits on it.
+		d := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		select {
+		case <-s.stopCh:
+			return nil // closing: Close drains inline; do not degrade
+		case <-time.After(d):
+		}
+		if delay *= 2; delay > db.opts.RetryMaxDelay {
+			delay = db.opts.RetryMaxDelay
+		}
+	}
+}
+
 // run executes one job, re-checking its trigger (state may have moved
 // since it was queued).
 func (s *scheduler) run(t task) error {
 	db := s.db
-	if db.closed.Load() || db.failedErr() != nil {
+	if db.closed.Load() || db.degradedErr() != nil {
 		return nil
 	}
 	p := t.p
@@ -206,7 +253,7 @@ func (s *scheduler) run(t task) error {
 // state calls for. Runs after a write freezes a memtable and after every
 // completed job.
 func (db *DB) checkMaintenance(p *partition) {
-	if db.sched == nil || db.closed.Load() || db.failedErr() != nil {
+	if db.sched == nil || db.closed.Load() || db.degradedErr() != nil {
 		return
 	}
 	p.mu.RLock()
@@ -237,26 +284,37 @@ func (db *DB) checkMaintenance(p *partition) {
 	}
 }
 
-// setFailed records the first background error; writes then fail with it
-// while reads keep serving the (still consistent) on-disk state.
-func (db *DB) setFailed(err error) {
+// setDegraded records a terminal background failure, entering degraded
+// read-only mode: writes fail with a DegradedError naming the job and
+// cause, reads keep serving the (still consistent) on-disk state. The
+// first terminal failure wins.
+func (db *DB) setDegraded(t task, err error) {
 	if err == nil {
 		return
 	}
-	wrapped := fmt.Errorf("unikv: background maintenance failed: %w", err)
-	if db.bgErr.CompareAndSwap(nil, &wrapped) {
-		db.stats.BackgroundErrors.Add(1)
+	class := Classify(err)
+	why := "retries exhausted"
+	if class != ClassTransient {
+		why = "not retryable"
+	}
+	d := &DegradedError{
+		Cause: fmt.Sprintf("%s job on partition %d failed (%s, %s)",
+			t.kind, t.p.id, class, why),
+		Since: time.Now(),
+		Err:   err,
+	}
+	if db.degradedState.CompareAndSwap(nil, d) {
 		for _, p := range db.partitions() {
 			p.wakeStalled()
 		}
 	}
 }
 
-// failedErr returns the error that tripped the DB into its failed state,
-// or nil.
-func (db *DB) failedErr() error {
-	if e := db.bgErr.Load(); e != nil {
-		return *e
+// degradedErr returns the error that tripped the DB into degraded mode,
+// or nil. It matches ErrDegraded via errors.Is.
+func (db *DB) degradedErr() error {
+	if d := db.degradedState.Load(); d != nil {
+		return d
 	}
 	return nil
 }
@@ -287,7 +345,7 @@ func (db *DB) throttle(p *partition) error {
 		if db.closed.Load() {
 			return ErrClosed
 		}
-		if err := db.failedErr(); err != nil {
+		if err := db.degradedErr(); err != nil {
 			return err
 		}
 		p.mu.RLock()

@@ -47,7 +47,7 @@ func (db *DB) apply(key, value []byte, kind record.Kind) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	if err := db.failedErr(); err != nil {
+	if err := db.degradedErr(); err != nil {
 		return err
 	}
 	if len(key) == 0 || len(key) >= maxKeyLen || len(value) >= maxValueLen {
@@ -67,10 +67,10 @@ func (db *DB) apply(key, value []byte, kind record.Kind) error {
 		wantSplit, err := p.put(rec)
 		p.mu.Unlock()
 		if err != nil {
-			return err
+			return classified(err)
 		}
 		if wantSplit {
-			return db.splitPartition(p)
+			return classified(db.splitPartition(p))
 		}
 		if db.sched != nil {
 			db.checkMaintenance(p)
@@ -86,7 +86,7 @@ func (db *DB) Flush() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	if err := db.failedErr(); err != nil {
+	if err := db.degradedErr(); err != nil {
 		return err
 	}
 	for _, p := range db.partitions() {
@@ -99,7 +99,7 @@ func (db *DB) Flush() error {
 		p.mu.Unlock()
 		p.flushMu.Unlock()
 		if err != nil {
-			return err
+			return classified(err)
 		}
 	}
 	return nil
@@ -112,7 +112,7 @@ func (db *DB) CompactAll() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	if err := db.failedErr(); err != nil {
+	if err := db.degradedErr(); err != nil {
 		return err
 	}
 	for _, p := range db.partitions() {
@@ -130,7 +130,7 @@ func (db *DB) CompactAll() error {
 		p.flushMu.Unlock()
 		p.maintMu.Unlock()
 		if err != nil {
-			return err
+			return classified(err)
 		}
 	}
 	return nil

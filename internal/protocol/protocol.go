@@ -109,6 +109,11 @@ const (
 	StatusTooLarge   // key/value/frame over the protocol or engine limit
 	StatusClosed     // server is shutting down
 	StatusInternal   // unexpected engine failure
+	// StatusDegraded: the engine is in degraded read-only mode (a
+	// background job failed terminally); writes are rejected until the
+	// operator reopens the database, reads keep serving. Load balancers
+	// should drain writes from a node answering with this status.
+	StatusDegraded
 )
 
 // String names the status for logs and client-side errors.
@@ -126,6 +131,8 @@ func (s Status) String() string {
 		return "CLOSED"
 	case StatusInternal:
 		return "INTERNAL"
+	case StatusDegraded:
+		return "DEGRADED"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }

@@ -209,6 +209,12 @@ func statusOf(err error) protocol.Status {
 		return protocol.StatusNotFound
 	case errors.Is(err, unikv.ErrKeyTooLarge):
 		return protocol.StatusTooLarge
+	case errors.Is(err, unikv.ErrDegraded):
+		// Distinct from StatusInternal so clients and load balancers can
+		// tell "this node rejects writes until reopened" from a one-off
+		// failure. Checked before StatusClosed: a degraded DB still serves
+		// reads, a closed one serves nothing.
+		return protocol.StatusDegraded
 	case errors.Is(err, unikv.ErrClosed):
 		return protocol.StatusClosed
 	default:

@@ -12,3 +12,21 @@ func (s *Server) MetricsHandler() http.Handler {
 		w.Write(s.statsJSON())
 	})
 }
+
+// HealthHandler answers 200 while the engine accepts writes and 503 once
+// it is degraded (writes rejected, reads still served), with the degraded
+// cause in the body — the drain signal for load balancers that only speak
+// HTTP health checks. The full detail (DegradedSince, counters) is in
+// /metrics and STATS.
+func (s *Server) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := s.db.Metrics()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if m.Degraded {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("degraded: " + m.DegradedCause + "\n"))
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+}

@@ -3,100 +3,227 @@ package vfs
 import (
 	"errors"
 	"fmt"
+	"path"
+	"path/filepath"
 	"sync"
 )
 
-// ErrInjected is returned by a FailFS once its failure point has been
-// reached. Everything after the failure point behaves as if the process
-// had crashed: writes fail and nothing further reaches "disk".
+// ErrInjected is returned by a FailFS at its armed failure points. In
+// sticky mode everything after the first failure behaves as if the process
+// had crashed: writes fail and nothing further reaches "disk". In
+// transient mode a bounded number of operations fail and then the file
+// system recovers — the shape of an EINTR/ENOSPC-class hiccup.
 var ErrInjected = errors.New("vfs: injected failure")
 
-// FailFS wraps another FS and fails every mutating operation after a
-// configured number of write operations has been performed. The crash tests
-// use it to stop the engine mid-flush / mid-GC deterministically, then
-// reopen the underlying FS and check recovery.
+// OpKind is a bitmask of FailFS operation kinds used to target injection.
+type OpKind uint16
+
+const (
+	OpCreate OpKind = 1 << iota
+	OpWrite
+	OpSync
+	OpSyncDir
+	OpRemove
+	OpRename
+	OpWriteFile
+	OpOpen
+	OpReadAt
+	OpReadFile
+)
+
+const (
+	// OpMutating covers every operation that changes disk state — the
+	// historical Arm(n) target set.
+	OpMutating = OpCreate | OpWrite | OpSync | OpSyncDir | OpRemove | OpRename | OpWriteFile
+	// OpReads covers the read path (table/log/WAL reads and file opens).
+	OpReads = OpOpen | OpReadAt | OpReadFile
+	// OpAll covers everything FailFS can intercept.
+	OpAll = OpMutating | OpReads
+)
+
+// String names the kind set for test failure messages.
+func (k OpKind) String() string {
+	names := []struct {
+		bit  OpKind
+		name string
+	}{
+		{OpCreate, "create"}, {OpWrite, "write"}, {OpSync, "sync"},
+		{OpSyncDir, "syncdir"}, {OpRemove, "remove"}, {OpRename, "rename"},
+		{OpWriteFile, "writefile"}, {OpOpen, "open"}, {OpReadAt, "readat"},
+		{OpReadFile, "readfile"},
+	}
+	out := ""
+	for _, n := range names {
+		if k&n.bit != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// FailPlan describes one injection campaign. Operations that match Kinds
+// and Pattern are counted; the first Skip matches pass through, then Fail
+// of them fail with Err. Fail < 0 is sticky: every match from Skip on
+// fails (a crashed disk). Fail = k > 0 is transient: k matches fail, then
+// the file system recovers (a retryable hiccup). Fail = 0 injects nothing
+// and just counts matches (used to size sweep campaigns).
+type FailPlan struct {
+	// Skip is the number of matching operations allowed before injection.
+	Skip int64
+	// Fail is how many matching operations fail after Skip; < 0 = all.
+	Fail int64
+	// Kinds selects the targeted operations; 0 means OpMutating (the
+	// historical Arm behavior).
+	Kinds OpKind
+	// Pattern, when non-empty, restricts matching to files whose base name
+	// matches this path.Match pattern (e.g. "*.sst"). Directory operations
+	// (SyncDir) match against the directory's base name.
+	Pattern string
+	// Err overrides the injected error; nil means ErrInjected.
+	Err error
+}
+
+// FailFS wraps another FS and injects failures according to an armed
+// FailPlan. The crash tests use sticky plans to stop the engine
+// mid-flush / mid-GC deterministically, then reopen the underlying FS and
+// check recovery; the fault sweeps additionally use transient plans and
+// read-path targeting.
 type FailFS struct {
 	inner FS
 
-	mu        sync.Mutex
-	remaining int64 // mutating ops allowed before failure; <0 = unlimited
-	failed    bool
-	locked    map[string]bool // dirs locked through this wrapper
+	mu       sync.Mutex
+	armed    bool
+	plan     FailPlan
+	matched  int64           // matching ops observed since the last arm
+	injected int64           // ops failed since the last arm
+	locked   map[string]bool // dirs locked through this wrapper
 }
 
-// NewFail wraps inner; the file system operates normally until Arm is
-// called.
+// NewFail wraps inner; the file system operates normally until Arm or
+// ArmPlan is called.
 func NewFail(inner FS) *FailFS {
-	return &FailFS{inner: inner, remaining: -1, locked: make(map[string]bool)}
+	return &FailFS{inner: inner, locked: make(map[string]bool)}
 }
 
 // Arm allows n more mutating operations (writes, syncs, creates, renames,
-// removes), then fails everything.
+// removes), then fails everything mutating — the sticky crash model.
+// Equivalent to ArmPlan(FailPlan{Skip: n, Fail: -1}).
 func (fs *FailFS) Arm(n int64) {
+	fs.ArmPlan(FailPlan{Skip: n, Fail: -1})
+}
+
+// ArmPlan installs plan and resets the matched/injected counters.
+func (fs *FailFS) ArmPlan(plan FailPlan) {
+	if plan.Kinds == 0 {
+		plan.Kinds = OpMutating
+	}
 	fs.mu.Lock()
-	fs.remaining = n
-	fs.failed = false
+	fs.armed = true
+	fs.plan = plan
+	fs.matched = 0
+	fs.injected = 0
 	fs.mu.Unlock()
 }
 
-// Disarm restores normal operation.
+// Disarm restores normal operation. Counters keep their values until the
+// next arm, so a sweep can read them after stopping the campaign.
 func (fs *FailFS) Disarm() {
 	fs.mu.Lock()
-	fs.remaining = -1
-	fs.failed = false
+	fs.armed = false
 	fs.mu.Unlock()
 }
 
-// Failed reports whether the failure point has been reached.
+// Failed reports whether at least one failure has been injected since the
+// last arm.
 func (fs *FailFS) Failed() bool {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.failed
+	return fs.injected > 0
 }
 
-// step consumes one mutating-op credit; it returns ErrInjected once the
-// budget is exhausted.
-func (fs *FailFS) step() error {
+// MatchedOps returns how many operations matched the armed plan's Kinds
+// and Pattern since the last arm (failed or not). A counting pass with
+// Fail = 0 uses this to size a sweep.
+func (fs *FailFS) MatchedOps() int64 {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if fs.failed {
-		return ErrInjected
-	}
-	if fs.remaining < 0 {
+	return fs.matched
+}
+
+// InjectedOps returns how many operations have failed since the last arm.
+func (fs *FailFS) InjectedOps() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.injected
+}
+
+// step runs one operation through the armed plan, returning the injected
+// error when the operation falls inside the plan's failure window.
+func (fs *FailFS) step(kind OpKind, name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.armed || fs.plan.Kinds&kind == 0 {
 		return nil
 	}
-	if fs.remaining == 0 {
-		fs.failed = true
+	if fs.plan.Pattern != "" {
+		if ok, err := path.Match(fs.plan.Pattern, filepath.Base(name)); err != nil || !ok {
+			return nil
+		}
+	}
+	idx := fs.matched
+	fs.matched++
+	if idx < fs.plan.Skip {
+		return nil
+	}
+	if fs.plan.Fail < 0 || idx-fs.plan.Skip < fs.plan.Fail {
+		fs.injected++
+		if fs.plan.Err != nil {
+			return fs.plan.Err
+		}
 		return ErrInjected
 	}
-	fs.remaining--
 	return nil
 }
 
 func (fs *FailFS) Counters() *Counters { return fs.inner.Counters() }
 
 func (fs *FailFS) Create(name string) (File, error) {
-	if err := fs.step(); err != nil {
+	if err := fs.step(OpCreate, name); err != nil {
 		return nil, err
 	}
 	f, err := fs.inner.Create(name)
 	if err != nil {
 		return nil, err
 	}
-	return &failFile{f: f, fs: fs}, nil
+	return &failFile{f: f, fs: fs, name: name}, nil
 }
 
-func (fs *FailFS) Open(name string) (File, error) { return fs.inner.Open(name) }
+func (fs *FailFS) Open(name string) (File, error) {
+	if err := fs.step(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := fs.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{f: f, fs: fs, name: name}, nil
+}
 
 func (fs *FailFS) Remove(name string) error {
-	if err := fs.step(); err != nil {
+	if err := fs.step(OpRemove, name); err != nil {
 		return err
 	}
 	return fs.inner.Remove(name)
 }
 
 func (fs *FailFS) Rename(oldname, newname string) error {
-	if err := fs.step(); err != nil {
+	if err := fs.step(OpRename, newname); err != nil {
 		return err
 	}
 	return fs.inner.Rename(oldname, newname)
@@ -106,10 +233,15 @@ func (fs *FailFS) List(dir string) ([]string, error) { return fs.inner.List(dir)
 func (fs *FailFS) MkdirAll(dir string) error         { return fs.inner.MkdirAll(dir) }
 func (fs *FailFS) Exists(name string) bool           { return fs.inner.Exists(name) }
 
-func (fs *FailFS) ReadFile(name string) ([]byte, error) { return fs.inner.ReadFile(name) }
+func (fs *FailFS) ReadFile(name string) ([]byte, error) {
+	if err := fs.step(OpReadFile, name); err != nil {
+		return nil, err
+	}
+	return fs.inner.ReadFile(name)
+}
 
 func (fs *FailFS) WriteFile(name string, data []byte) error {
-	if err := fs.step(); err != nil {
+	if err := fs.step(OpWriteFile, name); err != nil {
 		return err
 	}
 	return fs.inner.WriteFile(name, data)
@@ -119,7 +251,7 @@ func (fs *FailFS) WriteFile(name string, data []byte) error {
 // directory entries, so the crash sweeps must be able to kill the engine
 // right before one.
 func (fs *FailFS) SyncDir(dir string) error {
-	if err := fs.step(); err != nil {
+	if err := fs.step(OpSyncDir, dir); err != nil {
 		return err
 	}
 	return fs.inner.SyncDir(dir)
@@ -168,22 +300,29 @@ func (l *failDirLock) Release() error {
 }
 
 type failFile struct {
-	f  File
-	fs *FailFS
+	f    File
+	fs   *FailFS
+	name string
 }
 
 func (f *failFile) Write(p []byte) (int, error) {
-	if err := f.fs.step(); err != nil {
+	if err := f.fs.step(OpWrite, f.name); err != nil {
 		return 0, err
 	}
 	return f.f.Write(p)
 }
 
-func (f *failFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
-func (f *failFile) Close() error                            { return f.f.Close() }
+func (f *failFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.step(OpReadAt, f.name); err != nil {
+		return 0, err
+	}
+	return f.f.ReadAt(p, off)
+}
+
+func (f *failFile) Close() error { return f.f.Close() }
 
 func (f *failFile) Sync() error {
-	if err := f.fs.step(); err != nil {
+	if err := f.fs.step(OpSync, f.name); err != nil {
 		return err
 	}
 	return f.f.Sync()

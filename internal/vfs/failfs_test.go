@@ -1,0 +1,188 @@
+package vfs
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// failFixture returns an armed-ready FailFS over a memFS with one file
+// already on "disk" so read-path tests have something to open.
+func failFixture(t *testing.T) (*FailFS, string) {
+	t.Helper()
+	mem := NewMem()
+	if err := mem.MkdirAll("db"); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFail(mem)
+	name := filepath.Join("db", "seed.sst")
+	if err := ffs.WriteFile(name, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	return ffs, name
+}
+
+func TestFailFSSticky(t *testing.T) {
+	ffs, name := failFixture(t)
+	f, err := ffs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Skip 2 writes, then fail forever.
+	ffs.ArmPlan(FailPlan{Skip: 2, Fail: -1, Kinds: OpWrite})
+	w, err := ffs.Create(filepath.Join("db", "out.dat"))
+	if err != nil {
+		t.Fatalf("create should not match OpWrite: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := w.Write([]byte("x")); err != nil {
+			t.Fatalf("write %d within Skip: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sticky write %d: err=%v, want ErrInjected", i, err)
+		}
+	}
+	// Reads are outside the plan's kind set and keep working.
+	if _, err := f.ReadAt(make([]byte, 4), 0); err != nil {
+		t.Fatalf("read during write-only plan: %v", err)
+	}
+	if got := ffs.MatchedOps(); got != 5 {
+		t.Fatalf("MatchedOps=%d want 5", got)
+	}
+	if got := ffs.InjectedOps(); got != 3 {
+		t.Fatalf("InjectedOps=%d want 3", got)
+	}
+	if !ffs.Failed() {
+		t.Fatal("Failed()=false after injection")
+	}
+
+	// Disarm keeps counters until the next arm.
+	ffs.Disarm()
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatalf("write after Disarm: %v", err)
+	}
+	if got := ffs.InjectedOps(); got != 3 {
+		t.Fatalf("InjectedOps after Disarm=%d want 3", got)
+	}
+}
+
+func TestFailFSTransient(t *testing.T) {
+	ffs, _ := failFixture(t)
+	ffs.ArmPlan(FailPlan{Fail: 2, Kinds: OpCreate})
+	for i := 0; i < 2; i++ {
+		if _, err := ffs.Create(filepath.Join("db", "t.dat")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("create %d: err=%v, want ErrInjected", i, err)
+		}
+	}
+	// The fault window is exhausted: the file system has "recovered".
+	f, err := ffs.Create(filepath.Join("db", "t.dat"))
+	if err != nil {
+		t.Fatalf("create after transient window: %v", err)
+	}
+	f.Close()
+	if got := ffs.InjectedOps(); got != 2 {
+		t.Fatalf("InjectedOps=%d want 2", got)
+	}
+}
+
+func TestFailFSCountOnly(t *testing.T) {
+	ffs, name := failFixture(t)
+	ffs.ArmPlan(FailPlan{Fail: 0, Kinds: OpAll})
+	f, err := ffs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(make([]byte, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := ffs.ReadFile(name); err != nil {
+		t.Fatal(err)
+	}
+	// Open + ReadAt + ReadFile all matched, none injected.
+	if got := ffs.MatchedOps(); got != 3 {
+		t.Fatalf("MatchedOps=%d want 3", got)
+	}
+	if ffs.Failed() {
+		t.Fatal("count-only plan injected a failure")
+	}
+}
+
+func TestFailFSReadPath(t *testing.T) {
+	ffs, name := failFixture(t)
+
+	ffs.ArmPlan(FailPlan{Fail: -1, Kinds: OpOpen})
+	if _, err := ffs.Open(name); !errors.Is(err, ErrInjected) {
+		t.Fatalf("open: err=%v, want ErrInjected", err)
+	}
+
+	ffs.Disarm()
+	f, err := ffs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ffs.ArmPlan(FailPlan{Fail: -1, Kinds: OpReadAt})
+	if _, err := f.ReadAt(make([]byte, 4), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("readat: err=%v, want ErrInjected", err)
+	}
+	// Writes are untouched by a read-only plan.
+	if err := ffs.WriteFile(filepath.Join("db", "w.dat"), []byte("ok")); err != nil {
+		t.Fatalf("write during read-only plan: %v", err)
+	}
+
+	ffs.ArmPlan(FailPlan{Fail: -1, Kinds: OpReadFile})
+	if _, err := ffs.ReadFile(name); !errors.Is(err, ErrInjected) {
+		t.Fatalf("readfile: err=%v, want ErrInjected", err)
+	}
+}
+
+func TestFailFSPattern(t *testing.T) {
+	ffs, _ := failFixture(t)
+	ffs.ArmPlan(FailPlan{Fail: -1, Kinds: OpWriteFile, Pattern: "*.sst"})
+	if err := ffs.WriteFile(filepath.Join("db", "000001.log"), []byte("x")); err != nil {
+		t.Fatalf("non-matching name failed: %v", err)
+	}
+	if err := ffs.WriteFile(filepath.Join("db", "000001.sst"), []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching name: err=%v, want ErrInjected", err)
+	}
+	if got := ffs.MatchedOps(); got != 1 {
+		t.Fatalf("MatchedOps=%d want 1 (pattern should gate counting)", got)
+	}
+}
+
+func TestFailFSCustomErr(t *testing.T) {
+	ffs, _ := failFixture(t)
+	boom := errors.New("boom")
+	ffs.ArmPlan(FailPlan{Fail: -1, Kinds: OpWriteFile, Err: boom})
+	if err := ffs.WriteFile(filepath.Join("db", "x.dat"), []byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want custom error", err)
+	}
+}
+
+// TestFailFSArmCompat pins the historical Arm(n) semantics: n mutating
+// operations pass, then every mutating op fails stickily, and reads are
+// never injected.
+func TestFailFSArmCompat(t *testing.T) {
+	ffs, name := failFixture(t)
+	ffs.Arm(1)
+	if err := ffs.WriteFile(filepath.Join("db", "a.dat"), []byte("x")); err != nil {
+		t.Fatalf("op within budget: %v", err)
+	}
+	if err := ffs.WriteFile(filepath.Join("db", "b.dat"), []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op past budget: err=%v, want ErrInjected", err)
+	}
+	if err := ffs.Remove(name); !errors.Is(err, ErrInjected) {
+		t.Fatalf("remove past budget: err=%v, want ErrInjected", err)
+	}
+	if _, err := ffs.ReadFile(name); err != nil {
+		t.Fatalf("read while armed (mutating-only): %v", err)
+	}
+	if !ffs.Failed() {
+		t.Fatal("Failed()=false")
+	}
+}

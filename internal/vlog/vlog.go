@@ -36,6 +36,11 @@ const headerLen = 8
 // ErrBadPointer reports a pointer that does not match the log contents.
 var ErrBadPointer = errors.New("vlog: pointer does not match log record")
 
+// ErrCorrupt is wrapped by VerifyLog failures (truncated or
+// checksum-mismatching sealed records), so callers can classify them as
+// corruption rather than retryable I/O.
+var ErrCorrupt = errors.New("vlog: corrupt log")
+
 // Options configures a Manager.
 type Options struct {
 	// MaxLogSize rotates the active log once it exceeds this many bytes.
@@ -59,7 +64,8 @@ type Manager struct {
 	activeNum uint32
 	activeOff int64
 	nextNum   uint32
-	dirDirty  bool // a log file was created since the last SyncDir
+	dirDirty  bool   // a log file was created since the last SyncDir
+	scratch   []byte // frame staging for Append (guarded by mu)
 
 	sizes   map[uint32]int64 // total bytes per log
 	garbage map[uint32]int64 // dead bytes per log (greedy GC accounting)
@@ -171,10 +177,12 @@ func (m *Manager) Append(value []byte) (record.ValuePtr, error) {
 		return record.ValuePtr{}, err
 	}
 	off := m.activeOff
-	n, err := writeFramed(m.active, value)
-	if err != nil {
+	m.scratch = frameInto(m.scratch[:0], value)
+	if _, err := m.active.Write(m.scratch); err != nil {
+		m.reconcileActiveLocked()
 		return record.ValuePtr{}, err
 	}
+	n := int64(len(m.scratch))
 	m.activeOff += n
 	m.sizes[m.activeNum] += n
 	return record.ValuePtr{
@@ -193,30 +201,51 @@ func (m *Manager) AppendFor(partition uint32, value []byte) (record.ValuePtr, er
 	return ptr, err
 }
 
-// writeFramed appends one framed value to f, returning the bytes written.
-func writeFramed(f vfs.File, value []byte) (int64, error) {
-	var hdr []byte
-	hdr = codec.PutUint32(hdr, uint32(len(value)))
-	hdr = codec.PutUint32(hdr, codec.MaskChecksum(codec.Checksum(value)))
-	if _, err := f.Write(hdr); err != nil {
-		return 0, err
+// frameInto appends value's framed record (length, checksum, bytes) to
+// buf. Records are staged and written as ONE Write call on purpose: a
+// rejected write then leaves the log exactly as it was, so a retried
+// background job re-appends at the same offset instead of burying a torn
+// header mid-log where the sequential verifier (and nothing else) would
+// find it.
+func frameInto(buf, value []byte) []byte {
+	buf = codec.PutUint32(buf, uint32(len(value)))
+	buf = codec.PutUint32(buf, codec.MaskChecksum(codec.Checksum(value)))
+	return append(buf, value...)
+}
+
+// reconcileActiveLocked re-anchors the active log after a failed append.
+// A rejected write normally lands nothing and the log is still consistent
+// at activeOff; if the file grew anyway (a partial write on a real file
+// system), the torn tail cannot be appended over, so the log is sealed at
+// its real size and the next append opens a fresh one. Nothing references
+// the torn bytes — every pointer into them belonged to the failed,
+// uncommitted job attempt.
+func (m *Manager) reconcileActiveLocked() {
+	if m.active == nil {
+		return
 	}
-	if _, err := f.Write(value); err != nil {
-		return 0, err
+	if sz, err := m.active.Size(); err == nil && sz == m.activeOff {
+		return
+	} else if err == nil {
+		m.sizes[m.activeNum] = sz
 	}
-	return int64(headerLen + len(value)), nil
+	// Close without syncing: every synced-and-committed record predates the
+	// failed append; the unsynced tail belongs to the aborted attempt.
+	m.active.Close()
+	m.active = nil
 }
 
 // DedicatedLog is a log file outside the active rotation, used by GC and
 // partition split so their rewrites do not interleave with concurrent merge
 // appends in the shared active log.
 type DedicatedLog struct {
-	m    *Manager
-	f    vfs.File
-	num  uint32
-	off  int64
-	part uint32
-	done bool
+	m       *Manager
+	f       vfs.File
+	num     uint32
+	off     int64
+	part    uint32
+	done    bool
+	scratch []byte
 }
 
 // NewDedicatedLog opens a fresh log for exclusive appends, stamping ptrs
@@ -244,13 +273,16 @@ func (d *DedicatedLog) Num() uint32 { return d.num }
 // Size returns the bytes appended so far.
 func (d *DedicatedLog) Size() int64 { return d.off }
 
-// Append writes one value.
+// Append writes one value. A failed append poisons the whole log: the
+// owning job fails, the file is abandoned (orphan cleanup removes it at
+// the next open), and a retry starts over on a fresh dedicated log.
 func (d *DedicatedLog) Append(value []byte) (record.ValuePtr, error) {
 	off := d.off
-	n, err := writeFramed(d.f, value)
-	if err != nil {
+	d.scratch = frameInto(d.scratch[:0], value)
+	if _, err := d.f.Write(d.scratch); err != nil {
 		return record.ValuePtr{}, err
 	}
+	n := int64(len(d.scratch))
 	d.off += n
 	d.m.mu.Lock()
 	d.m.sizes[d.num] += n
@@ -645,12 +677,12 @@ func (m *Manager) VerifyLog(n uint32) (int, error) {
 			return count, err
 		}
 		if n < headerLen {
-			return count, fmt.Errorf("vlog: truncated header at offset %d", off)
+			return count, fmt.Errorf("%w: truncated header at offset %d", ErrCorrupt, off)
 		}
 		length, rest, _ := codec.Uint32(hdr)
 		crc, _, _ := codec.Uint32(rest)
 		if off+headerLen+int64(length) > size {
-			return count, fmt.Errorf("vlog: truncated value at offset %d", off)
+			return count, fmt.Errorf("%w: truncated value at offset %d", ErrCorrupt, off)
 		}
 		val := make([]byte, length)
 		n, err = f.ReadAt(val, off+headerLen)
@@ -658,10 +690,10 @@ func (m *Manager) VerifyLog(n uint32) (int, error) {
 			return count, err
 		}
 		if n < int(length) {
-			return count, fmt.Errorf("vlog: truncated value at offset %d", off)
+			return count, fmt.Errorf("%w: truncated value at offset %d", ErrCorrupt, off)
 		}
 		if codec.MaskChecksum(codec.Checksum(val)) != crc {
-			return count, fmt.Errorf("vlog: checksum mismatch at offset %d", off)
+			return count, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
 		}
 		count++
 		off += headerLen + int64(length)

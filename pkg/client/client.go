@@ -16,12 +16,19 @@
 // method issues one request/response exchange; the server coalesces
 // concurrent writes into group commits, so many goroutines calling Put
 // simultaneously is the intended high-throughput shape.
+//
+// Every exchange runs under a per-operation deadline (RequestTimeout),
+// and idempotent operations (Get, Scan, Stats, Ping) are transparently
+// retried with backoff after transient connection errors; writes (Put,
+// Delete, Apply) never are, because a broken connection leaves their
+// outcome unknown. See Options.MaxRetries.
 package client
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"time"
 
@@ -39,9 +46,21 @@ type Options struct {
 	PoolSize int
 	// DialTimeout bounds each connection attempt. Default 5s.
 	DialTimeout time.Duration
-	// RequestTimeout bounds one request/response exchange on the wire.
-	// 0 means no deadline.
+	// RequestTimeout bounds one request/response exchange on the wire —
+	// the per-operation deadline (each retry attempt gets a fresh one).
+	// Default 10s; negative disables the deadline.
 	RequestTimeout time.Duration
+	// MaxRetries caps automatic retries of idempotent operations (GET,
+	// SCAN, STATS, PING) after a transient connection error: a dial
+	// failure, or an I/O/framing error that broke the connection (the
+	// retry runs on a fresh one). PUT, DELETE, and BATCH are never retried
+	// automatically — a broken connection leaves their outcome unknown,
+	// and blind re-execution would double-apply against a concurrent
+	// writer. Default 2; negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the first retry's delay; it doubles per retry with
+	// jitter. Default 20ms.
+	RetryBackoff time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -54,6 +73,19 @@ func (o *Options) withDefaults() Options {
 	}
 	if v.DialTimeout <= 0 {
 		v.DialTimeout = 5 * time.Second
+	}
+	if v.RequestTimeout == 0 {
+		v.RequestTimeout = 10 * time.Second
+	} else if v.RequestTimeout < 0 {
+		v.RequestTimeout = 0
+	}
+	if v.MaxRetries == 0 {
+		v.MaxRetries = 2
+	} else if v.MaxRetries < 0 {
+		v.MaxRetries = 0
+	}
+	if v.RetryBackoff <= 0 {
+		v.RetryBackoff = 20 * time.Millisecond
 	}
 	return v
 }
@@ -181,13 +213,16 @@ func (c *Client) exchange(w *wireConn, op protocol.Op, id uint32) (protocol.Resp
 	return resp, nil
 }
 
-// do runs one pooled request/response round trip. build appends the
+// attempt runs one pooled request/response round trip. build appends the
 // request frame for the allocated id; handle consumes the response while
-// the connection is still held (so it may alias the buffer).
-func (c *Client) do(op protocol.Op, build func(buf []byte, id uint32) []byte, handle func(protocol.Response) error) error {
+// the connection is still held (so it may alias the buffer). transport
+// reports whether the failure happened below the protocol — a dial error
+// or a broken connection — i.e. whether a retry on a fresh connection
+// could succeed.
+func (c *Client) attempt(op protocol.Op, build func(buf []byte, id uint32) []byte, handle func(protocol.Response) error) (transport bool, err error) {
 	w, err := c.acquire()
 	if err != nil {
-		return err
+		return !errors.Is(err, ErrClientClosed), err
 	}
 	w.nextID++
 	id := w.nextID
@@ -195,18 +230,49 @@ func (c *Client) do(op protocol.Op, build func(buf []byte, id uint32) []byte, ha
 	resp, err := c.exchange(w, op, id)
 	if err != nil {
 		c.release(w, true)
-		return err
+		return true, err
 	}
 	if err := statusErr(resp); err != nil {
 		c.release(w, false)
-		return err
+		return false, err
 	}
 	err = nil
 	if handle != nil {
 		err = handle(resp)
 	}
 	c.release(w, false)
+	return false, err
+}
+
+// do runs one round trip with no retry — the write path (PUT, DELETE,
+// BATCH). A transport error leaves the operation's outcome unknown (the
+// server may have committed before the connection died), so re-sending
+// could double-apply; the caller decides whether the op is safe to repeat.
+func (c *Client) do(op protocol.Op, build func(buf []byte, id uint32) []byte, handle func(protocol.Response) error) error {
+	_, err := c.attempt(op, build, handle)
 	return err
+}
+
+// doIdempotent is do plus bounded retry with exponential backoff and
+// jitter after transport errors, safe because the operation (GET, SCAN,
+// STATS, PING) does not mutate server state. Each attempt runs on a fresh
+// connection with a fresh RequestTimeout deadline; protocol-level errors
+// (NotFound, Degraded, ...) are returned immediately.
+func (c *Client) doIdempotent(op protocol.Op, build func(buf []byte, id uint32) []byte, handle func(protocol.Response) error) error {
+	delay := c.opts.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		transport, err := c.attempt(op, build, handle)
+		if err == nil || !transport || attempt >= c.opts.MaxRetries {
+			return err
+		}
+		d := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		select {
+		case <-c.closed:
+			return err
+		case <-time.After(d):
+		}
+		delay *= 2
+	}
 }
 
 // statusErr maps wire statuses back onto the unikv error surface.
@@ -220,6 +286,8 @@ func statusErr(resp protocol.Response) error {
 		return unikv.ErrKeyTooLarge
 	case protocol.StatusClosed:
 		return unikv.ErrClosed
+	case protocol.StatusDegraded:
+		return fmt.Errorf("%w: %s", unikv.ErrDegraded, resp.Msg)
 	default:
 		return fmt.Errorf("client: server error %s: %s", resp.Status, resp.Msg)
 	}
@@ -227,13 +295,13 @@ func statusErr(resp protocol.Response) error {
 
 // Ping round-trips an empty frame, verifying the server is reachable.
 func (c *Client) Ping() error {
-	return c.do(protocol.OpPing, protocol.AppendPing, nil)
+	return c.doIdempotent(protocol.OpPing, protocol.AppendPing, nil)
 }
 
 // Get returns the value stored for key, or unikv.ErrNotFound.
 func (c *Client) Get(key []byte) ([]byte, error) {
 	var v []byte
-	err := c.do(protocol.OpGet,
+	err := c.doIdempotent(protocol.OpGet,
 		func(buf []byte, id uint32) []byte { return protocol.AppendGet(buf, id, key) },
 		func(resp protocol.Response) error {
 			v = append([]byte(nil), resp.Value...)
@@ -264,7 +332,7 @@ func (c *Client) Delete(key []byte) error {
 // means "no count bound".
 func (c *Client) Scan(start, end []byte, limit int) ([]unikv.KV, error) {
 	var kvs []unikv.KV
-	err := c.do(protocol.OpScan,
+	err := c.doIdempotent(protocol.OpScan,
 		func(buf []byte, id uint32) []byte {
 			return protocol.AppendScan(buf, id, start, end, end == nil, limit)
 		},
@@ -328,7 +396,7 @@ func (c *Client) Apply(b *Batch) error {
 // counters and the engine metrics beneath them.
 func (c *Client) Stats() (server.Metrics, error) {
 	var m server.Metrics
-	err := c.do(protocol.OpStats, protocol.AppendStats,
+	err := c.doIdempotent(protocol.OpStats, protocol.AppendStats,
 		func(resp protocol.Response) error { return m.UnmarshalStats(resp.Stats) })
 	return m, err
 }

@@ -1,0 +1,229 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unikv"
+	"unikv/internal/protocol"
+	"unikv/internal/server"
+	"unikv/internal/vfs"
+)
+
+func key(i int) []byte { return []byte{'k', byte(i >> 8), byte(i)} }
+
+// flakyServer is a minimal protocol responder whose connections can be
+// made to die mid-request: when failRequests > 0, the next request frame
+// is read and the connection closed without a reply — the shape of a
+// server restart or a dropped TCP session between request and response.
+type flakyServer struct {
+	ln           net.Listener
+	failRequests atomic.Int32
+	frames       atomic.Int32 // request frames read, failed or answered
+	value        []byte
+}
+
+func startFlaky(t *testing.T) *flakyServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &flakyServer{ln: ln, value: []byte("flaky-value")}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(nc)
+		}
+	}()
+	return s
+}
+
+func (s *flakyServer) serve(nc net.Conn) {
+	defer nc.Close()
+	var buf []byte
+	for {
+		var err error
+		buf, err = protocol.ReadFrame(nc, buf[:0])
+		if err != nil {
+			return
+		}
+		s.frames.Add(1)
+		if s.failRequests.Load() > 0 {
+			s.failRequests.Add(-1)
+			return // die between request and response
+		}
+		req, err := protocol.DecodeRequest(buf)
+		if err != nil {
+			return
+		}
+		var resp []byte
+		if req.Op == protocol.OpGet {
+			resp = protocol.AppendOKValue(nil, req.ID, s.value)
+		} else {
+			resp = protocol.AppendOKEmpty(nil, req.ID)
+		}
+		if _, err := nc.Write(resp); err != nil {
+			return
+		}
+	}
+}
+
+// retryClientOpts pins the retry knobs the tests depend on: one pooled
+// connection (so a broken one is visibly replaced) and a fast backoff.
+func retryClientOpts() *Options {
+	return &Options{
+		PoolSize:     1,
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+	}
+}
+
+// TestRetryIdempotent drops the connection under a GET and under the
+// Dial-time PING; both must transparently succeed on a fresh connection.
+func TestRetryIdempotent(t *testing.T) {
+	s := startFlaky(t)
+
+	// Dial-time PING survives a dying first connection.
+	s.failRequests.Store(1)
+	c, err := Dial(s.ln.Addr().String(), retryClientOpts())
+	if err != nil {
+		t.Fatalf("Dial through a flaky connection: %v", err)
+	}
+	defer c.Close()
+
+	// GET: first attempt's connection dies mid-request, the retry answers.
+	before := s.frames.Load()
+	s.failRequests.Store(1)
+	v, err := c.Get([]byte("k"))
+	if err != nil {
+		t.Fatalf("Get through a flaky connection: %v", err)
+	}
+	if !bytes.Equal(v, s.value) {
+		t.Fatalf("Get = %q, want %q", v, s.value)
+	}
+	if got := s.frames.Load() - before; got != 2 {
+		t.Fatalf("server saw %d GET frames, want 2 (original + one retry)", got)
+	}
+}
+
+// TestRetryExhausted verifies the retry loop is bounded: with every
+// attempt's connection dying, the idempotent op fails after
+// 1 + MaxRetries attempts instead of spinning.
+func TestRetryExhausted(t *testing.T) {
+	s := startFlaky(t)
+	c, err := Dial(s.ln.Addr().String(), retryClientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	before := s.frames.Load()
+	s.failRequests.Store(100)
+	if _, err := c.Get([]byte("k")); err == nil {
+		t.Fatal("Get succeeded with every connection dying")
+	}
+	if got := s.frames.Load() - before; got != 3 {
+		t.Fatalf("server saw %d frames, want 3 (original + MaxRetries)", got)
+	}
+	s.failRequests.Store(0)
+}
+
+// TestWritesNeverRetried is the non-idempotence guard: a PUT whose
+// connection dies between request and response must surface the error
+// after exactly one attempt — the server may have committed it, and a
+// blind re-send could double-apply.
+func TestWritesNeverRetried(t *testing.T) {
+	s := startFlaky(t)
+	c, err := Dial(s.ln.Addr().String(), retryClientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, tc := range []struct {
+		name string
+		op   func() error
+	}{
+		{"put", func() error { return c.Put([]byte("k"), []byte("v")) }},
+		{"delete", func() error { return c.Delete([]byte("k")) }},
+		{"batch", func() error {
+			b := NewBatch()
+			b.Put([]byte("k"), []byte("v"))
+			return c.Apply(b)
+		}},
+	} {
+		before := s.frames.Load()
+		s.failRequests.Store(1)
+		if err := tc.op(); err == nil {
+			t.Fatalf("%s: no error from a connection that died mid-request", tc.name)
+		}
+		if got := s.frames.Load() - before; got != 1 {
+			t.Fatalf("%s: server saw %d frames, want exactly 1 (writes must not retry)", tc.name, got)
+		}
+	}
+}
+
+// TestDegradedEndToEnd trips the real engine into degraded read-only mode
+// behind a real server and checks the full surface: writes come back as
+// ErrDegraded (via the distinct wire status, not a generic failure), reads
+// keep serving, and STATS carries the degraded flag and cause.
+func TestDegradedEndToEnd(t *testing.T) {
+	ffs := vfs.NewFail(vfs.NewMem())
+	_, _, addr := startServer(t, &unikv.Options{
+		FS:                ffs,
+		MemtableSize:      2 << 10,
+		UnsortedLimit:     8 << 10,
+		MaxLogSize:        8 << 10,
+		BackgroundWorkers: 2,
+		JobRetries:        1,
+		RetryBaseDelay:    time.Millisecond,
+		RetryMaxDelay:     2 * time.Millisecond,
+	}, server.Options{})
+	c := dialClient(t, addr, nil)
+
+	if err := c.Put([]byte("pre-fault"), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	// Every sstable write now fails: the first background flush exhausts
+	// its retries and degrades the engine.
+	ffs.ArmPlan(vfs.FailPlan{Fail: -1, Kinds: vfs.OpWrite, Pattern: "*.sst"})
+	var writeErr error
+	for i := 0; i < 50000; i++ {
+		if writeErr = c.Put(key(i), bytes.Repeat([]byte("v"), 64)); writeErr != nil {
+			break
+		}
+	}
+	if writeErr == nil {
+		t.Fatal("writes never failed under a sticky background fault")
+	}
+	if !errors.Is(writeErr, unikv.ErrDegraded) {
+		t.Fatalf("client write error %v, want to match unikv.ErrDegraded", writeErr)
+	}
+
+	// Reads still serve while degraded.
+	if v, err := c.Get([]byte("pre-fault")); err != nil || string(v) != "ok" {
+		t.Fatalf("Get while degraded: %q, %v", v, err)
+	}
+	// STATS carries the mode and its cause to remote operators.
+	m, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats while degraded: %v", err)
+	}
+	if !m.Engine.Degraded || m.Engine.DegradedSince == 0 {
+		t.Fatalf("STATS not degraded: %+v", m.Engine)
+	}
+	if !strings.Contains(m.Engine.DegradedCause, "flush") {
+		t.Fatalf("DegradedCause=%q, want the failed job named", m.Engine.DegradedCause)
+	}
+	ffs.Disarm()
+}

@@ -38,6 +38,8 @@
 package unikv
 
 import (
+	"time"
+
 	"unikv/internal/core"
 	"unikv/internal/vfs"
 )
@@ -56,6 +58,33 @@ var ErrKeyTooLarge = core.ErrKeyTooLarge
 // the database directory (its LOCK file is flock'd). The lock is released
 // by Close and dies with the owning process.
 var ErrDBLocked = core.ErrDBLocked
+
+// ErrDegraded matches (via errors.Is) every error returned by writes once
+// the database has entered degraded read-only mode: a background
+// maintenance job failed terminally — its error classified as corruption,
+// or as transient and survived the bounded retries — so writes are
+// rejected while reads keep serving the still-consistent on-disk state.
+// Metrics reports the mode (Degraded, DegradedSince, DegradedCause);
+// reopening the database clears it.
+var ErrDegraded = core.ErrDegraded
+
+// ErrorClass partitions engine errors by the recovery action they permit:
+// transient errors may succeed when retried, corruption errors mean the
+// stored bytes are wrong (retrying is useless), fatal errors are
+// deterministic outcomes (closed, locked, degraded, oversized key).
+type ErrorClass = core.ErrorClass
+
+// Error classes returned by Classify.
+const (
+	ClassNone       = core.ClassNone
+	ClassTransient  = core.ClassTransient
+	ClassCorruption = core.ClassCorruption
+	ClassFatal      = core.ClassFatal
+)
+
+// Classify derives the ErrorClass of an error returned by this package
+// (writes, reads, VerifyIntegrity). Unknown errors classify as transient.
+func Classify(err error) ErrorClass { return core.Classify(err) }
 
 // CacheOff disables the block/value read cache when assigned to
 // Options.CacheBytes (0 means "use the default size").
@@ -114,6 +143,15 @@ type Options struct {
 	// is on by default: 0 selects the default size (32 MiB); CacheOff (any
 	// negative value) disables caching entirely.
 	CacheBytes int64
+	// JobRetries caps how many times a background maintenance job is
+	// retried on a transient error before the database enters degraded
+	// read-only mode (see ErrDegraded). Corruption is never retried.
+	// Default 3; negative disables retries.
+	JobRetries int
+	// RetryBaseDelay is the first retry's backoff; it doubles per retry
+	// (with jitter) up to RetryMaxDelay. Defaults 10ms and 1s.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
 
 	// Advanced / experiment knobs. Leave zero unless reproducing the
 	// paper's ablations.
@@ -150,6 +188,9 @@ func (o *Options) toCore() core.Options {
 		ValueThreshold:      o.ValueThreshold,
 		BackgroundWorkers:   o.BackgroundWorkers,
 		CacheBytes:          o.CacheBytes,
+		JobRetries:          o.JobRetries,
+		RetryBaseDelay:      o.RetryBaseDelay,
+		RetryMaxDelay:       o.RetryMaxDelay,
 		SyncWrites:          o.SyncWrites,
 		DisableWAL:          o.DisableWAL,
 		DisableHashIndex:    o.DisableHashIndex,
