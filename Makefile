@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race lint bench-smoke fault-sweep clean
+.PHONY: build test race lint bench-smoke fig-hotring fault-sweep clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,13 @@ $(BIN)/unikvlint: FORCE
 # One iteration per benchmark: compiles and runs them without measuring.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/bench/
+
+# The hot-key read layer experiment at full scale, regenerating the
+# committed trajectory artifact (bench/BENCH_fig-hotring.json). CI runs
+# the same experiment at smoke scale gated against the conservative
+# baseline bench/BENCH_smoke_fig-hotring.json (see bench/README.md).
+fig-hotring:
+	$(GO) run ./cmd/unikv-bench -exp fig-hotring -n 20000 -ops 30000 -json -json-dir bench
 
 # The systematic fault-injection sweep (short, strided profile). Set
 # UNIKV_FAULT_SWEEP=full to arm a fault at every op index (minutes).

@@ -5,7 +5,16 @@
 //	unikv-bench -list
 //	unikv-bench -exp fig7 [-n 200000] [-value 1024] [-ops 100000]
 //	unikv-bench -exp all
+//	unikv-bench -exp fig-hotring -json [-json-dir bench]
+//	unikv-bench -exp fig-hotring -baseline bench/BENCH_fig-hotring.json
 //	unikv-bench -net [-net-clients 8] [-net-sync] [-net-addr host:port]
+//
+// -json persists each experiment's machine-readable metrics as
+// BENCH_<experiment>.json (throughput and latency percentiles) — the
+// perf-trajectory artifacts committed under bench/. -baseline loads such
+// an artifact and exits non-zero if any current metric regressed more
+// than -baseline-tol (default 20%) against it; CI runs the smoke benches
+// under this gate.
 //
 // -net switches to the networked client-mode benchmark: concurrent
 // clients drive a unikv-server (in-process unless -net-addr points at a
@@ -20,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"unikv/internal/bench"
@@ -36,6 +46,11 @@ func main() {
 		stores    = flag.String("stores", "", "comma-separated store subset (default all)")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		bgWorkers = flag.Int("bg-workers", 0, "UniKV background maintenance workers (0 = inline)")
+
+		jsonOut  = flag.Bool("json", false, "write BENCH_<experiment>.json artifacts")
+		jsonDir  = flag.String("json-dir", ".", "directory for -json artifacts")
+		baseline = flag.String("baseline", "", "baseline BENCH_*.json to gate against")
+		baseTol  = flag.Float64("baseline-tol", 0.20, "fractional regression tolerance for -baseline")
 
 		netMode    = flag.Bool("net", false, "run the networked client benchmark instead of -exp")
 		netAddr    = flag.String("net-addr", "", "benchmark a running unikv-server ('' = in-process)")
@@ -88,9 +103,55 @@ func main() {
 			exps = append(exps, e)
 		}
 	}
+	var failed bool
 	for _, e := range exps {
-		for _, t := range e.Run(p) {
+		tables := e.Run(p)
+		for _, t := range tables {
 			fmt.Println(t.String())
 		}
+		metrics := bench.CollectMetrics(tables)
+		if len(metrics) == 0 {
+			continue
+		}
+		pd := p.WithDefaults()
+		if *jsonOut {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "json dir:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+e.ID+".json")
+			art := bench.Artifact{
+				Experiment: e.ID, N: pd.N, ValueSize: pd.ValueSize,
+				Ops: pd.Ops, Seed: pd.Seed, Metrics: metrics,
+			}
+			if err := bench.WriteArtifact(path, art); err != nil {
+				fmt.Fprintln(os.Stderr, "write artifact:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "wrote", path)
+		}
+		if *baseline != "" {
+			base, err := bench.ReadArtifact(*baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "baseline:", err)
+				os.Exit(1)
+			}
+			if base.Experiment != e.ID {
+				continue // the baseline gates a different experiment
+			}
+			if regs := bench.CompareBaseline(base.Metrics, metrics, *baseTol); len(regs) > 0 {
+				failed = true
+				fmt.Fprintf(os.Stderr, "REGRESSION vs %s:\n", *baseline)
+				for _, r := range regs {
+					fmt.Fprintln(os.Stderr, "  "+r)
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "baseline gate passed: %s within %.0f%% of %s\n",
+					e.ID, 100**baseTol, *baseline)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

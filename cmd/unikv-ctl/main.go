@@ -72,6 +72,11 @@ func main() {
 			fmt.Printf("  block hits/misses:   %d / %d\n", m.CacheBlockHits, m.CacheBlockMisses)
 			fmt.Printf("  value hits/misses:   %d / %d\n", m.CacheValueHits, m.CacheValueMisses)
 			fmt.Printf("  evictions:           %d\n", m.CacheEvictions)
+			fmt.Println("hot ring:")
+			fmt.Printf("  resident:            %d keys (%d bytes)\n", m.HotRingResident, m.HotRingResidentBytes)
+			fmt.Printf("  hits/misses:         %d / %d\n", m.HotRingHits, m.HotRingMisses)
+			fmt.Printf("  promotions:          %d\n", m.HotRingPromotions)
+			fmt.Printf("  invalidations:       %d\n", m.HotRingInvalidations)
 		})
 	case "get":
 		if flag.NArg() < 2 {

@@ -71,6 +71,21 @@ func (t *typed) bump() int64 {
 	return t.n.Load()
 }
 
+// The hot ring shard shape: a sampled tick counter bumped atomically on
+// every miss must never be consulted plainly.
+type ringShard struct {
+	missTick uint64
+	entries  int
+}
+
+func (s *ringShard) sampleMiss() bool {
+	return atomic.AddUint64(&s.missTick, 1)%8 == 0
+}
+
+func (s *ringShard) racySampleCheck() bool {
+	return s.missTick%8 == 0 // want `plain access to missTick`
+}
+
 // The escape hatch: single-goroutine init phase, justified and annotated.
 func (s *stats) resetBeforeServing() {
 	//unikv:allow(atomiccounter) called before any goroutine starts

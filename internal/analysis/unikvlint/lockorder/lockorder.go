@@ -2,6 +2,7 @@
 // (internal/core/db.go):
 //
 //	maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu
+//	  -> hotring.writerMu
 //
 // Within each function it replays the acquisition sequence in source order
 // and reports any acquisition of a lower-ranked mutex while a higher-ranked
@@ -28,7 +29,7 @@ import (
 	"unikv/internal/analysis/unikvlint/lintutil"
 )
 
-const docOrder = "maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu"
+const docOrder = "maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu -> hotring.writerMu"
 
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
@@ -45,15 +46,17 @@ type mutexRef struct {
 	key   string // textual receiver ("p.mu", "db.router") for pairing
 }
 
-var rankLabels = [...]string{"maintMu", "flushMu", "router.mu", "partition.mu", "logRefs.mu"}
+var rankLabels = [...]string{"maintMu", "flushMu", "router.mu", "partition.mu", "logRefs.mu", "hotring.writerMu"}
 
 var acquireMethods = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
 var releaseMethods = map[string]bool{"Unlock": true, "RUnlock": true}
 
 // classify resolves the receiver of a Lock/Unlock call to a ranked mutex.
-// maintMu, flushMu, router, and logRefs are identified by field name (the
-// latter two embed their mutex, so the lock method is called on the field
-// itself); partition.mu by a field named mu on a type named partition.
+// maintMu, flushMu, router, logRefs, and writerMu (the hot ring's per-shard
+// mutator lock — last rank: ring methods are called with core locks held
+// but never acquire one) are identified by field name (router and logRefs
+// embed their mutex, so the lock method is called on the field itself);
+// partition.mu by a field named mu on a type named partition.
 func classify(info *types.Info, recv ast.Expr) (mutexRef, bool) {
 	var fieldName string
 	var owner ast.Expr
@@ -76,6 +79,8 @@ func classify(info *types.Info, recv ast.Expr) (mutexRef, bool) {
 		rank = 2
 	case "logRefs":
 		rank = 4
+	case "writerMu":
+		rank = 5
 	case "mu":
 		if owner != nil {
 			if tv, ok := info.Types[owner]; ok && lintutil.NamedName(tv.Type) == "partition" {

@@ -1,5 +1,5 @@
 // Fixture: the documented lock hierarchy
-// maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu
+// maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu -> hotring.writerMu
 // replayed over local stand-ins (classification is by field name, so the
 // mutex types themselves need only Lock/Unlock-shaped methods).
 package core
@@ -121,6 +121,35 @@ func (db *DB) crossCallInversion(p *partition) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	db.flushLocked() // want `call to flushLocked acquires flushMu while partition\.mu is held`
+}
+
+// The hot ring's per-shard mutator lock (classified by field name, like
+// the engine's hotring.shard).
+type ringShard struct {
+	writerMu mutex
+	slots    int
+}
+
+// writerMu is the last rank: taking it under any core lock is clean.
+// This is the split-invalidation shape — ring mutated while the router
+// and the parent partition are still held.
+func (db *DB) splitInvalidate(p *partition, sh *ringShard) {
+	db.router.Lock()
+	defer db.router.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sh.writerMu.Lock()
+	defer sh.writerMu.Unlock()
+	doWork()
+}
+
+// But a ring mutator reaching back into the engine inverts: nothing
+// ranked may be acquired while writerMu is held.
+func (db *DB) ringReentry(p *partition, sh *ringShard) {
+	sh.writerMu.Lock()
+	defer sh.writerMu.Unlock()
+	p.mu.Lock() // want `acquires partition\.mu while hotring\.writerMu`
+	defer p.mu.Unlock()
 }
 
 // Intentional handoff to the caller, documented and annotated.

@@ -66,12 +66,16 @@ func (p Params) logf(format string, args ...any) {
 }
 
 // Table is one experiment artifact: the rows of a paper table or the
-// series of a paper figure.
+// series of a paper figure. Metrics carries the machine-readable
+// measurements behind the rows — the payload of BENCH_<name>.json and the
+// values the CI regression gate compares (experiments that predate the
+// gate leave it empty).
 type Table struct {
-	Title  string
-	Note   string
-	Header []string
-	Rows   [][]string
+	Title   string
+	Note    string
+	Header  []string
+	Rows    [][]string
+	Metrics []Metric
 }
 
 // String renders the table with aligned columns.

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Metric is one machine-readable measurement backing a table — the unit a
+// committed baseline is compared against. Names are stable identifiers
+// ("fig-hotring/ycsb-c/c8/on/kops"), not display strings.
+type Metric struct {
+	Name string `json:"name"`
+	// Unit is the measurement unit ("kops", "us", "pct").
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+	// Better is "higher" or "lower" — the direction that counts as an
+	// improvement, which orients the regression comparison.
+	Better string `json:"better"`
+}
+
+// Artifact is the persisted form of one experiment run: the parameters it
+// ran at plus every metric it measured (BENCH_<experiment>.json).
+type Artifact struct {
+	Experiment string   `json:"experiment"`
+	N          int      `json:"n"`
+	ValueSize  int      `json:"value_size"`
+	Ops        int      `json:"ops"`
+	Seed       int64    `json:"seed"`
+	Metrics    []Metric `json:"metrics"`
+}
+
+// WriteArtifact persists a to path as indented JSON.
+func WriteArtifact(path string, a Artifact) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadArtifact loads a baseline artifact from path.
+func ReadArtifact(path string) (Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Artifact{}, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return Artifact{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// CompareBaseline reports every metric of cur that regressed beyond tol
+// (e.g. 0.20 = 20%) against the same-named metric in base. Metrics present
+// on only one side are ignored — a baseline survives adding measurements.
+// Lower-is-better metrics regress upward, higher-is-better ones downward.
+func CompareBaseline(base, cur []Metric, tol float64) []string {
+	byName := make(map[string]Metric, len(base))
+	for _, m := range base {
+		byName[m.Name] = m
+	}
+	var regressions []string
+	for _, m := range cur {
+		b, ok := byName[m.Name]
+		if !ok || b.Value == 0 {
+			continue
+		}
+		switch m.Better {
+		case "lower":
+			if m.Value > b.Value*(1+tol) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.2f%s vs baseline %.2f%s (+%.0f%%, tolerance %.0f%%)",
+					m.Name, m.Value, m.Unit, b.Value, b.Unit,
+					100*(m.Value/b.Value-1), 100*tol))
+			}
+		default: // "higher"
+			if m.Value < b.Value*(1-tol) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.2f%s vs baseline %.2f%s (-%.0f%%, tolerance %.0f%%)",
+					m.Name, m.Value, m.Unit, b.Value, b.Unit,
+					100*(1-m.Value/b.Value), 100*tol))
+			}
+		}
+	}
+	return regressions
+}
+
+// CollectMetrics flattens the metrics of every table an experiment
+// produced, in order.
+func CollectMetrics(tables []Table) []Metric {
+	var out []Metric
+	for _, t := range tables {
+		out = append(out, t.Metrics...)
+	}
+	return out
+}

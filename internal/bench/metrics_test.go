@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareBaseline(t *testing.T) {
+	base := []Metric{
+		{Name: "x/kops", Unit: "kops", Value: 100, Better: "higher"},
+		{Name: "x/p99", Unit: "us", Value: 50, Better: "lower"},
+		{Name: "gone", Unit: "kops", Value: 1, Better: "higher"},
+	}
+	cur := []Metric{
+		{Name: "x/kops", Unit: "kops", Value: 85, Better: "higher"}, // -15%: within 20%
+		{Name: "x/p99", Unit: "us", Value: 55, Better: "lower"},     // +10%: within 20%
+		{Name: "new", Unit: "kops", Value: 5, Better: "higher"},     // not in baseline
+	}
+	if regs := CompareBaseline(base, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+
+	cur[0].Value = 70  // -30% throughput
+	cur[1].Value = 120 // +140% latency
+	regs := CompareBaseline(base, cur, 0.20)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regs)
+	}
+	if !strings.Contains(regs[0], "x/kops") || !strings.Contains(regs[1], "x/p99") {
+		t.Fatalf("regressions misattributed: %v", regs)
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	in := Artifact{
+		Experiment: "test", N: 100, ValueSize: 64, Ops: 50, Seed: 1,
+		Metrics: []Metric{{Name: "a/kops", Unit: "kops", Value: 12.5, Better: "higher"}},
+	}
+	if err := WriteArtifact(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Experiment != in.Experiment || len(out.Metrics) != 1 || out.Metrics[0] != in.Metrics[0] {
+		t.Fatalf("round trip diverged: %+v", out)
+	}
+}

@@ -37,6 +37,7 @@ func init() {
 	register("fig-scanopt", "scan optimization breakdown", FigScanOpt)
 	register("fig-latency", "per-op latency: inline vs background maintenance", FigLatency)
 	register("fig-cache", "read cache: hit rate and throughput vs cache size", FigCache)
+	register("fig-hotring", "hot-key read layer: zipfian p50/p99 vs clients, ring on/off", FigHotRing)
 }
 
 // Lookup finds an experiment by ID.

@@ -202,6 +202,39 @@ func (c *Cache) Add(k Key, data []byte) {
 	c.evictions.Add(evicted)
 }
 
+// AddCold inserts data under k only if the shard has free space for it —
+// unlike Add, it never evicts a resident entry to make room. This is the
+// admission-filter half of the hot-ring feedback loop: a point read whose
+// key carries no frequency signal yet (not sampled twice by the hot ring)
+// admits cold, so a pass over rarely-read keys fills spare capacity but
+// cannot flush the established hot set out of the LRU.
+func (c *Cache) AddCold(k Key, data []byte) {
+	if c == nil {
+		return
+	}
+	charge := int64(len(data)) + entryOverhead
+	s := c.shardFor(k)
+	if charge > s.capacity/2 {
+		return
+	}
+	s.mu.Lock()
+	if el, ok := s.table[k]; ok {
+		// Same key re-inserted (two racing misses): keep the resident copy.
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	if s.used+charge > s.capacity {
+		s.mu.Unlock()
+		return
+	}
+	s.table[k] = s.lru.PushFront(&entry{key: k, data: data})
+	s.used += charge
+	s.mu.Unlock()
+	c.bytes.Add(charge)
+	c.entries.Add(1)
+}
+
 // evictMatching removes every entry for which match returns true.
 func (c *Cache) evictMatching(match func(Key) bool) {
 	if c == nil {

@@ -70,6 +70,7 @@ func (db *DB) ApplyBatch(b *Batch) error {
 		}
 	}
 	pending := b.ops
+	retries := 0
 	for len(pending) > 0 {
 		p := db.partitionFor(pending[0].Key)
 		if err := db.throttle(p); err != nil {
@@ -78,8 +79,12 @@ func (db *DB) ApplyBatch(b *Batch) error {
 		p.mu.Lock()
 		if !p.covers(pending[0].Key) {
 			p.mu.Unlock()
+			if retries++; retries >= maxRouteRetries {
+				return classified(ErrRouterInconsistent)
+			}
 			continue // split raced; re-route
 		}
+		retries = 0 // progress on a partition resets the budget
 		// Split pending into this partition's ops (order preserved) and
 		// the rest.
 		var mine, rest []record.Record
@@ -92,6 +97,12 @@ func (db *DB) ApplyBatch(b *Batch) error {
 		}
 		wantSplit, err := p.putBatch(mine)
 		p.mu.Unlock()
+		// Hot-ring staleness protocol: every written key is invalidated
+		// after the batch applied, before it is acknowledged (also on
+		// error — a partial application must not leave hot entries).
+		for i := range mine {
+			db.hot.Invalidate(mine[i].Key)
+		}
 		if err != nil {
 			return classified(err)
 		}

@@ -11,6 +11,7 @@ import (
 
 	"unikv/internal/cache"
 	"unikv/internal/codec"
+	"unikv/internal/hotring"
 	"unikv/internal/manifest"
 	"unikv/internal/sstable"
 	"unikv/internal/vfs"
@@ -48,11 +49,19 @@ type DB struct {
 	// it via its options.
 	cache *cache.Cache
 
+	// hot is the hot-key read layer (nil when HotRingEntries is
+	// HotRingOff): the single-probe fast path consulted by Get before
+	// partition routing. Writes and deletes invalidate per key; a split
+	// invalidates the handed-over range. Its per-shard writerMu is the last
+	// rank of the lock order below.
+	hot *hotring.Ring
+
 	seq      atomic.Uint64
 	nextFile atomic.Uint64
 
 	// router orders partitions by lower boundary key. Lock order:
 	// maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu
+	//   -> hotring.writerMu
 	// (the first two exist per partition and only matter with
 	// BackgroundWorkers > 0; see scheduler.go).
 	router struct {
@@ -139,6 +148,17 @@ type StatsSnapshot struct {
 	CacheEvictions   int64
 	CacheBytes       int64
 	CacheEntries     int64
+
+	// Hot-ring counters (all zero when the hot ring is disabled).
+	// Hits/Misses count Get probes; Promotions counts installs;
+	// Invalidations counts resident entries dropped by writes, deletes,
+	// and splits. Resident/ResidentBytes gauge current occupancy.
+	HotRingHits          int64
+	HotRingMisses        int64
+	HotRingPromotions    int64
+	HotRingInvalidations int64
+	HotRingResident      int64
+	HotRingResidentBytes int64
 }
 
 // file-name helpers -----------------------------------------------------
@@ -201,6 +221,15 @@ func Open(dir string, opts Options) (*DB, error) {
 	db.nextFile.Store(state.NextFileNum)
 	db.seq.Store(state.LastSeq)
 	db.cache = cache.New(opts.CacheBytes, 0)
+	if opts.HotRingEntries > 0 {
+		db.hot = hotring.New(hotring.Config{
+			Entries:      opts.HotRingEntries,
+			Shards:       opts.HotRingShards,
+			MaxValue:     opts.HotRingMaxValue,
+			SampleEvery:  opts.HotRingSampleEvery,
+			PromoteAfter: opts.HotRingPromoteAfter,
+		})
+	}
 
 	vl, err := vlog.Open(db.fs, db.vlogDir(), vlog.Options{MaxLogSize: opts.MaxLogSize, Cache: db.cache})
 	if err != nil {
@@ -687,6 +716,13 @@ func (db *DB) Metrics() StatsSnapshot {
 	s.CacheEvictions = cs.Evictions
 	s.CacheBytes = cs.Bytes
 	s.CacheEntries = cs.Entries
+	hs := db.hot.Snapshot()
+	s.HotRingHits = hs.Hits
+	s.HotRingMisses = hs.Misses
+	s.HotRingPromotions = hs.Promotions
+	s.HotRingInvalidations = hs.Invalidations
+	s.HotRingResident = hs.Resident
+	s.HotRingResidentBytes = hs.ResidentBytes
 	return s
 }
 

@@ -37,6 +37,15 @@ import (
 // from the last committed state).
 var ErrDegraded = errors.New("unikv: database degraded (read-only)")
 
+// ErrRouterInconsistent is returned when an operation re-routed more than
+// maxRouteRetries times because partitionFor and the chosen partition's
+// covers disagreed every time. Under correct operation a re-route happens
+// only when a concurrent split moves a boundary between the route and the
+// lock, which cannot recur dozens of times for one key; sustained
+// disagreement means the router's boundary invariant is broken, and
+// spinning forever (the pre-bound behavior) would hang the caller.
+var ErrRouterInconsistent = errors.New("unikv: router/partition bounds inconsistent")
+
 // ErrorClass partitions engine errors by the recovery action they permit.
 type ErrorClass uint8
 
@@ -123,7 +132,8 @@ func Classify(err error) ErrorClass {
 		errors.Is(err, ErrDegraded),
 		errors.Is(err, ErrDBLocked),
 		errors.Is(err, ErrNotFound),
-		errors.Is(err, ErrKeyTooLarge):
+		errors.Is(err, ErrKeyTooLarge),
+		errors.Is(err, ErrRouterInconsistent):
 		return ClassFatal
 	}
 	return ClassTransient

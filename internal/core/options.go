@@ -15,6 +15,10 @@ import (
 // Options.CacheBytes (0 means "use the default size").
 const CacheOff = -1
 
+// HotRingOff disables the hot-key read layer when assigned to
+// Options.HotRingEntries (0 means "use the default size").
+const HotRingOff = -1
+
 // Options tunes the engine. The zero value is usable; Sanitize fills
 // defaults matching the paper's configuration scaled to test sizes.
 type Options struct {
@@ -87,6 +91,24 @@ type Options struct {
 	// the default size (32 MiB); a negative value (CacheOff) disables
 	// caching entirely, restoring the uncached read path byte for byte.
 	CacheBytes int64
+	// HotRingEntries sizes the hot-key read layer (internal/hotring): the
+	// total slot count of the sharded, lock-free structure that serves the
+	// hottest keys in a single probe before partition routing. On by
+	// default: 0 selects the default size (4096 slots); a negative value
+	// (HotRingOff) disables the layer, restoring the bare tiered read path.
+	HotRingEntries int
+	// HotRingShards is the hot ring's shard count (rounded up to a power
+	// of two). Default 16.
+	HotRingShards int
+	// HotRingMaxValue is the largest value (bytes) the hot ring admits;
+	// larger values always take the tiered path. Default 4096.
+	HotRingMaxValue int
+	// HotRingSampleEvery is the miss-sampling period: every n-th ring miss
+	// records its key as a promotion candidate. Default 8.
+	HotRingSampleEvery int
+	// HotRingPromoteAfter is the sampled miss count at which a key is
+	// promoted into the ring. Default 2.
+	HotRingPromoteAfter int
 
 	// Ablation toggles (experiment fig11). Each disables one of the
 	// paper's techniques.
@@ -171,6 +193,12 @@ func (o Options) Sanitize() Options {
 	} else if o.CacheBytes < 0 {
 		o.CacheBytes = 0 // CacheOff: post-Sanitize 0 means disabled
 	}
+	if o.HotRingEntries == 0 {
+		o.HotRingEntries = 4096
+	} else if o.HotRingEntries < 0 {
+		o.HotRingEntries = 0 // HotRingOff: post-Sanitize 0 means disabled
+	}
+	// The remaining HotRing* knobs default inside hotring.Config.
 	if o.FS == nil {
 		o.FS = vfs.NewOS()
 	}

@@ -7,55 +7,80 @@ import (
 	"unikv/internal/record"
 )
 
+// maxRouteRetries bounds the route→lock→covers dance in Get, Scan, apply,
+// and ApplyBatch. A re-route is legitimate only when a concurrent split
+// moves a boundary between partitionFor and the partition lock; that
+// cannot recur this many times for one key, so exhausting the bound means
+// the router is inconsistent (see ErrRouterInconsistent) — fail instead of
+// spinning forever.
+const maxRouteRetries = 64
+
 // Get returns the value stored for key, or ErrNotFound.
 //
-// Read path (paper §Design): memtable → UnsortedStore via the hash index →
-// SortedStore via boundary-key binary search; a pointer record is then
-// dereferenced into the value log.
+// Read path (paper §Design): hot ring (single probe, lock-free) →
+// memtable → UnsortedStore via the hash index → SortedStore via
+// boundary-key binary search; a pointer record is then dereferenced into
+// the value log. A ring miss takes a promotion token BEFORE the tiered
+// lookup so the value it reads can be installed without ever serving a
+// concurrently overwritten value (see internal/hotring).
 func (db *DB) Get(key []byte) ([]byte, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
 	db.stats.Gets.Add(1)
-	for {
+	if val, ok := db.hot.Get(key); ok {
+		return val, nil
+	}
+	tok := db.hot.BeginMiss(key)
+	// Without the ring there is no frequency signal: every point read stays
+	// "warm" so cache admission behaves exactly as before the hot layer.
+	warm := tok.Warm || db.hot == nil
+	for tries := 0; tries < maxRouteRetries; tries++ {
 		p := db.partitionFor(key)
 		p.mu.RLock()
 		if !p.covers(key) {
 			p.mu.RUnlock()
 			continue
 		}
-		val, err := p.getLocked(key)
+		val, err := p.getLocked(key, warm)
 		p.mu.RUnlock()
+		if err == nil && tok.Promote {
+			db.hot.Install(tok, key, val)
+		}
 		return val, err
 	}
+	return nil, classified(ErrRouterInconsistent)
 }
 
-// getLocked performs the tiered lookup. Requires p.mu held (read).
-func (p *partition) getLocked(key []byte) ([]byte, error) {
+// getLocked performs the tiered lookup. warm is the hot ring's cache
+// admission hint for a value-log dereference. Requires p.mu held (read).
+func (p *partition) getLocked(key []byte, warm bool) ([]byte, error) {
 	if rec, ok := p.mem.Get(key); ok {
-		return p.resolve(rec)
+		return p.resolve(rec, warm)
 	}
 	// Frozen memtables awaiting background flush, newest first.
 	for i := len(p.imm) - 1; i >= 0; i-- {
 		if rec, ok := p.imm[i].Get(key); ok {
-			return p.resolve(rec)
+			return p.resolve(rec, warm)
 		}
 	}
 	if rec, ok, err := p.uns.Get(key); err != nil {
 		return nil, err
 	} else if ok {
-		return p.resolve(rec)
+		return p.resolve(rec, warm)
 	}
 	if rec, ok, err := p.srt.Get(key); err != nil {
 		return nil, err
 	} else if ok {
-		return p.resolve(rec)
+		return p.resolve(rec, warm)
 	}
 	return nil, ErrNotFound
 }
 
-// resolve materializes a record into its user value.
-func (p *partition) resolve(rec record.Record) ([]byte, error) {
+// resolve materializes a record into its user value. warm gates value-cache
+// admission on a log read: a key the hot ring has sampled at least twice
+// may evict cache residents, a cold one is admitted only into free space.
+func (p *partition) resolve(rec record.Record, warm bool) ([]byte, error) {
 	switch rec.Kind {
 	case record.KindDelete:
 		return nil, ErrNotFound
@@ -66,9 +91,9 @@ func (p *partition) resolve(rec record.Record) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		// vl.Read returns a freshly allocated (or prefetch-copied) buffer;
-		// no further copy is needed.
-		return p.db.vl.Read(ptr)
+		// vl.ReadHinted returns a freshly allocated (or prefetch-copied)
+		// buffer; no further copy is needed.
+		return p.db.vl.ReadHinted(ptr, warm)
 	}
 	return nil, codec.ErrCorrupt
 }
@@ -99,13 +124,18 @@ func (db *DB) Scan(start, end []byte, limit int) ([]KV, error) {
 	db.stats.Scans.Add(1)
 	var out []KV
 	cursor := start
+	retries := 0
 	for {
 		p := db.partitionFor(cursor)
 		p.mu.RLock()
 		if !p.covers(cursor) {
 			p.mu.RUnlock()
+			if retries++; retries >= maxRouteRetries {
+				return nil, classified(ErrRouterInconsistent)
+			}
 			continue
 		}
+		retries = 0 // advancing to the next partition resets the budget
 		want := 0
 		if limit > 0 {
 			want = limit - len(out)

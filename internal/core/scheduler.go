@@ -24,6 +24,7 @@ import (
 // with a long merge build. Lock order with the pool:
 //
 //	maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu
+//	  -> hotring.writerMu
 //
 // A job error is classified (see errors.go) before it can do damage: a
 // transient error is retried with bounded exponential backoff + jitter

@@ -256,6 +256,12 @@ func (db *DB) splitPartition(parent *partition) error {
 	parts[pos] = child
 	db.router.parts = parts
 
+	// Drop the handed-over range [boundary, child.upper) from the hot ring:
+	// its heat belongs to the child now, and a ranged handoff must never
+	// leave hits behind (hotring.writerMu is the last lock rank, safe under
+	// router.mu + parent.mu held here).
+	db.hot.InvalidateRange(boundary, child.upper)
+
 	// Delete replaced files.
 	for _, t := range oldUnsorted {
 		t.Reader.Close()

@@ -54,7 +54,7 @@ func (db *DB) apply(key, value []byte, kind record.Kind) error {
 		return ErrKeyTooLarge
 	}
 	rec := copyRecord(key, value, db.seq.Add(1), kind)
-	for {
+	for tries := 0; tries < maxRouteRetries; tries++ {
 		p := db.partitionFor(key)
 		if err := db.throttle(p); err != nil {
 			return err
@@ -66,6 +66,10 @@ func (db *DB) apply(key, value []byte, kind record.Kind) error {
 		}
 		wantSplit, err := p.put(rec)
 		p.mu.Unlock()
+		// Invalidate after the write applied, before it is acknowledged —
+		// the hot ring's staleness protocol (also on error: the write may
+		// have partially applied, and dropping a hot entry is always safe).
+		db.hot.Invalidate(key)
 		if err != nil {
 			return classified(err)
 		}
@@ -77,6 +81,7 @@ func (db *DB) apply(key, value []byte, kind record.Kind) error {
 		}
 		return nil
 	}
+	return classified(ErrRouterInconsistent)
 }
 
 // Flush forces the partition memtables to disk (tests, benchmarks, and

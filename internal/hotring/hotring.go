@@ -1,0 +1,373 @@
+// Package hotring is the hot-key read layer: a sharded, direct-mapped hash
+// structure that serves the hottest keys of a skewed workload in a single
+// memory probe, before the engine's tiered lookup (partition router →
+// memtable → hash index → sorted run → value log) is even entered.
+//
+// The design follows the observation behind HotRing and the F2/FASTER line
+// of work: real traffic is zipfian, so a small resident set absorbs most
+// reads if it can be served in O(1) without locks. Readers never take a
+// lock — resident entries are published through atomic pointers and are
+// immutable once published (RCU-style: writers replace, never mutate).
+// Per-shard writer mutexes serialize only the mutators (promotion,
+// invalidation), which are orders of magnitude rarer than hits.
+//
+// # Frequency tracking and promotion
+//
+// Every miss ticks a per-shard sampled counter; every sampleEvery-th miss
+// records the key in a small bounded candidate table. A key whose sampled
+// count reaches promoteAfter is promoted: the *next* miss for it carries a
+// promotion token through the slow-path read and installs the freshly read
+// value. Slots are direct-mapped (hash → one slot), so a promotion into an
+// occupied slot is a frequency duel: the challenger must out-count the
+// resident, and a failed challenge halves the resident's count (aging), so
+// a shifted hot set converges instead of wedging.
+//
+// # Invalidation protocol (why a stale hit is impossible)
+//
+// The engine invalidates a key on every write or delete of that key after
+// the write is applied and before it is acknowledged. Invalidation bumps
+// the key's slot version and clears the slot — under the shard's writer
+// mutex. Promotion is tagged: the token captures the slot version BEFORE
+// the slow-path read begins, and the install re-checks it under the same
+// mutex. The two orders that exist are therefore both safe:
+//
+//   - invalidation before install: the version changed, the install aborts;
+//   - install before invalidation: the invalidation clears the entry.
+//
+// If the version still matches at install time, the bump (and hence the
+// conflicting write's apply, which happens-before its invalidation) had
+// not happened when the token was taken, so the slow-path read — which
+// starts after the token — ran strictly before or after the write, and a
+// racing write's invalidation lands after the install and clears it.
+// Background maintenance (merge, scan merge, GC) moves values between
+// files but never changes the logical key→value mapping, and entries hold
+// materialized values — not file or log pointers — so maintenance cannot
+// make an entry stale; a partition split hands a key range to a new
+// partition, and the engine drops that range from the ring (the range's
+// heat belongs to the new owner — and once shards migrate between nodes,
+// the handoff must not leave hits behind).
+package hotring
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// Config sizes a Ring. The zero value is completed by New.
+type Config struct {
+	// Entries is the total slot count across all shards (rounded up so
+	// each shard holds a power-of-two number of slots). Default 4096.
+	Entries int
+	// Shards is the number of independently locked shards. Default 16,
+	// rounded up to a power of two.
+	Shards int
+	// MaxValue is the largest value (bytes) admitted to the ring; larger
+	// values always take the slow path. Default 4096.
+	MaxValue int
+	// SampleEvery is the miss-sampling period: every SampleEvery-th miss
+	// in a shard records its key in the candidate table. Default 8.
+	SampleEvery int
+	// PromoteAfter is the sampled count at which a candidate key starts
+	// carrying promotion tokens. Default 2.
+	PromoteAfter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Entries <= 0 {
+		c.Entries = 4096
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.MaxValue <= 0 {
+		c.MaxValue = 4096
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 8
+	}
+	if c.PromoteAfter <= 0 {
+		c.PromoteAfter = 2
+	}
+	return c
+}
+
+// entry is one resident hot key. Immutable after publication: mutators
+// replace the slot pointer, never the fields (freq is the one exception —
+// it is atomic and purely advisory).
+type entry struct {
+	key   []byte
+	value []byte
+	freq  atomic.Int64
+}
+
+// maxCandidates bounds each shard's candidate table; at the default 16
+// shards that is 1024 tracked keys, plenty above any realistic slot count
+// per shard. When full, the table is decayed rather than grown.
+const maxCandidates = 64
+
+// shard is one independently locked region of the ring. Readers touch only
+// slots and versions (atomics); writerMu serializes promotion,
+// invalidation, and the candidate table.
+type shard struct {
+	slots    []atomic.Pointer[entry]
+	versions []atomic.Uint64 // bumped on invalidation of the slot
+	missTick atomic.Uint64   // sampling clock
+
+	// writerMu is the last rank of the engine's documented lock order (held
+	// after any core mutex, never while acquiring one; see
+	// internal/core/db.go and DESIGN.md §5h).
+	writerMu sync.Mutex
+	cand     map[string]int // sampled miss counts (under writerMu)
+}
+
+// Ring is the hot-key layer shared by one DB. A nil *Ring is valid and
+// behaves as "always miss, never promote" — the disabled state.
+type Ring struct {
+	shards    []shard
+	shardMask uint64
+	slotMask  uint64 // per-shard slot index mask
+
+	maxValue     int
+	sampleEvery  uint64
+	promoteAfter int
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	promotions    atomic.Int64
+	invalidations atomic.Int64
+	resident      atomic.Int64
+	residentBytes atomic.Int64
+}
+
+// New builds a Ring for cfg. Entries <= 0 after defaulting is impossible,
+// so New never returns nil; callers model "off" with a nil *Ring.
+func New(cfg Config) *Ring {
+	cfg = cfg.withDefaults()
+	nShards := 1
+	for nShards < cfg.Shards {
+		nShards <<= 1
+	}
+	perShard := 1
+	for perShard*nShards < cfg.Entries {
+		perShard <<= 1
+	}
+	r := &Ring{
+		shards:       make([]shard, nShards),
+		shardMask:    uint64(nShards - 1),
+		slotMask:     uint64(perShard - 1),
+		maxValue:     cfg.MaxValue,
+		sampleEvery:  uint64(cfg.SampleEvery),
+		promoteAfter: cfg.PromoteAfter,
+	}
+	for i := range r.shards {
+		r.shards[i].slots = make([]atomic.Pointer[entry], perShard)
+		r.shards[i].versions = make([]atomic.Uint64, perShard)
+		r.shards[i].cand = make(map[string]int, maxCandidates)
+	}
+	return r
+}
+
+// hash is the 64-bit FNV-1a of key (inlined; this is the single probe's
+// only arithmetic).
+func hash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// locate splits a key's hash into its shard and slot index.
+func (r *Ring) locate(key []byte) (*shard, uint64) {
+	h := hash(key)
+	return &r.shards[h&r.shardMask], (h >> 16) & r.slotMask
+}
+
+// Get serves key from the ring if it is resident. The returned slice is a
+// private copy. This is the single-probe fast path: one hash, one atomic
+// load, one key compare.
+func (r *Ring) Get(key []byte) ([]byte, bool) {
+	if r == nil {
+		return nil, false
+	}
+	s, slot := r.locate(key)
+	e := s.slots[slot].Load()
+	if e == nil || !bytes.Equal(e.key, key) {
+		r.misses.Add(1)
+		return nil, false
+	}
+	e.freq.Add(1)
+	r.hits.Add(1)
+	return append([]byte(nil), e.value...), true
+}
+
+// Token carries a miss's promotion state through the slow-path read. The
+// zero Token never promotes (and is what a nil Ring hands out).
+type Token struct {
+	// Promote is set when the key's sampled frequency crossed the
+	// promotion threshold: the caller should offer the value it reads to
+	// Install.
+	Promote bool
+	// Warm is set when the key has been sampled before — the cache
+	// admission hint (a warm key's value is worth keeping resident even
+	// if it has not yet earned a ring slot).
+	Warm bool
+	// version is the key's slot version before the slow-path read began;
+	// Install re-checks it so a concurrent write aborts the promotion.
+	version uint64
+	// freq is the sampled count backing a promotion duel.
+	freq int
+}
+
+// BeginMiss records a miss for key and returns the token the caller
+// threads through its slow-path read. Must be called BEFORE the slow-path
+// lookup reads any engine state: the token's version fence is what makes a
+// later Install safe.
+func (r *Ring) BeginMiss(key []byte) Token {
+	if r == nil {
+		return Token{}
+	}
+	s, slot := r.locate(key)
+	tok := Token{version: s.versions[slot].Load()}
+	if s.missTick.Add(1)%r.sampleEvery != 0 {
+		return tok
+	}
+	s.writerMu.Lock()
+	if len(s.cand) >= maxCandidates {
+		// Decay instead of evicting: halve every count, drop the cold.
+		for k, c := range s.cand {
+			if c /= 2; c == 0 {
+				delete(s.cand, k)
+			} else {
+				s.cand[k] = c
+			}
+		}
+	}
+	s.cand[string(key)]++
+	tok.freq = s.cand[string(key)]
+	tok.Warm = tok.freq >= 2
+	tok.Promote = tok.freq >= r.promoteAfter
+	s.writerMu.Unlock()
+	return tok
+}
+
+// Install publishes value for key if the promotion is still safe (no
+// invalidation hit the slot since tok was taken) and the key wins its
+// slot. value must be the result of the slow-path read that tok was
+// threaded through; it is copied. Reports whether the entry was installed.
+func (r *Ring) Install(tok Token, key, value []byte) bool {
+	if r == nil || !tok.Promote || len(value) > r.maxValue {
+		return false
+	}
+	s, slot := r.locate(key)
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	if s.versions[slot].Load() != tok.version {
+		return false // a write raced the slow-path read; its value may be stale
+	}
+	if cur := s.slots[slot].Load(); cur != nil && !bytes.Equal(cur.key, key) {
+		// Frequency duel for the slot; losing ages the resident so a
+		// shifted hot set eventually displaces it.
+		if int64(tok.freq) <= cur.freq.Load() {
+			cur.freq.Store(cur.freq.Load() / 2)
+			return false
+		}
+	}
+	e := &entry{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	}
+	e.freq.Store(int64(tok.freq))
+	r.accountReplace(s.slots[slot].Swap(e), e)
+	r.promotions.Add(1)
+	delete(s.cand, string(key))
+	return true
+}
+
+// Invalidate drops key's resident entry (if any) and bumps its slot
+// version so any in-flight promotion of a concurrently read value aborts.
+// The engine calls it after applying a write or delete of key, before
+// acknowledging it.
+func (r *Ring) Invalidate(key []byte) {
+	if r == nil {
+		return
+	}
+	s, slot := r.locate(key)
+	s.writerMu.Lock()
+	s.versions[slot].Add(1)
+	if cur := s.slots[slot].Load(); cur != nil && bytes.Equal(cur.key, key) {
+		r.accountReplace(s.slots[slot].Swap(nil), nil)
+		r.invalidations.Add(1)
+	}
+	s.writerMu.Unlock()
+}
+
+// InvalidateRange drops every resident entry with lower <= key < upper
+// (nil upper = +inf), bumping each dropped entry's slot version. The
+// engine calls it when a partition split hands [lower, upper) to a new
+// partition: the range's heat belongs to the new owner, and once shards
+// migrate between nodes a handoff must not leave hits behind.
+func (r *Ring) InvalidateRange(lower, upper []byte) {
+	if r == nil {
+		return
+	}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.writerMu.Lock()
+		for slot := range s.slots {
+			cur := s.slots[slot].Load()
+			if cur == nil {
+				continue
+			}
+			if bytes.Compare(cur.key, lower) < 0 {
+				continue
+			}
+			if upper != nil && bytes.Compare(cur.key, upper) >= 0 {
+				continue
+			}
+			s.versions[slot].Add(1)
+			r.accountReplace(s.slots[slot].Swap(nil), nil)
+			r.invalidations.Add(1)
+		}
+		s.writerMu.Unlock()
+	}
+}
+
+// accountReplace maintains the residency gauges across a slot swap.
+// Requires the shard's writerMu.
+func (r *Ring) accountReplace(old, new *entry) {
+	if old != nil {
+		r.resident.Add(-1)
+		r.residentBytes.Add(-int64(len(old.key) + len(old.value)))
+	}
+	if new != nil {
+		r.resident.Add(1)
+		r.residentBytes.Add(int64(len(new.key) + len(new.value)))
+	}
+}
+
+// Stats is a point-in-time copy of the ring counters and gauges.
+type Stats struct {
+	Hits, Misses  int64
+	Promotions    int64
+	Invalidations int64
+	Resident      int64
+	ResidentBytes int64
+}
+
+// Snapshot returns the counters; a nil Ring reports zeros.
+func (r *Ring) Snapshot() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:          r.hits.Load(),
+		Misses:        r.misses.Load(),
+		Promotions:    r.promotions.Load(),
+		Invalidations: r.invalidations.Load(),
+		Resident:      r.resident.Load(),
+		ResidentBytes: r.residentBytes.Load(),
+	}
+}

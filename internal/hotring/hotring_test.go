@@ -1,0 +1,224 @@
+package hotring
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// promote drives key through the miss→candidate→install cycle until it is
+// resident (or the attempt budget runs out).
+func promote(t *testing.T, r *Ring, key, value []byte) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if _, ok := r.Get(key); ok {
+			return
+		}
+		tok := r.BeginMiss(key)
+		if tok.Promote {
+			r.Install(tok, key, value)
+		}
+	}
+	t.Fatalf("key %q never promoted", key)
+}
+
+func TestGetMissThenPromote(t *testing.T) {
+	r := New(Config{Entries: 64, Shards: 2, SampleEvery: 1, PromoteAfter: 2})
+	key, val := []byte("k1"), []byte("v1")
+	if _, ok := r.Get(key); ok {
+		t.Fatal("hit on empty ring")
+	}
+	tok := r.BeginMiss(key)
+	if tok.Promote {
+		t.Fatal("promoted on first sampled miss with PromoteAfter=2")
+	}
+	tok = r.BeginMiss(key)
+	if !tok.Promote || !tok.Warm {
+		t.Fatalf("second sampled miss should promote and be warm: %+v", tok)
+	}
+	if !r.Install(tok, key, val) {
+		t.Fatal("install failed")
+	}
+	got, ok := r.Get(key)
+	if !ok || string(got) != "v1" {
+		t.Fatalf("got %q %v", got, ok)
+	}
+	// The returned slice must be a private copy.
+	got[0] = 'X'
+	got2, _ := r.Get(key)
+	if string(got2) != "v1" {
+		t.Fatal("Get returned an aliased buffer")
+	}
+	s := r.Snapshot()
+	if s.Hits < 2 || s.Promotions != 1 || s.Resident != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestInvalidateDropsEntryAndAbortsInflightPromotion(t *testing.T) {
+	r := New(Config{Entries: 64, Shards: 1, SampleEvery: 1, PromoteAfter: 1})
+	key := []byte("k")
+	promote(t, r, key, []byte("v1"))
+	r.Invalidate(key)
+	if _, ok := r.Get(key); ok {
+		t.Fatal("stale hit after invalidate")
+	}
+	// A token taken before an invalidation must not install afterwards.
+	tok := r.BeginMiss(key)
+	if !tok.Promote {
+		t.Fatalf("expected promotion token, got %+v", tok)
+	}
+	r.Invalidate(key) // concurrent write lands between read and install
+	if r.Install(tok, key, []byte("stale")) {
+		t.Fatal("install succeeded despite invalidation after token")
+	}
+	if _, ok := r.Get(key); ok {
+		t.Fatal("stale value resident")
+	}
+}
+
+func TestMaxValueNotAdmitted(t *testing.T) {
+	r := New(Config{Entries: 64, Shards: 1, MaxValue: 8, SampleEvery: 1, PromoteAfter: 1})
+	key := []byte("big")
+	tok := r.BeginMiss(key)
+	tok = r.BeginMiss(key)
+	if r.Install(tok, key, make([]byte, 9)) {
+		t.Fatal("oversized value admitted")
+	}
+	if r.Install(Token{}, key, []byte("x")) {
+		t.Fatal("zero token installed")
+	}
+}
+
+func TestSlotDuelAgesResident(t *testing.T) {
+	r := New(Config{Entries: 1, Shards: 1, SampleEvery: 1, PromoteAfter: 1})
+	// Two keys share the single slot. The first wins it; the challenger
+	// must out-count it, which aging guarantees eventually.
+	a, b := []byte("aa"), []byte("bb")
+	promote(t, r, a, []byte("va"))
+	for i := 0; i < 1000; i++ {
+		if _, ok := r.Get(b); ok {
+			return
+		}
+		tok := r.BeginMiss(b)
+		if tok.Promote {
+			r.Install(tok, b, []byte("vb"))
+		}
+	}
+	t.Fatal("challenger never displaced a cold resident")
+}
+
+func TestInvalidateRange(t *testing.T) {
+	r := New(Config{Entries: 256, Shards: 4, SampleEvery: 1, PromoteAfter: 1})
+	keys := [][]byte{[]byte("a1"), []byte("m1"), []byte("z1")}
+	for _, k := range keys {
+		promote(t, r, k, append([]byte("v-"), k...))
+	}
+	r.InvalidateRange([]byte("m"), []byte("n"))
+	if _, ok := r.Get([]byte("m1")); ok {
+		t.Fatal("ranged key survived InvalidateRange")
+	}
+	for _, k := range [][]byte{[]byte("a1"), []byte("z1")} {
+		if _, ok := r.Get(k); !ok {
+			t.Fatalf("key %q outside range was dropped", k)
+		}
+	}
+	r.InvalidateRange(nil, nil) // whole keyspace
+	if s := r.Snapshot(); s.Resident != 0 || s.ResidentBytes != 0 {
+		t.Fatalf("resident after full-range invalidation: %+v", s)
+	}
+}
+
+func TestNilRingIsDisabled(t *testing.T) {
+	var r *Ring
+	if _, ok := r.Get([]byte("k")); ok {
+		t.Fatal("nil ring hit")
+	}
+	tok := r.BeginMiss([]byte("k"))
+	if tok.Promote || tok.Warm {
+		t.Fatal("nil ring promoted")
+	}
+	if r.Install(tok, []byte("k"), []byte("v")) {
+		t.Fatal("nil ring installed")
+	}
+	r.Invalidate([]byte("k"))
+	r.InvalidateRange(nil, nil)
+	if s := r.Snapshot(); s != (Stats{}) {
+		t.Fatalf("nil ring stats %+v", s)
+	}
+}
+
+// TestRaceNoStaleHit is the protocol stress: every key's authoritative
+// value lives in a mutex-guarded map (standing in for the engine's tiered
+// store). Writers update the map then Invalidate; readers consult the ring
+// first and fall back to the map, threading the token exactly like
+// DB.Get. After every writer has finished, any hit must return the final
+// value — a stale hit means the version fence is broken. Run with -race.
+func TestRaceNoStaleHit(t *testing.T) {
+	r := New(Config{Entries: 256, Shards: 4, SampleEvery: 1, PromoteAfter: 1})
+
+	const nKeys = 32
+	var authMu sync.RWMutex
+	auth := make(map[string][]byte, nKeys)
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key%02d", i)) }
+	for i := 0; i < nKeys; i++ {
+		auth[string(key(i))] = []byte(fmt.Sprintf("val%02d-gen0", i))
+	}
+
+	read := func(k []byte) []byte {
+		if v, ok := r.Get(k); ok {
+			return v
+		}
+		tok := r.BeginMiss(k)
+		authMu.RLock()
+		v := append([]byte(nil), auth[string(k)]...)
+		authMu.RUnlock()
+		if tok.Promote {
+			r.Install(tok, k, v)
+		}
+		return v
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			for gen := 1; !stop.Load(); gen++ {
+				k := key(rnd.Intn(nKeys))
+				v := []byte(fmt.Sprintf("%s-w%d-gen%d", k, seed, gen))
+				authMu.Lock()
+				auth[string(k)] = v
+				authMu.Unlock()
+				r.Invalidate(k)
+			}
+		}(int64(w))
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			for i := 0; i < 20000; i++ {
+				k := key(rnd.Intn(nKeys))
+				read(k)
+			}
+			stop.Store(true)
+		}(int64(100 + g))
+	}
+	wg.Wait()
+
+	// Quiesced: every resident entry must now match the authoritative map.
+	for i := 0; i < nKeys; i++ {
+		k := key(i)
+		if v, ok := r.Get(k); ok {
+			if want := auth[string(k)]; string(v) != string(want) {
+				t.Fatalf("stale hit for %q: got %q want %q", k, v, want)
+			}
+		}
+	}
+}

@@ -368,6 +368,15 @@ func (m *Manager) reader(n uint32) (vfs.File, error) {
 // cache; a miss reads the log and caches the verified value. The returned
 // buffer is owned by the caller.
 func (m *Manager) Read(ptr record.ValuePtr) ([]byte, error) {
+	return m.ReadHinted(ptr, true)
+}
+
+// ReadHinted is Read with a cache-admission hint: warm reads admit their
+// value with the evicting Add (the pre-hint behavior), cold reads with
+// AddCold, which only fills free space. The engine derives warm from the
+// hot ring's frequency signal — a key it has sampled at least twice — so
+// scattered reads over a cold tail cannot evict the resident hot set.
+func (m *Manager) ReadHinted(ptr record.ValuePtr, warm bool) ([]byte, error) {
 	if b, ok := m.fromPrefetch(ptr); ok {
 		return b, nil
 	}
@@ -381,7 +390,11 @@ func (m *Manager) Read(ptr record.ValuePtr) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.opts.Cache.Add(ck, append([]byte(nil), val...))
+	if warm {
+		m.opts.Cache.Add(ck, append([]byte(nil), val...))
+	} else {
+		m.opts.Cache.AddCold(ck, append([]byte(nil), val...))
+	}
 	return val, nil
 }
 

@@ -90,6 +90,10 @@ func Classify(err error) ErrorClass { return core.Classify(err) }
 // Options.CacheBytes (0 means "use the default size").
 const CacheOff = core.CacheOff
 
+// HotRingOff disables the hot-key read layer when assigned to
+// Options.HotRingEntries (0 means "use the default size").
+const HotRingOff = core.HotRingOff
+
 // KV is one key-value pair returned by Scan.
 type KV = core.KV
 
@@ -143,6 +147,15 @@ type Options struct {
 	// is on by default: 0 selects the default size (32 MiB); CacheOff (any
 	// negative value) disables caching entirely.
 	CacheBytes int64
+	// HotRingEntries sizes the hot-key read layer: a sharded, lock-free
+	// structure serving the hottest keys in a single memory probe before
+	// partition routing (see README "Skewed workloads"). On by default:
+	// 0 selects the default size (4096 slots); HotRingOff (any negative
+	// value) disables the layer entirely.
+	HotRingEntries int
+	// HotRingMaxValue caps the value size (bytes) admitted to the hot
+	// ring; larger values always take the tiered read path. Default 4096.
+	HotRingMaxValue int
 	// JobRetries caps how many times a background maintenance job is
 	// retried on a transient error before the database enters degraded
 	// read-only mode (see ErrDegraded). Corruption is never retried.
@@ -188,6 +201,8 @@ func (o *Options) toCore() core.Options {
 		ValueThreshold:      o.ValueThreshold,
 		BackgroundWorkers:   o.BackgroundWorkers,
 		CacheBytes:          o.CacheBytes,
+		HotRingEntries:      o.HotRingEntries,
+		HotRingMaxValue:     o.HotRingMaxValue,
 		JobRetries:          o.JobRetries,
 		RetryBaseDelay:      o.RetryBaseDelay,
 		RetryMaxDelay:       o.RetryMaxDelay,
