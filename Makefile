@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race lint bench-smoke fig-hotring fault-sweep clean
+.PHONY: build test race lint bench-smoke fig-hotring fig-scan fault-sweep clean
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,13 @@ bench-smoke:
 # baseline bench/BENCH_smoke_fig-hotring.json (see bench/README.md).
 fig-hotring:
 	$(GO) run ./cmd/unikv-bench -exp fig-hotring -n 20000 -ops 30000 -json -json-dir bench
+
+# The sorted-view scan experiment at full scale, regenerating the committed
+# trajectory artifact (bench/BENCH_fig-scan.json). CI runs the same
+# experiment at smoke scale gated against the conservative baseline
+# bench/BENCH_smoke_fig-scan.json (see bench/README.md).
+fig-scan:
+	$(GO) run ./cmd/unikv-bench -exp fig-scan -n 20000 -ops 3000 -json -json-dir bench
 
 # The systematic fault-injection sweep (short, strided profile). Set
 # UNIKV_FAULT_SWEEP=full to arm a fault at every op index (minutes).

@@ -77,6 +77,11 @@ func main() {
 			fmt.Printf("  hits/misses:         %d / %d\n", m.HotRingHits, m.HotRingMisses)
 			fmt.Printf("  promotions:          %d\n", m.HotRingPromotions)
 			fmt.Printf("  invalidations:       %d\n", m.HotRingInvalidations)
+			fmt.Println("sorted view:")
+			fmt.Printf("  entries:             %d (%d bytes)\n", m.SortedViewEntries, m.SortedViewBytes)
+			fmt.Printf("  builds/rebuilds:     %d / %d\n", m.SortedViewBuilds, m.SortedViewRebuilds)
+			fmt.Println("scan prefetch:")
+			fmt.Printf("  spans issued/wasted: %d / %d\n", m.ScanPrefetchIssued, m.ScanPrefetchWasted)
 		})
 	case "get":
 		if flag.NArg() < 2 {

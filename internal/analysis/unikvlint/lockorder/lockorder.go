@@ -1,8 +1,8 @@
 // Package lockorder enforces the engine's documented mutex hierarchy
 // (internal/core/db.go):
 //
-//	maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu
-//	  -> hotring.writerMu
+//	maintMu -> flushMu -> router.mu -> partition.mu -> unsorted.viewMu
+//	  -> logRefs.mu -> hotring.writerMu
 //
 // Within each function it replays the acquisition sequence in source order
 // and reports any acquisition of a lower-ranked mutex while a higher-ranked
@@ -29,7 +29,7 @@ import (
 	"unikv/internal/analysis/unikvlint/lintutil"
 )
 
-const docOrder = "maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu -> hotring.writerMu"
+const docOrder = "maintMu -> flushMu -> router.mu -> partition.mu -> unsorted.viewMu -> logRefs.mu -> hotring.writerMu"
 
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
@@ -46,17 +46,19 @@ type mutexRef struct {
 	key   string // textual receiver ("p.mu", "db.router") for pairing
 }
 
-var rankLabels = [...]string{"maintMu", "flushMu", "router.mu", "partition.mu", "logRefs.mu", "hotring.writerMu"}
+var rankLabels = [...]string{"maintMu", "flushMu", "router.mu", "partition.mu", "unsorted.viewMu", "logRefs.mu", "hotring.writerMu"}
 
 var acquireMethods = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
 var releaseMethods = map[string]bool{"Unlock": true, "RUnlock": true}
 
 // classify resolves the receiver of a Lock/Unlock call to a ranked mutex.
-// maintMu, flushMu, router, logRefs, and writerMu (the hot ring's per-shard
-// mutator lock — last rank: ring methods are called with core locks held
-// but never acquire one) are identified by field name (router and logRefs
-// embed their mutex, so the lock method is called on the field itself);
-// partition.mu by a field named mu on a type named partition.
+// maintMu, flushMu, router, viewMu (the unsorted store's lazy sorted-view
+// rebuild lock — after partition.mu, never held across other acquisitions),
+// logRefs, and writerMu (the hot ring's per-shard mutator lock — last rank:
+// ring methods are called with core locks held but never acquire one) are
+// identified by field name (router and logRefs embed their mutex, so the
+// lock method is called on the field itself); partition.mu by a field named
+// mu on a type named partition.
 func classify(info *types.Info, recv ast.Expr) (mutexRef, bool) {
 	var fieldName string
 	var owner ast.Expr
@@ -77,10 +79,12 @@ func classify(info *types.Info, recv ast.Expr) (mutexRef, bool) {
 		rank = 1
 	case "router":
 		rank = 2
-	case "logRefs":
+	case "viewMu":
 		rank = 4
-	case "writerMu":
+	case "logRefs":
 		rank = 5
+	case "writerMu":
+		rank = 6
 	case "mu":
 		if owner != nil {
 			if tv, ok := info.Types[owner]; ok && lintutil.NamedName(tv.Type) == "partition" {

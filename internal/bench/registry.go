@@ -38,6 +38,7 @@ func init() {
 	register("fig-latency", "per-op latency: inline vs background maintenance", FigLatency)
 	register("fig-cache", "read cache: hit rate and throughput vs cache size", FigCache)
 	register("fig-hotring", "hot-key read layer: zipfian p50/p99 vs clients, ring on/off", FigHotRing)
+	register("fig-scan", "range scans vs unsorted table count, sorted view on/off", FigScan)
 }
 
 // Lookup finds an experiment by ID.

@@ -60,10 +60,11 @@ type DB struct {
 	nextFile atomic.Uint64
 
 	// router orders partitions by lower boundary key. Lock order:
-	// maintMu -> flushMu -> router.mu -> partition.mu -> logRefs.mu
-	//   -> hotring.writerMu
+	// maintMu -> flushMu -> router.mu -> partition.mu -> unsorted.viewMu
+	//   -> logRefs.mu -> hotring.writerMu
 	// (the first two exist per partition and only matter with
-	// BackgroundWorkers > 0; see scheduler.go).
+	// BackgroundWorkers > 0; see scheduler.go. viewMu serializes the
+	// lazy sorted-view rebuild and is never held across any other lock.)
 	router struct {
 		sync.RWMutex
 		parts []*partition
@@ -159,6 +160,21 @@ type StatsSnapshot struct {
 	HotRingInvalidations int64
 	HotRingResident      int64
 	HotRingResidentBytes int64
+
+	// Sorted-view gauges and counters (all zero with SortedViewOff; see
+	// internal/sortedview). Entries/Bytes gauge the views' current size
+	// across partitions; Builds counts incremental per-flush extensions,
+	// Rebuilds from-scratch reconstructions (table replacement, split,
+	// lazy post-recovery rebuild).
+	SortedViewEntries  int64
+	SortedViewBytes    int64
+	SortedViewBuilds   int64
+	SortedViewRebuilds int64
+
+	// Scan readahead effectiveness: spans issued by the adaptive per-run
+	// prefetch, and spans retired without serving a single read.
+	ScanPrefetchIssued int64
+	ScanPrefetchWasted int64
 }
 
 // file-name helpers -----------------------------------------------------
@@ -673,10 +689,10 @@ func (db *DB) Metrics() StatsSnapshot {
 		Deletes: db.stats.Deletes.Load(), Scans: db.stats.Scans.Load(),
 		Flushes: db.stats.Flushes.Load(), Merges: db.stats.Merges.Load(),
 		ScanMerges: db.stats.ScanMerges.Load(), GCs: db.stats.GCs.Load(),
-		Splits:           db.stats.Splits.Load(),
-		GCBytesRewritten: db.stats.GCBytesRewritten.Load(),
-		Stalls:           db.stats.Stalls.Load(),
-		StallNanos:       db.stats.StallNanos.Load(),
+		Splits:            db.stats.Splits.Load(),
+		GCBytesRewritten:  db.stats.GCBytesRewritten.Load(),
+		Stalls:            db.stats.Stalls.Load(),
+		StallNanos:        db.stats.StallNanos.Load(),
 		SlowdownNanos:     db.stats.SlowdownNanos.Load(),
 		BackgroundErrors:  db.stats.BackgroundErrors.Load(),
 		BackgroundRetries: db.stats.BackgroundRetries.Load(),
@@ -704,10 +720,16 @@ func (db *DB) Metrics() StatsSnapshot {
 		for _, t := range p.srt.Tables() {
 			s.TableBlockReads += t.Reader.BlockReads.Load()
 		}
+		ve, vb, builds, rebuilds := p.uns.ViewStats()
+		s.SortedViewEntries += int64(ve)
+		s.SortedViewBytes += vb
+		s.SortedViewBuilds += builds
+		s.SortedViewRebuilds += rebuilds
 		p.mu.RUnlock()
 	}
 	s.ValueLogs = len(db.vl.LogNums())
 	s.ValueLogBytes = db.vl.TotalSize()
+	s.ScanPrefetchIssued, s.ScanPrefetchWasted = db.vl.PrefetchStats()
 	cs := db.cache.Snapshot()
 	s.CacheBlockHits = cs.BlockHits
 	s.CacheBlockMisses = cs.BlockMisses

@@ -110,6 +110,14 @@ type Options struct {
 	// promoted into the ring. Default 2.
 	HotRingPromoteAfter int
 
+	// SortedViewOff disables the REMIX-style cross-table sorted view over
+	// each partition's unsorted tables (internal/sortedview): scans fall
+	// back to a per-call k-way merge across all unsorted tables, the
+	// pre-view behavior. The view is on by default — it is memory-only,
+	// rebuilt at recovery, and bounded by UnsortedLimit like the hash
+	// index. The fig-scan experiment measures the difference.
+	SortedViewOff bool
+
 	// Ablation toggles (experiment fig11). Each disables one of the
 	// paper's techniques.
 	DisableHashIndex     bool // probe unsorted tables newest-first instead

@@ -10,6 +10,7 @@ import (
 	"unikv/internal/memtable"
 	"unikv/internal/record"
 	"unikv/internal/sorted"
+	"unikv/internal/sortedview"
 	"unikv/internal/sstable"
 	"unikv/internal/unsorted"
 	"unikv/internal/wal"
@@ -69,6 +70,7 @@ func (p *partition) initEmptyStores() error {
 	p.mem = newMemtable()
 	p.uns = unsorted.New(p.db.opts.HashBuckets)
 	p.uns.DisableIndex = p.db.opts.DisableHashIndex
+	p.uns.DisableView = p.db.opts.SortedViewOff
 	p.srt = sorted.New()
 	p.logs = make(map[uint32]bool)
 	return nil
@@ -310,15 +312,21 @@ func (p *partition) freezeMemLocked() error {
 // buildTable writes mem's live records into a new table file and opens a
 // reader over it. It only touches fresh files and the given (frozen or
 // caller-locked) memtable, so background flushes run it without p.mu.
-func (p *partition) buildTable(mem *memtable.Memtable) (*unsorted.Table, [][]byte, error) {
+// Alongside the table it returns the key list for the hash index and, when
+// the sorted view is enabled, the view entries collected in the same pass
+// (Builder.NextPosition yields each record's cursor before it is written),
+// so the flush commit extends the view without re-reading the file.
+func (p *partition) buildTable(mem *memtable.Memtable) (*unsorted.Table, [][]byte, []sortedview.Entry, error) {
 	num := p.db.allocFileNum()
 	name := tableName(p.dir, num)
 	f, err := p.db.fs.Create(name)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	b := sstable.NewBuilder(f, sstable.BuilderOptions{BlockSize: p.db.opts.BlockSize})
 	var keys [][]byte
+	var entries []sortedview.Entry
+	collect := !p.db.opts.SortedViewOff
 	it := mem.NewIterator()
 	var last []byte
 	for ok := it.First(); ok; ok = it.Next() {
@@ -327,25 +335,36 @@ func (p *partition) buildTable(mem *memtable.Memtable) (*unsorted.Table, [][]byt
 			continue // older version of the same key
 		}
 		last = rec.Key
+		k := rec.Key
+		if collect {
+			// Copy: view entries outlive the memtable and must not pin its
+			// record buffers.
+			k = append([]byte(nil), rec.Key...)
+			block, pos := b.NextPosition()
+			entries = append(entries, sortedview.Entry{
+				Key: k, Seq: rec.Seq, Kind: rec.Kind,
+				Block: int32(block), Pos: int32(pos),
+			})
+		}
 		b.Add(rec)
-		keys = append(keys, rec.Key)
+		keys = append(keys, k)
 	}
 	props, err := b.Finish()
 	if err != nil {
 		f.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := f.Close(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	rf, err := p.db.fs.Open(name)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	rdr, err := sstable.Open(rf)
 	if err != nil {
 		rf.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	rdr.SetCache(p.db.cache, num)
 	meta := manifest.TableMeta{
@@ -353,7 +372,7 @@ func (p *partition) buildTable(mem *memtable.Memtable) (*unsorted.Table, [][]byt
 		Smallest: props.Smallest, Largest: props.Largest,
 		MinSeq: props.MinSeq, MaxSeq: props.MaxSeq,
 	}
-	return &unsorted.Table{Meta: meta, Reader: rdr}, keys, nil
+	return &unsorted.Table{Meta: meta, Reader: rdr}, keys, entries, nil
 }
 
 // flushLocked writes the live memtable to a new UnsortedStore table,
@@ -362,7 +381,7 @@ func (p *partition) flushLocked() error {
 	if p.mem.Empty() {
 		return nil
 	}
-	tbl, keys, err := p.buildTable(p.mem)
+	tbl, keys, entries, err := p.buildTable(p.mem)
 	if err != nil {
 		return err
 	}
@@ -397,7 +416,7 @@ func (p *partition) flushLocked() error {
 	if oldWAL != 0 {
 		p.db.fs.Remove(walName(p.dir, oldWAL))
 	}
-	if err := p.uns.AddTable(tbl, keys); err != nil {
+	if err := p.uns.AddTable(tbl, keys, entries); err != nil {
 		return err
 	}
 	p.mem = newMemtable()
@@ -418,7 +437,7 @@ func (p *partition) flushLocked() error {
 // one manifest batch adds the table and advances the WAL pointer to the
 // oldest WAL still holding unflushed data, then the memtable leaves the
 // queue and its WAL file is removed. Requires p.mu held for writing.
-func (p *partition) commitImmLocked(tbl *unsorted.Table, keys [][]byte) error {
+func (p *partition) commitImmLocked(tbl *unsorted.Table, keys [][]byte, entries []sortedview.Entry) error {
 	oldWAL := p.immWALs[0]
 	nextWAL := p.walNum
 	if len(p.immWALs) > 1 {
@@ -440,7 +459,7 @@ func (p *partition) commitImmLocked(tbl *unsorted.Table, keys [][]byte) error {
 		tbl.Reader.Close()
 		return err
 	}
-	if err := p.uns.AddTable(tbl, keys); err != nil {
+	if err := p.uns.AddTable(tbl, keys, entries); err != nil {
 		return err
 	}
 	p.imm = p.imm[1:]
@@ -472,13 +491,13 @@ func (p *partition) backgroundFlush() error {
 	mem := p.imm[0]
 	p.mu.RUnlock()
 
-	tbl, keys, err := p.buildTable(mem)
+	tbl, keys, entries, err := p.buildTable(mem)
 	if err != nil {
 		return err
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.commitImmLocked(tbl, keys)
+	return p.commitImmLocked(tbl, keys, entries)
 }
 
 // drainImmLocked flushes every frozen memtable, oldest first. Requires
@@ -486,11 +505,11 @@ func (p *partition) backgroundFlush() error {
 // also hold flushMu so no flush job is mid-build.
 func (p *partition) drainImmLocked() error {
 	for len(p.imm) > 0 {
-		tbl, keys, err := p.buildTable(p.imm[0])
+		tbl, keys, entries, err := p.buildTable(p.imm[0])
 		if err != nil {
 			return err
 		}
-		if err := p.commitImmLocked(tbl, keys); err != nil {
+		if err := p.commitImmLocked(tbl, keys, entries); err != nil {
 			return err
 		}
 	}
@@ -556,18 +575,24 @@ func (db *DB) recoverUnsorted(
 	if db.opts.DisableHashIndex {
 		s := unsorted.New(db.opts.HashBuckets)
 		s.DisableIndex = true
+		s.DisableView = db.opts.SortedViewOff
+		if len(meta.Unsorted) > 0 {
+			// Like unsorted.Recover: defer the view rebuild to the first
+			// scan so recovery reads no table bytes here.
+			s.MarkViewStale()
+		}
 		for _, tm := range meta.Unsorted {
 			rdr, err := openTable(tm)
 			if err != nil {
 				return nil, err
 			}
-			if err := s.AddTable(&unsorted.Table{Meta: tm, Reader: rdr}, nil); err != nil {
+			if err := s.AddTable(&unsorted.Table{Meta: tm, Reader: rdr}, nil, nil); err != nil {
 				return nil, err
 			}
 		}
 		return s, nil
 	}
-	return unsorted.Recover(db.fs, db.opts.HashBuckets, meta.Unsorted, ckpt, openTable)
+	return unsorted.Recover(db.fs, db.opts.HashBuckets, meta.Unsorted, ckpt, db.opts.SortedViewOff, openTable)
 }
 
 // recoverSorted restores a partition's SortedStore.

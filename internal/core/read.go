@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 
 	"unikv/internal/codec"
@@ -162,24 +163,31 @@ func (db *DB) Scan(start, end []byte, limit int) ([]KV, error) {
 
 // scanLocked collects up to n pairs in [start, end) from this partition.
 // Requires p.mu held (read).
+//
+// The UnsortedStore contributes either its sorted view (one iterator that
+// binary-searches once and walks globally ordered entries — the REMIX
+// optimization, see internal/sortedview) or, with SortedViewOff, one
+// iterator per table that the k-way merge re-merges on every call. The
+// view loaded here is pinned for the whole scan: p.mu is held and the view
+// is immutable, so concurrent flush/merge swaps cannot disturb it.
 func (p *partition) scanLocked(start, end []byte, n int) ([]KV, error) {
 	var iters []recIter
 	iters = append(iters, p.mem.NewIterator())
 	for i := len(p.imm) - 1; i >= 0; i-- {
 		iters = append(iters, p.imm[i].NewIterator())
 	}
-	for _, t := range p.uns.Tables() {
-		iters = append(iters, t.Reader.NewIterator())
+	if v := p.uns.ScanView(); v != nil {
+		iters = append(iters, v.NewIterator())
+	} else {
+		for _, t := range p.uns.Tables() {
+			iters = append(iters, t.Reader.NewIterator())
+		}
 	}
 	iters = append(iters, p.srt.NewIterator())
 	m := newMergeIter(iters)
 
-	type pending struct {
-		idx int
-		ptr record.ValuePtr
-	}
 	var out []KV
-	var fetches []pending
+	var fetches []pendingFetch
 	var lastKey []byte
 	haveLast := false
 	for ok := m.Seek(start); ok; ok = m.Next() {
@@ -206,7 +214,7 @@ func (p *partition) scanLocked(start, end []byte, n int) ([]KV, error) {
 				return nil, err
 			}
 			out = append(out, KV{Key: append([]byte(nil), rec.Key...)})
-			fetches = append(fetches, pending{idx: len(out) - 1, ptr: ptr})
+			fetches = append(fetches, pendingFetch{idx: len(out) - 1, ptr: ptr})
 		}
 		if n > 0 && len(out) >= n {
 			break
@@ -223,48 +231,25 @@ func (p *partition) scanLocked(start, end []byte, n int) ([]KV, error) {
 		return out, nil
 	}
 
-	// Readahead: issue one prefetch over the contiguous region of the log
-	// holding most pointers (paper: readahead from the first key's value).
-	// Freshly merged data has key-ordered values, so the region is dense;
-	// after updates, pointers scatter — skip the prefetch when the spanning
-	// region is much larger than the bytes actually wanted (readahead would
-	// drag in mostly-dead data).
+	// Readahead (paper: readahead from the first key's value, made
+	// adaptive): instead of one all-or-nothing prefetch over the densest
+	// log, group the pointers per log, sort each group by offset, and
+	// detect contiguous runs — maximal stretches where the gap between
+	// consecutive values stays small. Each qualifying run becomes its own
+	// prefetch span, so a scan whose values are key-ordered in several logs
+	// (fresh merges interleaved with GC rewrites) gets readahead for every
+	// dense stretch while scattered singletons still take the per-value
+	// path. The value-log ring holds the spans side by side; its hit
+	// accounting feeds the ScanPrefetchIssued/Wasted counters.
 	if !p.db.opts.DisableScanPrefetch {
-		counts := map[uint32]int{}
-		for _, f := range fetches {
-			counts[f.ptr.LogNum]++
-		}
-		bestLog, bestN := uint32(0), 0
-		for l, c := range counts {
-			if c > bestN {
-				bestLog, bestN = l, c
-			}
-		}
-		if bestN > 1 {
-			var lo, hi, want int64 = 1 << 62, 0, 0
-			for _, f := range fetches {
-				if f.ptr.LogNum != bestLog {
-					continue
-				}
-				if int64(f.ptr.Offset) < lo {
-					lo = int64(f.ptr.Offset)
-				}
-				if e := int64(f.ptr.Offset) + 8 + int64(f.ptr.Length); e > hi {
-					hi = e
-				}
-				want += 8 + int64(f.ptr.Length)
-			}
-			if span := hi - lo; span <= 4*want || span <= 64<<10 {
-				p.db.vl.Prefetch(bestLog, lo, span) // best effort
-			}
-		}
+		p.issuePrefetches(fetches)
 	}
 
 	// Value fetch: chunks of pointers are dispatched to the fixed worker
 	// pool (paper: a fixed number of value addresses is inserted into the
 	// worker queue and sleeping threads fetch them in parallel). Small
 	// fetch sets run inline — dispatch would cost more than it saves.
-	fetchOne := func(f pending) error {
+	fetchOne := func(f pendingFetch) error {
 		// ReadUncached: scan traffic bypasses the value cache so one large
 		// range query cannot evict the point-read hot set (the prefetch
 		// buffer above already serves the dense case).
@@ -312,4 +297,86 @@ func (p *partition) scanLocked(start, end []byte, n int) ([]KV, error) {
 		}
 	}
 	return out, nil
+}
+
+// pendingFetch is one scan result awaiting its value-log dereference.
+type pendingFetch struct {
+	idx int
+	ptr record.ValuePtr
+}
+
+// Tuning for the adaptive scan readahead (issuePrefetches).
+const (
+	// prefetchRunGap is the largest hole between two consecutive values
+	// (sorted by offset, same log) that still extends a contiguous run —
+	// roughly four data blocks of dead or foreign bytes are cheaper to read
+	// through than to split the span over.
+	prefetchRunGap = 16 << 10
+	// prefetchMaxSpan caps one run's prefetch size so a single scan cannot
+	// allocate unbounded readahead buffers.
+	prefetchMaxSpan = 1 << 20
+	// prefetchMaxRuns bounds spans issued per scan; it matches the value
+	// log's readahead ring, so no span issued here is evicted before the
+	// fetch phase can hit it.
+	prefetchMaxRuns = 8
+	// prefetchMinRun is the smallest pointer count worth a span (a
+	// singleton reads exactly its own bytes either way).
+	prefetchMinRun = 2
+	// vlogFrameLen is the value log's per-record framing overhead
+	// (length + checksum), counted into span extents.
+	vlogFrameLen = 8
+)
+
+// issuePrefetches implements the adaptive readahead: per-log contiguous-
+// run detection over the scan's pending value fetches. Runs are ranked by
+// pointer count so that when there are more dense stretches than ring
+// slots, the spans that serve the most fetches win. Best effort — a failed
+// prefetch read just leaves those pointers on the per-value path.
+func (p *partition) issuePrefetches(fetches []pendingFetch) {
+	byLog := map[uint32][]record.ValuePtr{}
+	for _, f := range fetches {
+		byLog[f.ptr.LogNum] = append(byLog[f.ptr.LogNum], f.ptr)
+	}
+	type run struct {
+		log    uint32
+		lo, hi int64
+		count  int
+	}
+	var runs []run
+	for log, ptrs := range byLog {
+		if len(ptrs) < prefetchMinRun {
+			continue
+		}
+		sort.Slice(ptrs, func(i, j int) bool { return ptrs[i].Offset < ptrs[j].Offset })
+		cur := run{log: log, lo: int64(ptrs[0].Offset), hi: int64(ptrs[0].Offset) + vlogFrameLen + int64(ptrs[0].Length), count: 1}
+		flush := func() {
+			if cur.count >= prefetchMinRun && cur.hi-cur.lo <= prefetchMaxSpan {
+				runs = append(runs, cur)
+			}
+		}
+		for _, ptr := range ptrs[1:] {
+			start := int64(ptr.Offset)
+			end := start + vlogFrameLen + int64(ptr.Length)
+			if start-cur.hi <= prefetchRunGap && end-cur.lo <= prefetchMaxSpan {
+				if end > cur.hi {
+					cur.hi = end
+				}
+				cur.count++
+				continue
+			}
+			flush()
+			cur = run{log: log, lo: start, hi: end, count: 1}
+		}
+		flush()
+	}
+	if len(runs) == 0 {
+		return
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].count > runs[j].count })
+	if len(runs) > prefetchMaxRuns {
+		runs = runs[:prefetchMaxRuns]
+	}
+	for _, r := range runs {
+		p.db.vl.Prefetch(r.log, r.lo, r.hi-r.lo) // best effort
+	}
 }

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"unikv/internal/vfs"
+)
+
+// TestSortedViewEquivalence is the view's property test: one random 6000-op
+// trace applied to a view-on DB and a view-off DB must produce identical
+// results for every Get, Put, Delete, and Scan. Scans are weighted heavily
+// (they are the code under test), and the tiny limits plus periodic forced
+// flushes drive every view transition throughout the trace: incremental
+// builds at flush, rebuilds at merge and scan merge, resets at split.
+func TestSortedViewEquivalence(t *testing.T) {
+	onOpts := smallOpts(vfs.NewMem())
+	onOpts.PartitionSizeLimit = 16 << 10 // low enough that the trace splits
+	on, err := Open("on", onOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	offOpts := smallOpts(vfs.NewMem())
+	offOpts.PartitionSizeLimit = 16 << 10
+	offOpts.SortedViewOff = true
+	off, err := Open("off", offOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+
+	rnd := rand.New(rand.NewSource(43))
+	k := func() []byte { return []byte(fmt.Sprintf("key-%03d", rnd.Intn(200))) }
+	for op := 0; op < 6000; op++ {
+		switch rnd.Intn(10) {
+		case 0, 1, 2, 3: // Put
+			key := k()
+			val := []byte(fmt.Sprintf("val-%d-%s", op, bytes.Repeat([]byte("y"), 120+rnd.Intn(80))))
+			if err := on.Put(key, val); err != nil {
+				t.Fatalf("op %d: on.Put: %v", op, err)
+			}
+			if err := off.Put(key, val); err != nil {
+				t.Fatalf("op %d: off.Put: %v", op, err)
+			}
+		case 4: // Delete
+			key := k()
+			if err := on.Delete(key); err != nil {
+				t.Fatalf("op %d: on.Delete: %v", op, err)
+			}
+			if err := off.Delete(key); err != nil {
+				t.Fatalf("op %d: off.Delete: %v", op, err)
+			}
+		case 5: // forced flush: a fresh table, view-on an incremental build
+			if err := on.Flush(); err != nil {
+				t.Fatalf("op %d: on.Flush: %v", op, err)
+			}
+			if err := off.Flush(); err != nil {
+				t.Fatalf("op %d: off.Flush: %v", op, err)
+			}
+		case 6, 7, 8: // Scan
+			start := k()
+			end := append(append([]byte(nil), start...), 0xff)
+			a, errA := on.Scan(start, end, 20)
+			b, errB := off.Scan(start, end, 20)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("op %d: scan errs diverge: %v vs %v", op, errA, errB)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("op %d: scan lengths diverge: %d vs %d", op, len(a), len(b))
+			}
+			for i := range a {
+				if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+					t.Fatalf("op %d: scan[%d] diverges: %q=%q vs %q=%q",
+						op, i, a[i].Key, a[i].Value, b[i].Key, b[i].Value)
+				}
+			}
+		default: // Get
+			key := k()
+			a, errA := on.Get(key)
+			b, errB := off.Get(key)
+			if !errors.Is(errA, errB) && (errA != nil || errB != nil) {
+				t.Fatalf("op %d: Get(%s) errs diverge: %v vs %v", op, key, errA, errB)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("op %d: Get(%s) diverges: %q vs %q", op, key, a, b)
+			}
+		}
+	}
+
+	mOn, mOff := on.Metrics(), off.Metrics()
+	if mOn.SortedViewBuilds == 0 || mOn.SortedViewRebuilds == 0 {
+		t.Fatalf("trace never exercised the view: builds=%d rebuilds=%d",
+			mOn.SortedViewBuilds, mOn.SortedViewRebuilds)
+	}
+	if mOn.Splits == 0 || mOn.Merges == 0 || mOn.ScanMerges == 0 {
+		t.Fatalf("trace never exercised maintenance: splits=%d merges=%d scan-merges=%d",
+			mOn.Splits, mOn.Merges, mOn.ScanMerges)
+	}
+	if mOff.SortedViewBuilds != 0 || mOff.SortedViewEntries != 0 {
+		t.Fatalf("view-off DB built a view: %+v", mOff)
+	}
+}
+
+// TestSortedViewSurvivesRecovery: after a reopen the view is stale (it is
+// memory-only and deliberately not rebuilt during recovery, to keep the
+// hash checkpoint's read savings); the first scan rebuilds it lazily and
+// must see exactly the recovered data.
+func TestSortedViewSurvivesRecovery(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openSmall(t, fs)
+	want := map[string]string{}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("key-%03d", i%120)
+		v := fmt.Sprintf("val-%d", i)
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db = openSmall(t, fs)
+	defer db.Close()
+	if m := db.Metrics(); m.SortedViewEntries != 0 {
+		t.Fatalf("recovery eagerly built the view: %d entries", m.SortedViewEntries)
+	}
+	kvs, err := db.Scan([]byte("key-"), []byte("key-\xff"), len(want)+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != len(want) {
+		t.Fatalf("post-recovery scan: %d keys, want %d", len(kvs), len(want))
+	}
+	for _, kv := range kvs {
+		if want[string(kv.Key)] != string(kv.Value) {
+			t.Fatalf("post-recovery scan %s: got %q want %q", kv.Key, kv.Value, want[string(kv.Key)])
+		}
+	}
+	m := db.Metrics()
+	if m.UnsortedTables > 0 && m.SortedViewRebuilds == 0 {
+		t.Fatalf("first scan did not lazily rebuild the view: %+v", m)
+	}
+}

@@ -100,6 +100,128 @@ func TestEmptyInputs(t *testing.T) {
 	}
 }
 
+func mkDel(key string, seq uint64) record.Record {
+	return record.Record{Key: []byte(key), Seq: seq, Kind: record.KindDelete}
+}
+
+// TestManyTables merges 40 heavily overlapping tables — the UnsortedStore
+// shape the engine's scans hit at high table counts — and cross-checks the
+// full versioned stream against a reference sort, record for record.
+func TestManyTables(t *testing.T) {
+	const nTables = 40
+	rnd := rand.New(rand.NewSource(7))
+	var all []record.Record
+	var iters []RecIter
+	seq := uint64(1)
+	for i := 0; i < nTables; i++ {
+		var recs []record.Record
+		// Every table draws from the same 64-key space, so nearly every
+		// key appears in many tables.
+		for j := 0; j < 24; j++ {
+			recs = append(recs, mk(fmt.Sprintf("key-%03d", rnd.Intn(64)), seq))
+			seq++
+		}
+		sort.Slice(recs, func(a, b int) bool {
+			return Less(recs[a].Key, recs[a].Seq, recs[b].Key, recs[b].Seq)
+		})
+		iters = append(iters, &sliceIter{recs: recs})
+		all = append(all, recs...)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		return Less(all[a].Key, all[a].Seq, all[b].Key, all[b].Seq)
+	})
+	m := New(iters)
+	i := 0
+	for ok := m.First(); ok; ok = m.Next() {
+		r := m.Record()
+		if !bytes.Equal(r.Key, all[i].Key) || r.Seq != all[i].Seq {
+			t.Fatalf("record %d: got %s@%d want %s@%d", i, r.Key, r.Seq, all[i].Key, all[i].Seq)
+		}
+		i++
+	}
+	if i != len(all) {
+		t.Fatalf("merged %d of %d records", i, len(all))
+	}
+
+	// Newest-wins across all 40 tables: dedup must yield exactly the
+	// highest sequence per key.
+	want := map[string]uint64{}
+	for _, r := range all {
+		if s, ok := want[string(r.Key)]; !ok || r.Seq > s {
+			want[string(r.Key)] = r.Seq
+		}
+	}
+	for _, it := range iters {
+		it.(*sliceIter).pos = 0
+	}
+	d := NewDedup(New(iters))
+	n := 0
+	for ok := d.First(); ok; ok = d.Next() {
+		if want[string(d.Record().Key)] != d.Record().Seq {
+			t.Fatalf("dedup %s: got seq %d want %d", d.Record().Key, d.Record().Seq, want[string(d.Record().Key)])
+		}
+		n++
+	}
+	if n != len(want) {
+		t.Fatalf("dedup yielded %d keys, want %d", n, len(want))
+	}
+}
+
+// TestDeleteShadowing: a newer tombstone must surface before (and via
+// dedup, instead of) every older live version of its key, across tables.
+func TestDeleteShadowing(t *testing.T) {
+	a := &sliceIter{recs: []record.Record{mk("k", 3), mk("m", 1)}}
+	b := &sliceIter{recs: []record.Record{mkDel("k", 7), mk("n", 2)}}
+	c := &sliceIter{recs: []record.Record{mk("k", 5)}}
+
+	// Raw merge: k@7(del), k@5, k@3, m@1, n@2.
+	m := New([]RecIter{a, b, c})
+	type kv struct {
+		key  string
+		seq  uint64
+		kind record.Kind
+	}
+	var got []kv
+	for ok := m.First(); ok; ok = m.Next() {
+		r := m.Record()
+		got = append(got, kv{string(r.Key), r.Seq, r.Kind})
+	}
+	want := []kv{
+		{"k", 7, record.KindDelete},
+		{"k", 5, record.KindSet},
+		{"k", 3, record.KindSet},
+		{"m", 1, record.KindSet},
+		{"n", 2, record.KindSet},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("at %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+
+	// Dedup: the tombstone is the surviving version of k — a scanner
+	// consuming this stream drops the key entirely.
+	for _, it := range []*sliceIter{a, b, c} {
+		it.pos = 0
+	}
+	d := NewDedup(New([]RecIter{a, b, c}))
+	if !d.First() || string(d.Record().Key) != "k" || d.Record().Kind != record.KindDelete || d.Record().Seq != 7 {
+		t.Fatalf("dedup first: %s@%d kind=%d", d.Record().Key, d.Record().Seq, d.Record().Kind)
+	}
+	if !d.Next() || string(d.Record().Key) != "m" {
+		t.Fatal("dedup second")
+	}
+	if !d.Next() || string(d.Record().Key) != "n" {
+		t.Fatal("dedup third")
+	}
+	if d.Next() {
+		t.Fatal("phantom after n")
+	}
+}
+
 // TestQuickAgainstSort merges random pre-sorted runs and checks against a
 // globally sorted reference, both raw and deduped.
 func TestQuickAgainstSort(t *testing.T) {
@@ -160,4 +282,106 @@ func TestQuickAgainstSort(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// FuzzMergeRandomOverlap drives the merge with fuzzer-chosen table counts,
+// key-space widths, and tombstone rates, so table overlap ranges from
+// disjoint (wide key space, few tables) to total (narrow space, many
+// tables). Checks the full stream, a Seek from a random point, and dedup
+// against references computed independently.
+func FuzzMergeRandomOverlap(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(8), uint8(0))
+	f.Add(int64(2), uint8(33), uint8(16), uint8(30))
+	f.Add(int64(3), uint8(64), uint8(4), uint8(80))
+	f.Add(int64(4), uint8(1), uint8(1), uint8(100))
+	f.Fuzz(func(t *testing.T, seed int64, nTables, keySpace, delPct uint8) {
+		if nTables == 0 {
+			nTables = 1
+		}
+		if keySpace == 0 {
+			keySpace = 1
+		}
+		rnd := rand.New(rand.NewSource(seed))
+		var all []record.Record
+		var iters []RecIter
+		seq := uint64(1)
+		for i := 0; i < int(nTables); i++ {
+			n := rnd.Intn(20)
+			var recs []record.Record
+			for j := 0; j < n; j++ {
+				key := fmt.Sprintf("key-%03d", rnd.Intn(int(keySpace)))
+				if rnd.Intn(100) < int(delPct) {
+					recs = append(recs, mkDel(key, seq))
+				} else {
+					recs = append(recs, mk(key, seq))
+				}
+				seq++
+			}
+			sort.Slice(recs, func(a, b int) bool {
+				return Less(recs[a].Key, recs[a].Seq, recs[b].Key, recs[b].Seq)
+			})
+			iters = append(iters, &sliceIter{recs: recs})
+			all = append(all, recs...)
+		}
+		sort.Slice(all, func(a, b int) bool {
+			return Less(all[a].Key, all[a].Seq, all[b].Key, all[b].Seq)
+		})
+
+		m := New(iters)
+		i := 0
+		for ok := m.First(); ok; ok = m.Next() {
+			r := m.Record()
+			if i >= len(all) {
+				t.Fatalf("merge yielded more than %d records", len(all))
+			}
+			if !bytes.Equal(r.Key, all[i].Key) || r.Seq != all[i].Seq || r.Kind != all[i].Kind {
+				t.Fatalf("record %d: got %s@%d/%d want %s@%d/%d",
+					i, r.Key, r.Seq, r.Kind, all[i].Key, all[i].Seq, all[i].Kind)
+			}
+			i++
+		}
+		if i != len(all) {
+			t.Fatalf("merged %d of %d records", i, len(all))
+		}
+
+		// Seek from a random target must land on the reference suffix.
+		target := []byte(fmt.Sprintf("key-%03d", rnd.Intn(int(keySpace))))
+		j := sort.Search(len(all), func(i int) bool {
+			return bytes.Compare(all[i].Key, target) >= 0
+		})
+		for ok := m.Seek(target); ok; ok = m.Next() {
+			r := m.Record()
+			if j >= len(all) || !bytes.Equal(r.Key, all[j].Key) || r.Seq != all[j].Seq {
+				t.Fatalf("seek(%s) diverged at reference index %d", target, j)
+			}
+			j++
+		}
+		if j != len(all) {
+			t.Fatalf("seek walk stopped at %d of %d", j, len(all))
+		}
+
+		// Dedup: newest version per key, tombstones included.
+		newest := map[string]record.Record{}
+		for _, r := range all {
+			if prev, ok := newest[string(r.Key)]; !ok || r.Seq > prev.Seq {
+				newest[string(r.Key)] = r
+			}
+		}
+		for _, it := range iters {
+			it.(*sliceIter).pos = 0
+		}
+		d := NewDedup(New(iters))
+		n := 0
+		for ok := d.First(); ok; ok = d.Next() {
+			r := d.Record()
+			w := newest[string(r.Key)]
+			if r.Seq != w.Seq || r.Kind != w.Kind {
+				t.Fatalf("dedup %s: got @%d/%d want @%d/%d", r.Key, r.Seq, r.Kind, w.Seq, w.Kind)
+			}
+			n++
+		}
+		if n != len(newest) {
+			t.Fatalf("dedup yielded %d keys, want %d", n, len(newest))
+		}
+	})
 }

@@ -148,6 +148,13 @@ func (b *Builder) writeChecked(payload []byte) error {
 // Count returns the number of records added so far.
 func (b *Builder) Count() int { return b.count }
 
+// NextPosition returns the (block, pos) coordinates the next Add will
+// write to: block is the data-block index, pos the record index within
+// it. Together with Iterator.Position and Reader.LoadBlock it lets a
+// caller build positional cursors into the table (internal/sortedview)
+// without re-reading the finished file.
+func (b *Builder) NextPosition() (block, pos int) { return b.numBlocks, b.blockN }
+
 // EstimatedSize returns the bytes written plus the pending block.
 func (b *Builder) EstimatedSize() int64 { return int64(b.offset) + int64(len(b.block)) }
 

@@ -32,6 +32,11 @@ func (it *Iterator) Valid() bool { return it.valid }
 // buffer (freshly allocated per block, so they stay valid).
 func (it *Iterator) Record() record.Record { return it.rec }
 
+// Position returns the current record's (block, pos) coordinates, usable
+// with Reader.LoadBlock for later positional re-access. Only meaningful
+// while Valid.
+func (it *Iterator) Position() (block, pos int) { return it.blockIdx, it.pos }
+
 // First positions at the table's first record.
 func (it *Iterator) First() bool {
 	it.blockIdx = -1

@@ -188,6 +188,45 @@ func (r *Reader) readBlock(i int) ([]byte, error) {
 	return b, nil
 }
 
+// Block is a parsed data block handed out by LoadBlock for positional
+// record access (internal/sortedview stores (block, pos) cursors and
+// materializes records through this). The zero value is invalid.
+type Block struct {
+	pb parsedBlock
+}
+
+// Valid reports whether the block holds records.
+func (b Block) Valid() bool { return b.pb.n > 0 }
+
+// Len returns the number of records in the block.
+func (b Block) Len() int { return b.pb.n }
+
+// RecordAt decodes record i of the block. The returned slices alias the
+// block buffer (shared with the cache): treat them as immutable.
+func (b Block) RecordAt(i int) (record.Record, error) {
+	if i < 0 || i >= b.pb.n {
+		return record.Record{}, ErrCorruptTable
+	}
+	return b.pb.recordAt(i)
+}
+
+// LoadBlock reads and parses data block i (consulting the cache), for
+// positional access via Block.RecordAt.
+func (r *Reader) LoadBlock(i int) (Block, error) {
+	if i < 0 || i >= len(r.index) {
+		return Block{}, ErrCorruptTable
+	}
+	raw, err := r.readBlock(i)
+	if err != nil {
+		return Block{}, err
+	}
+	pb, err := parseBlock(raw)
+	if err != nil {
+		return Block{}, err
+	}
+	return Block{pb: pb}, nil
+}
+
 // parsedBlock provides random access to a block's records via the offset
 // trailer written by the builder.
 type parsedBlock struct {

@@ -61,10 +61,10 @@ func TestGetAcrossTables(t *testing.T) {
 
 	t1, k1 := buildTable(t, fs, 1, map[string]string{"a": "a1", "b": "b1", "c": "c1"}, 1)
 	t2, k2 := buildTable(t, fs, 2, map[string]string{"b": "b2", "d": "d2"}, 10)
-	if err := s.AddTable(t1, k1); err != nil {
+	if err := s.AddTable(t1, k1, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AddTable(t2, k2); err != nil {
+	if err := s.AddTable(t2, k2, nil); err != nil {
 		t.Fatal(err)
 	}
 	if s.NumTables() != 2 {
@@ -95,7 +95,7 @@ func TestNewestTableWins(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		tab, keys := buildTable(t, fs, uint64(i+1),
 			map[string]string{"hot": fmt.Sprintf("v%d", i)}, uint64(i*10+1))
-		if err := s.AddTable(tab, keys); err != nil {
+		if err := s.AddTable(tab, keys, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -113,7 +113,7 @@ func TestRecoveryNoCheckpoint(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		tab, keys := buildTable(t, fs, uint64(i+1),
 			map[string]string{fmt.Sprintf("k%d", i): fmt.Sprintf("v%d", i), "shared": fmt.Sprintf("s%d", i)}, uint64(i*10+1))
-		s.AddTable(tab, keys)
+		s.AddTable(tab, keys, nil)
 		metas = append(metas, tab.Meta)
 	}
 
@@ -124,7 +124,7 @@ func TestRecoveryNoCheckpoint(t *testing.T) {
 		}
 		return sstable.Open(f)
 	}
-	r, err := Recover(fs, 256, metas, "", open)
+	r, err := Recover(fs, 256, metas, "", false, open)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestRecoveryWithCheckpoint(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		tab, keys := buildTable(t, fs, uint64(i+1),
 			map[string]string{fmt.Sprintf("k%d", i): "v"}, uint64(i*10+1))
-		s.AddTable(tab, keys)
+		s.AddTable(tab, keys, nil)
 		metas = append(metas, tab.Meta)
 	}
 	if err := s.Checkpoint(fs, "db/hashidx.ckpt"); err != nil {
@@ -155,7 +155,7 @@ func TestRecoveryWithCheckpoint(t *testing.T) {
 	}
 	// One more table flushed after the checkpoint.
 	tab3, keys3 := buildTable(t, fs, 3, map[string]string{"k2": "v", "k0": "newer"}, 100)
-	s.AddTable(tab3, keys3)
+	s.AddTable(tab3, keys3, nil)
 	metas = append(metas, tab3.Meta)
 
 	open := func(m manifest.TableMeta) (*sstable.Reader, error) {
@@ -165,7 +165,7 @@ func TestRecoveryWithCheckpoint(t *testing.T) {
 		}
 		return sstable.Open(f)
 	}
-	r, err := Recover(fs, 256, metas, "db/hashidx.ckpt", open)
+	r, err := Recover(fs, 256, metas, "db/hashidx.ckpt", false, open)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestRecoveryStaleCheckpointIgnored(t *testing.T) {
 	fs.MkdirAll("db")
 	s := New(256)
 	tab, keys := buildTable(t, fs, 1, map[string]string{"old": "x"}, 1)
-	s.AddTable(tab, keys)
+	s.AddTable(tab, keys, nil)
 	s.Checkpoint(fs, "db/hashidx.ckpt")
 
 	// The store drained and different tables exist now: checkpoint's table
@@ -199,7 +199,7 @@ func TestRecoveryStaleCheckpointIgnored(t *testing.T) {
 		}
 		return sstable.Open(f)
 	}
-	r, err := Recover(fs, 256, metas, "db/hashidx.ckpt", open)
+	r, err := Recover(fs, 256, metas, "db/hashidx.ckpt", false, open)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestResetAndReplaceAll(t *testing.T) {
 	fs.MkdirAll("db")
 	s := New(256)
 	tab, keys := buildTable(t, fs, 1, map[string]string{"a": "1", "b": "2"}, 1)
-	s.AddTable(tab, keys)
+	s.AddTable(tab, keys, nil)
 	s.Reset()
 	if s.NumTables() != 0 || s.SizeBytes() != 0 || s.Index().Count() != 0 {
 		t.Fatal("Reset left state behind")
@@ -236,6 +236,147 @@ func TestResetAndReplaceAll(t *testing.T) {
 		if _, ok, _ := s.Get([]byte(k)); !ok {
 			t.Fatalf("%s missing after ReplaceAll", k)
 		}
+	}
+}
+
+// TestViewTracksTableSet verifies the sorted view stays in lockstep with
+// AddTable / ReplaceTables / Reset, and that DisableView keeps it off.
+func TestViewTracksTableSet(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("db")
+	s := New(256)
+
+	t1, k1 := buildTable(t, fs, 1, map[string]string{"a": "a1", "b": "b1"}, 1)
+	t2, k2 := buildTable(t, fs, 2, map[string]string{"b": "b2", "c": "c2"}, 10)
+	if err := s.AddTable(t1, k1, nil); err != nil {
+		t.Fatal(err)
+	}
+	v1 := s.ScanView()
+	if v1 == nil || v1.Len() != 2 || v1.NumTables() != 1 {
+		t.Fatalf("after 1 table: %+v", v1)
+	}
+	if err := s.AddTable(t2, k2, nil); err != nil {
+		t.Fatal(err)
+	}
+	v2 := s.ScanView()
+	if v2.Len() != 4 || v2.NumTables() != 2 {
+		t.Fatalf("after 2 tables: Len=%d NumTables=%d", v2.Len(), v2.NumTables())
+	}
+	if v2.Version() <= v1.Version() {
+		t.Fatal("view version did not advance")
+	}
+	// The pinned old view is untouched by the new flush.
+	if v1.Len() != 2 {
+		t.Fatalf("pinned view mutated: Len=%d", v1.Len())
+	}
+	// Iterate: 4 entries, "b" twice with seq 10 (newest) before seq 2.
+	it := v2.NewIterator()
+	var got []string
+	for ok := it.First(); ok; ok = it.Next() {
+		rec := it.Record()
+		got = append(got, fmt.Sprintf("%s/%d/%s", rec.Key, rec.Seq, rec.Value))
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	want := []string{"a/1/a1", "b/10/b2", "b/2/b1", "c/11/c2"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("view order:\n got %v\nwant %v", got, want)
+	}
+	if _, _, builds, rebuilds := s.ViewStats(); builds != 2 || rebuilds != 0 {
+		t.Fatalf("builds=%d rebuilds=%d", builds, rebuilds)
+	}
+
+	merged, _ := buildTable(t, fs, 3, map[string]string{"a": "a1", "b": "b2", "c": "c2"}, 20)
+	if err := s.ReplaceAll(merged); err != nil {
+		t.Fatal(err)
+	}
+	v3 := s.ScanView()
+	if v3.Len() != 3 || v3.NumTables() != 1 {
+		t.Fatalf("after ReplaceAll: Len=%d NumTables=%d", v3.Len(), v3.NumTables())
+	}
+	if _, _, _, rebuilds := s.ViewStats(); rebuilds != 1 {
+		t.Fatal("ReplaceAll should count one rebuild")
+	}
+
+	s.Reset()
+	if v := s.ScanView(); v.Len() != 0 || v.NumTables() != 0 {
+		t.Fatal("Reset left view entries")
+	}
+
+	// Disabled store never materializes a view.
+	d := New(256)
+	d.DisableView = true
+	t4, k4 := buildTable(t, fs, 4, map[string]string{"x": "1"}, 30)
+	if err := d.AddTable(t4, k4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.ScanView() != nil {
+		t.Fatal("DisableView store returned a view")
+	}
+	if e, b, builds, rebuilds := d.ViewStats(); e != 0 || b != 0 || builds != 0 || rebuilds != 0 {
+		t.Fatal("DisableView store reported view stats")
+	}
+}
+
+// TestViewLazyRebuildAfterRecover verifies recovery defers view work: the
+// recovered store starts with a stale view, the first ScanView rebuilds it
+// over all tables (including any flushed after recovery while stale), and
+// subsequent mutations go back to incremental maintenance.
+func TestViewLazyRebuildAfterRecover(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("db")
+	s := New(256)
+	var metas []manifest.TableMeta
+	for i := 0; i < 3; i++ {
+		tab, keys := buildTable(t, fs, uint64(i+1),
+			map[string]string{fmt.Sprintf("k%d", i): fmt.Sprintf("v%d", i)}, uint64(i*10+1))
+		s.AddTable(tab, keys, nil)
+		metas = append(metas, tab.Meta)
+	}
+	open := func(m manifest.TableMeta) (*sstable.Reader, error) {
+		f, err := fs.Open(filepath.Join("db", fmt.Sprintf("%06d.sst", m.FileNum)))
+		if err != nil {
+			return nil, err
+		}
+		return sstable.Open(f)
+	}
+	r, err := Recover(fs, 256, metas, "", false, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, builds, rebuilds := r.ViewStats(); builds != 0 || rebuilds != 0 {
+		t.Fatalf("recovery did eager view work: builds=%d rebuilds=%d", builds, rebuilds)
+	}
+	// A flush while stale must not corrupt the (unbuilt) view.
+	tab4, keys4 := buildTable(t, fs, 4, map[string]string{"k3": "v3"}, 100)
+	if err := r.AddTable(tab4, keys4, nil); err != nil {
+		t.Fatal(err)
+	}
+	v := r.ScanView()
+	if v == nil {
+		t.Fatal("ScanView returned nil on enabled store")
+	}
+	if v.Len() != 4 || v.NumTables() != 4 {
+		t.Fatalf("lazy rebuild: Len=%d NumTables=%d, want 4/4", v.Len(), v.NumTables())
+	}
+	if _, _, _, rebuilds := r.ViewStats(); rebuilds != 1 {
+		t.Fatal("lazy rebuild not counted")
+	}
+	// Second ScanView reuses the rebuilt view.
+	if v2 := r.ScanView(); v2.Version() != v.Version() {
+		t.Fatal("repeated ScanView rebuilt again")
+	}
+	// Post-rebuild flushes are incremental again.
+	tab5, keys5 := buildTable(t, fs, 5, map[string]string{"k4": "v4"}, 200)
+	if err := r.AddTable(tab5, keys5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v3 := r.ScanView(); v3.Len() != 5 {
+		t.Fatalf("post-rebuild AddTable: Len=%d", v3.Len())
+	}
+	if _, _, builds, _ := r.ViewStats(); builds != 1 {
+		t.Fatalf("post-rebuild AddTable not incremental: builds=%d", builds)
 	}
 }
 
@@ -259,7 +400,7 @@ func TestQuickModel(t *testing.T) {
 			}
 			tab, keys := buildTableQ(fs, uint64(flush+1), batch, seq)
 			seq += uint64(len(batch))
-			if err := s.AddTable(tab, keys); err != nil {
+			if err := s.AddTable(tab, keys, nil); err != nil {
 				return false
 			}
 		}

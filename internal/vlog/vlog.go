@@ -73,10 +73,25 @@ type Manager struct {
 	pins    map[uint64]uint32 // open append windows: token → lowest log num
 	pinSeq  uint64
 
-	prefetchMu  sync.Mutex
-	prefetchLog uint32
-	prefetchOff int64
-	prefetch    []byte
+	prefetchMu     sync.Mutex
+	prefetchSpans  [maxPrefetchSpans]prefetchSpan
+	prefetchClock  int   // round-robin eviction cursor
+	prefetchIssued int64 // spans loaded (Prefetch calls that installed data)
+	prefetchWasted int64 // spans dropped without serving a single read
+}
+
+// maxPrefetchSpans bounds the readahead ring: one scan can keep several
+// per-log contiguous runs resident at once (the adaptive prefetch in
+// internal/core issues one span per detected run), and parallel fetch
+// chunks then hit their own spans instead of evicting each other's.
+const maxPrefetchSpans = 8
+
+// prefetchSpan is one resident readahead region.
+type prefetchSpan struct {
+	log  uint32
+	off  int64
+	buf  []byte // nil = empty slot
+	hits int64
 }
 
 // LogName formats the file name of log n.
@@ -447,8 +462,10 @@ func decodeValue(buf []byte, wantLen uint32) ([]byte, error) {
 	return val, nil
 }
 
-// Prefetch loads log n's byte range [off, off+length) into the readahead
-// cache so subsequent Reads inside that range avoid per-value I/O.
+// Prefetch loads log n's byte range [off, off+length) into a slot of the
+// readahead ring so subsequent Reads inside that range avoid per-value
+// I/O. The ring holds up to maxPrefetchSpans regions; a new span evicts
+// round-robin, counting a never-hit victim as wasted readahead.
 func (m *Manager) Prefetch(n uint32, off int64, length int64) error {
 	f, err := m.reader(n)
 	if err != nil {
@@ -466,32 +483,67 @@ func (m *Manager) Prefetch(n uint32, off int64, length int64) error {
 		return err
 	}
 	m.prefetchMu.Lock()
-	m.prefetchLog = n
-	m.prefetchOff = off
-	m.prefetch = buf[:rd]
+	s := &m.prefetchSpans[m.prefetchClock]
+	m.prefetchClock = (m.prefetchClock + 1) % maxPrefetchSpans
+	if s.buf != nil && s.hits == 0 {
+		m.prefetchWasted++
+	}
+	*s = prefetchSpan{log: n, off: off, buf: buf[:rd]}
+	m.prefetchIssued++
 	m.prefetchMu.Unlock()
 	return nil
 }
 
-// fromPrefetch serves ptr from the readahead cache when fully covered.
+// fromPrefetch serves ptr from the readahead ring when a span fully
+// covers it.
 func (m *Manager) fromPrefetch(ptr record.ValuePtr) ([]byte, bool) {
 	m.prefetchMu.Lock()
 	defer m.prefetchMu.Unlock()
-	if m.prefetch == nil || ptr.LogNum != m.prefetchLog {
-		return nil, false
+	for i := range m.prefetchSpans {
+		s := &m.prefetchSpans[i]
+		if s.buf == nil || ptr.LogNum != s.log {
+			continue
+		}
+		start := int64(ptr.Offset) - s.off
+		end := start + headerLen + int64(ptr.Length)
+		if start < 0 || end > int64(len(s.buf)) {
+			continue
+		}
+		val, err := decodeValue(s.buf[start:end], ptr.Length)
+		if err != nil {
+			continue
+		}
+		s.hits++
+		out := make([]byte, len(val))
+		copy(out, val)
+		return out, true
 	}
-	start := int64(ptr.Offset) - m.prefetchOff
-	end := start + headerLen + int64(ptr.Length)
-	if start < 0 || end > int64(len(m.prefetch)) {
-		return nil, false
+	return nil, false
+}
+
+// dropPrefetch clears every span whose log matches, charging never-hit
+// ones to the wasted counter.
+func (m *Manager) dropPrefetch(match func(log uint32) bool) {
+	m.prefetchMu.Lock()
+	for i := range m.prefetchSpans {
+		s := &m.prefetchSpans[i]
+		if s.buf == nil || !match(s.log) {
+			continue
+		}
+		if s.hits == 0 {
+			m.prefetchWasted++
+		}
+		*s = prefetchSpan{}
 	}
-	val, err := decodeValue(m.prefetch[start:end], ptr.Length)
-	if err != nil {
-		return nil, false
-	}
-	out := make([]byte, len(val))
-	copy(out, val)
-	return out, true
+	m.prefetchMu.Unlock()
+}
+
+// PrefetchStats reports readahead effectiveness: spans issued and spans
+// retired without a single hit.
+func (m *Manager) PrefetchStats() (issued, wasted int64) {
+	m.prefetchMu.Lock()
+	defer m.prefetchMu.Unlock()
+	return m.prefetchIssued, m.prefetchWasted
 }
 
 // AddGarbage records n dead bytes in log logNum (an overwritten or deleted
@@ -622,11 +674,7 @@ func (m *Manager) Remove(n uint32) error {
 	}
 	delete(m.sizes, n)
 	delete(m.garbage, n)
-	m.prefetchMu.Lock()
-	if m.prefetchLog == n {
-		m.prefetch = nil
-	}
-	m.prefetchMu.Unlock()
+	m.dropPrefetch(func(log uint32) bool { return log == n })
 	return m.fs.Remove(filepath.Join(m.dir, LogName(n)))
 }
 
