@@ -46,8 +46,9 @@ fig-hotring:
 fig-scan:
 	$(GO) run ./cmd/unikv-bench -exp fig-scan -n 20000 -ops 3000 -json -json-dir bench
 
-# The systematic fault-injection sweep (short, strided profile). Set
-# UNIKV_FAULT_SWEEP=full to arm a fault at every op index (minutes).
+# The systematic fault-injection sweep (short, strided profile), including
+# the open-snapshot campaigns (faults armed while a pinned snapshot reads).
+# Set UNIKV_FAULT_SWEEP=full to arm a fault at every op index (minutes).
 fault-sweep:
 	$(GO) test -race -run 'TestFaultSweep|TestCorrupt|TestBackgroundTransient|TestBackgroundSticky' ./internal/core/
 

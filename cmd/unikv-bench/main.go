@@ -14,7 +14,9 @@
 // perf-trajectory artifacts committed under bench/. -baseline loads such
 // an artifact and exits non-zero if any current metric regressed more
 // than -baseline-tol (default 20%) against it; CI runs the smoke benches
-// under this gate.
+// under this gate. A missing/unreadable baseline or one with an empty
+// metric trajectory degrades the gate to "record, don't gate" — the run
+// proceeds (still writing -json artifacts) and logs why it is not gating.
 //
 // -net switches to the networked client-mode benchmark: concurrent
 // clients drive a unikv-server (in-process unless -net-addr points at a
@@ -103,6 +105,21 @@ func main() {
 			exps = append(exps, e)
 		}
 	}
+	// Load the gate once: a missing or metric-less baseline degrades to
+	// "record, don't gate" (the run proceeds and -json still writes fresh
+	// artifacts) instead of dying before measuring anything.
+	var base bench.Artifact
+	gating := false
+	if *baseline != "" {
+		var note string
+		base, note = bench.LoadBaseline(*baseline)
+		if note != "" {
+			fmt.Fprintln(os.Stderr, note)
+		} else {
+			gating = true
+		}
+	}
+
 	var failed bool
 	for _, e := range exps {
 		tables := e.Run(p)
@@ -130,12 +147,7 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr, "wrote", path)
 		}
-		if *baseline != "" {
-			base, err := bench.ReadArtifact(*baseline)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "baseline:", err)
-				os.Exit(1)
-			}
+		if gating {
 			if base.Experiment != e.ID {
 				continue // the baseline gates a different experiment
 			}

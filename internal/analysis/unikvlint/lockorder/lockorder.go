@@ -1,8 +1,8 @@
 // Package lockorder enforces the engine's documented mutex hierarchy
 // (internal/core/db.go):
 //
-//	maintMu -> flushMu -> router.mu -> partition.mu -> unsorted.viewMu
-//	  -> logRefs.mu -> hotring.writerMu
+//	snapMu -> maintMu -> flushMu -> router.mu -> partition.mu
+//	  -> unsorted.viewMu -> logRefs.mu -> hotring.writerMu
 //
 // Within each function it replays the acquisition sequence in source order
 // and reports any acquisition of a lower-ranked mutex while a higher-ranked
@@ -29,7 +29,7 @@ import (
 	"unikv/internal/analysis/unikvlint/lintutil"
 )
 
-const docOrder = "maintMu -> flushMu -> router.mu -> partition.mu -> unsorted.viewMu -> logRefs.mu -> hotring.writerMu"
+const docOrder = "snapMu -> maintMu -> flushMu -> router.mu -> partition.mu -> unsorted.viewMu -> logRefs.mu -> hotring.writerMu"
 
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
@@ -46,19 +46,22 @@ type mutexRef struct {
 	key   string // textual receiver ("p.mu", "db.router") for pairing
 }
 
-var rankLabels = [...]string{"maintMu", "flushMu", "router.mu", "partition.mu", "unsorted.viewMu", "logRefs.mu", "hotring.writerMu"}
+var rankLabels = [...]string{"snapMu", "maintMu", "flushMu", "router.mu", "partition.mu", "unsorted.viewMu", "logRefs.mu", "hotring.writerMu"}
 
 var acquireMethods = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
 var releaseMethods = map[string]bool{"Unlock": true, "RUnlock": true}
 
 // classify resolves the receiver of a Lock/Unlock call to a ranked mutex.
-// maintMu, flushMu, router, viewMu (the unsorted store's lazy sorted-view
-// rebuild lock — after partition.mu, never held across other acquisitions),
-// logRefs, and writerMu (the hot ring's per-shard mutator lock — last rank:
-// ring methods are called with core locks held but never acquire one) are
-// identified by field name (router and logRefs embed their mutex, so the
-// lock method is called on the field itself); partition.mu by a field named
-// mu on a type named partition.
+// snapMu (the snapshot registry lock — rank 0: NewSnapshot holds it across
+// the whole capture, which RLocks the router and every partition, and Close
+// takes it before any teardown lock), maintMu, flushMu, router, viewMu (the
+// unsorted store's lazy sorted-view rebuild lock — after partition.mu,
+// never held across other acquisitions), logRefs, and writerMu (the hot
+// ring's per-shard mutator lock — last rank: ring methods are called with
+// core locks held but never acquire one) are identified by field name
+// (router and logRefs embed their mutex, so the lock method is called on
+// the field itself); partition.mu by a field named mu on a type named
+// partition.
 func classify(info *types.Info, recv ast.Expr) (mutexRef, bool) {
 	var fieldName string
 	var owner ast.Expr
@@ -73,22 +76,24 @@ func classify(info *types.Info, recv ast.Expr) (mutexRef, bool) {
 	}
 	rank := -1
 	switch fieldName {
-	case "maintMu":
+	case "snapMu":
 		rank = 0
-	case "flushMu":
+	case "maintMu":
 		rank = 1
-	case "router":
+	case "flushMu":
 		rank = 2
+	case "router":
+		rank = 3
 	case "viewMu":
-		rank = 4
-	case "logRefs":
 		rank = 5
-	case "writerMu":
+	case "logRefs":
 		rank = 6
+	case "writerMu":
+		rank = 7
 	case "mu":
 		if owner != nil {
 			if tv, ok := info.Types[owner]; ok && lintutil.NamedName(tv.Type) == "partition" {
-				rank = 3
+				rank = 4
 			}
 		}
 	}

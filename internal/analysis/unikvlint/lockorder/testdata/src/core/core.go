@@ -1,7 +1,8 @@
-// Fixture: the documented lock hierarchy maintMu -> flushMu -> router.mu
-// -> partition.mu -> unsorted.viewMu -> logRefs.mu -> hotring.writerMu
-// replayed over local stand-ins (classification is by field name, so the
-// mutex types themselves need only Lock/Unlock-shaped methods).
+// Fixture: the documented lock hierarchy snapMu -> maintMu -> flushMu
+// -> router.mu -> partition.mu -> unsorted.viewMu -> logRefs.mu
+// -> hotring.writerMu replayed over local stand-ins (classification is by
+// field name, so the mutex types themselves need only Lock/Unlock-shaped
+// methods).
 package core
 
 type mutex struct{}
@@ -22,6 +23,7 @@ type partition struct {
 }
 
 type DB struct {
+	snapMu  mutex
 	maintMu mutex
 	flushMu mutex
 	router  struct {
@@ -177,6 +179,29 @@ func (db *DB) viewReentry(p *partition, s *store) {
 	defer s.viewMu.Unlock()
 	p.mu.RLock() // want `acquires partition\.mu while unsorted\.viewMu`
 	defer p.mu.RUnlock()
+}
+
+// The NewSnapshot capture shape: the snapshot registry lock is rank 0,
+// held across the whole multi-partition capture — router and partition
+// read locks nest under it cleanly.
+func (db *DB) snapshotCapture(p *partition) {
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+	db.router.RLock()
+	defer db.router.RUnlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	doWork()
+}
+
+// But a teardown path that reaches for the registry after taking a
+// maintenance lock inverts: Close must check the registry BEFORE any
+// engine lock, or it deadlocks against an in-flight capture.
+func (db *DB) teardownInversion() {
+	db.maintMu.Lock()
+	defer db.maintMu.Unlock()
+	db.snapMu.Lock() // want `acquires snapMu while maintMu`
+	defer db.snapMu.Unlock()
 }
 
 // Intentional handoff to the caller, documented and annotated.

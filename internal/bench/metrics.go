@@ -52,6 +52,23 @@ func ReadArtifact(path string) (Artifact, error) {
 	return a, nil
 }
 
+// LoadBaseline reads a gating artifact, degrading to "record, don't gate"
+// instead of failing: a missing or unreadable artifact, or one with an
+// empty metric trajectory, cannot gate anything — the bench run should
+// still execute and record fresh artifacts rather than die at startup. A
+// degraded load returns a zero Artifact plus a non-empty note for the
+// caller to log; a usable baseline returns with an empty note.
+func LoadBaseline(path string) (Artifact, string) {
+	a, err := ReadArtifact(path)
+	if err != nil {
+		return Artifact{}, fmt.Sprintf("baseline %s unavailable (%v) — recording only, not gating", path, err)
+	}
+	if len(a.Metrics) == 0 {
+		return Artifact{}, fmt.Sprintf("baseline %s has an empty metric trajectory — recording only, not gating", path)
+	}
+	return a, ""
+}
+
 // CompareBaseline reports every metric of cur that regressed beyond tol
 // (e.g. 0.20 = 20%) against the same-named metric in base. Metrics present
 // on only one side are ignored — a baseline survives adding measurements.

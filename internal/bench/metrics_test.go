@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -29,6 +30,52 @@ func TestCompareBaseline(t *testing.T) {
 	}
 	if !strings.Contains(regs[0], "x/kops") || !strings.Contains(regs[1], "x/p99") {
 		t.Fatalf("regressions misattributed: %v", regs)
+	}
+}
+
+// TestLoadBaselineDegrades pins the gate's failure mode: a baseline that
+// cannot gate (missing file, malformed JSON, empty metric trajectory) must
+// degrade to "record, don't gate" — a note, never a hard failure — while a
+// usable artifact loads with no note.
+func TestLoadBaselineDegrades(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, note := LoadBaseline(filepath.Join(dir, "absent.json")); note == "" {
+		t.Fatal("missing baseline: want a degrade note, got none")
+	} else if !strings.Contains(note, "not gating") {
+		t.Fatalf("missing baseline note does not say it is not gating: %q", note)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, note := LoadBaseline(bad); !strings.Contains(note, "not gating") {
+		t.Fatalf("unreadable baseline: want a not-gating note, got %q", note)
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := WriteArtifact(empty, Artifact{Experiment: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, note := LoadBaseline(empty); !strings.Contains(note, "empty metric trajectory") {
+		t.Fatalf("empty trajectory: want an empty-trajectory note, got %q", note)
+	}
+
+	good := filepath.Join(dir, "good.json")
+	want := Artifact{
+		Experiment: "x",
+		Metrics:    []Metric{{Name: "a/kops", Unit: "kops", Value: 1, Better: "higher"}},
+	}
+	if err := WriteArtifact(good, want); err != nil {
+		t.Fatal(err)
+	}
+	a, note := LoadBaseline(good)
+	if note != "" {
+		t.Fatalf("usable baseline produced a degrade note: %q", note)
+	}
+	if a.Experiment != "x" || len(a.Metrics) != 1 {
+		t.Fatalf("usable baseline loaded wrong: %+v", a)
 	}
 }
 

@@ -60,9 +60,7 @@ func (db *DB) ApplyBatch(b *Batch) error {
 			return ErrKeyTooLarge
 		}
 	}
-	// Sequence all operations up front: queue order = commit order.
 	for i := range b.ops {
-		b.ops[i].Seq = db.seq.Add(1)
 		if b.ops[i].Kind == record.KindDelete {
 			db.stats.Deletes.Add(1)
 		} else {
@@ -94,6 +92,14 @@ func (db *DB) ApplyBatch(b *Batch) error {
 			} else {
 				rest = append(rest, op)
 			}
+		}
+		// Sequence this partition's chunk under its lock (see apply: a
+		// snapshot pin loads db.seq under every partition lock, so writes
+		// must not carry a seq before they are visible in a memtable).
+		// Per-key order is preserved — a key maps to exactly one partition
+		// and mine keeps queue order.
+		for i := range mine {
+			mine[i].Seq = db.seq.Add(1)
 		}
 		wantSplit, err := p.putBatch(mine)
 		p.mu.Unlock()

@@ -31,6 +31,14 @@ var ErrNotFound = errors.New("unikv: key not found")
 // live database (see ROADMAP, PR 3).
 var ErrDBLocked = errors.New("unikv: database locked by another process")
 
+// ErrSnapshotOpen is returned by Close while a snapshot handle is still
+// open: closing would unmap the tables and value logs the snapshot has
+// pinned out from under its reads. Close every Snapshot first.
+var ErrSnapshotOpen = errors.New("unikv: snapshot still open")
+
+// ErrSnapshotClosed is returned by reads on a closed Snapshot.
+var ErrSnapshotClosed = errors.New("unikv: snapshot closed")
+
 // DB is a UniKV instance.
 type DB struct {
 	opts Options
@@ -60,14 +68,28 @@ type DB struct {
 	nextFile atomic.Uint64
 
 	// router orders partitions by lower boundary key. Lock order:
-	// maintMu -> flushMu -> router.mu -> partition.mu -> unsorted.viewMu
-	//   -> logRefs.mu -> hotring.writerMu
-	// (the first two exist per partition and only matter with
-	// BackgroundWorkers > 0; see scheduler.go. viewMu serializes the
-	// lazy sorted-view rebuild and is never held across any other lock.)
+	// snapMu -> maintMu -> flushMu -> router.mu -> partition.mu
+	//   -> unsorted.viewMu -> logRefs.mu -> hotring.writerMu
+	// (snapMu is the snapshot-registry lock below; maintMu/flushMu exist
+	// per partition and only matter with BackgroundWorkers > 0; see
+	// scheduler.go. viewMu serializes the lazy sorted-view rebuild and is
+	// never held across any other lock.)
 	router struct {
 		sync.RWMutex
 		parts []*partition
+	}
+
+	// snaps registers live MVCC snapshots, keyed by handle ID; each entry
+	// pins a sequence number, and the minimum over the table is the seq
+	// below which background work must keep superseded versions reachable
+	// (enforced physically: snapshots hold reader refs and log refs).
+	// snapMu is the first rank of the lock order: NewSnapshot holds it
+	// across the whole partition capture, and Close takes it around the
+	// closed transition so a snapshot can never race the teardown.
+	snaps struct {
+		snapMu sync.Mutex
+		m      map[uint64]*Snapshot
+		nextID uint64
 	}
 
 	// logRefs counts how many partitions reference each value log; a log
@@ -101,6 +123,9 @@ type Stats struct {
 	Puts, Gets, Deletes, Scans               atomic.Int64
 	Flushes, Merges, ScanMerges, GCs, Splits atomic.Int64
 	GCBytesRewritten                         atomic.Int64
+	// Snapshots counts NewSnapshot calls; SnapshotGets/SnapshotScans count
+	// reads served through pinned handles.
+	Snapshots, SnapshotGets, SnapshotScans atomic.Int64
 	HashProbes                               atomic.Int64
 	Stalls, StallNanos, SlowdownNanos        atomic.Int64
 	// BackgroundErrors counts distinct terminal job failures (a job that
@@ -175,6 +200,17 @@ type StatsSnapshot struct {
 	// prefetch, and spans retired without serving a single read.
 	ScanPrefetchIssued int64
 	ScanPrefetchWasted int64
+
+	// MVCC snapshot counters and gauges. Snapshots counts handles taken
+	// over the DB's lifetime; SnapshotsOpen gauges live handles;
+	// SnapshotMinSeq is the smallest pinned sequence among them (0 when
+	// none are open) — the fence below which background work must keep
+	// superseded versions reachable.
+	Snapshots      int64
+	SnapshotGets   int64
+	SnapshotScans  int64
+	SnapshotsOpen  int
+	SnapshotMinSeq uint64
 }
 
 // file-name helpers -----------------------------------------------------
@@ -213,6 +249,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	opts = opts.Sanitize()
 	db := &DB{opts: opts, fs: opts.FS, dir: dir}
 	db.logRefs.refs = make(map[uint32]int)
+	db.snaps.m = make(map[uint64]*Snapshot)
 	if err := db.fs.MkdirAll(dir); err != nil {
 		return nil, err
 	}
@@ -446,9 +483,21 @@ func (db *DB) walNumsFrom(pdir string, from uint64) []uint64 {
 	return nums
 }
 
-// Close flushes memtables and releases every resource.
+// Close flushes memtables and releases every resource. It fails with
+// ErrSnapshotOpen while any Snapshot handle is still open — tearing down
+// would unmap the tables and value logs the snapshot has pinned.
 func (db *DB) Close() error {
-	if db.closed.Swap(true) {
+	// The closed transition happens under snapMu so it cannot interleave
+	// with NewSnapshot: either the snapshot registers first (and Close
+	// refuses) or Close wins (and NewSnapshot sees ErrClosed).
+	db.snaps.snapMu.Lock()
+	if len(db.snaps.m) > 0 {
+		db.snaps.snapMu.Unlock()
+		return ErrSnapshotOpen
+	}
+	already := db.closed.Swap(true)
+	db.snaps.snapMu.Unlock()
+	if already {
 		return nil
 	}
 	var first error
@@ -564,6 +613,18 @@ func (db *DB) releaseLogs(nums []uint32) {
 	for _, n := range dead {
 		db.vl.Remove(n) // best effort; orphan sweep handles failures
 	}
+}
+
+// retireTable deletes a replaced table when its last owner closes: with no
+// snapshot pinning the reader, that is immediately (matching the old
+// close-then-remove); otherwise the file and reader outlive retirement
+// until the last pinned handle drops. Removal is best effort, like the
+// inline removes it replaces — the orphan sweep covers failures.
+func (db *DB) retireTable(dir string, num uint64, r *sstable.Reader) {
+	fs := db.fs
+	name := tableName(dir, num)
+	r.SetRetire(func() { fs.Remove(name) })
+	r.Close()
 }
 
 // retainLogs adds one reference to each log in nums.
@@ -697,6 +758,10 @@ func (db *DB) Metrics() StatsSnapshot {
 		BackgroundErrors:  db.stats.BackgroundErrors.Load(),
 		BackgroundRetries: db.stats.BackgroundRetries.Load(),
 	}
+	s.Snapshots = db.stats.Snapshots.Load()
+	s.SnapshotGets = db.stats.SnapshotGets.Load()
+	s.SnapshotScans = db.stats.SnapshotScans.Load()
+	s.SnapshotsOpen, s.SnapshotMinSeq = db.snapshotGauges()
 	if d := db.degradedState.Load(); d != nil {
 		s.Degraded = true
 		s.DegradedSince = d.Since.UnixNano()

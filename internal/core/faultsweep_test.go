@@ -234,6 +234,120 @@ func TestFaultSweepWorkloadCoverage(t *testing.T) {
 	}
 }
 
+// runSnapshotFaultCampaign is the snapshot variant of the sweep: a
+// fault-free fill, a pinned snapshot with its dump captured, THEN the plan
+// is armed and a churn of overwrites/deletes/flushes/compactions storms
+// the engine. Pinned reads interleave with the faulting churn: each must
+// return either the exact pinned value or a clean error — never wrong
+// bytes. After disarming, the snapshot must replay its pin-time dump
+// byte-identically (a fault that half-deleted a pinned table or log would
+// surface right here).
+func runSnapshotFaultCampaign(t *testing.T, plan vfs.FailPlan) *vfs.FailFS {
+	t.Helper()
+	ffs := vfs.NewFail(vfs.NewMem())
+	db, err := Open("db", sweepOpts(ffs))
+	if err != nil {
+		t.Fatalf("fault-free open: %v", err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := db.Put(key(i), val(i)); err != nil {
+			t.Fatalf("fault-free fill: %v", err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatalf("fault-free flush: %v", err)
+	}
+
+	s, err := db.NewSnapshot()
+	if err != nil {
+		t.Fatalf("NewSnapshot: %v", err)
+	}
+	want, err := s.Scan(nil, nil, 400)
+	if err != nil || len(want) != 300 {
+		t.Fatalf("pin-time dump: %d keys, %v", len(want), err)
+	}
+
+	ffs.ArmPlan(plan)
+	func() {
+		for i := 0; i < 500; i++ {
+			var opErr error
+			switch {
+			case i%50 == 49:
+				opErr = db.Flush()
+			case i%150 == 149:
+				opErr = db.CompactAll()
+			case i%7 == 3:
+				opErr = db.Delete(key(i % 300))
+			default:
+				opErr = db.Put(key(i%300), val(i+1000))
+			}
+			if opErr != nil {
+				return // the fault landed in the foreground; churn stops
+			}
+			if i%20 == 0 {
+				kv := want[(i*13)%len(want)]
+				got, err := s.Get(kv.Key)
+				if err == nil && !bytes.Equal(got, kv.Value) {
+					t.Fatalf("pinned read of %q under faults returned WRONG DATA: %q, want %q",
+						kv.Key, got, kv.Value)
+				}
+			}
+		}
+	}()
+	ffs.Disarm()
+
+	// Fault gone: the pinned state must be fully intact — every file the
+	// snapshot references survived whatever the fault did to maintenance.
+	after, err := s.Scan(nil, nil, 400)
+	if err != nil {
+		t.Fatalf("snapshot dump after disarm: %v", err)
+	}
+	if len(after) != len(want) {
+		t.Fatalf("snapshot dump after disarm: %d keys, want %d", len(after), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(after[i].Key, want[i].Key) || !bytes.Equal(after[i].Value, want[i].Value) {
+			t.Fatalf("snapshot diverged after faulting churn: [%d] %q=%q, want %q=%q",
+				i, after[i].Key, after[i].Value, want[i].Key, want[i].Value)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("snapshot close: %v", err)
+	}
+	// Park crash-style: a sticky fault may have left the instance degraded.
+	db.closed.Store(true)
+	db.sched.close()
+	return ffs
+}
+
+// TestFaultSweepOpenSnapshot arms faults at sampled op indices while a
+// snapshot is open (part of `make fault-sweep`): pinned reads must never
+// see corruption, under sticky and transient plans alike.
+func TestFaultSweepOpenSnapshot(t *testing.T) {
+	counter := runSnapshotFaultCampaign(t, vfs.FailPlan{Fail: 0, Kinds: vfs.OpAll})
+	n := counter.MatchedOps()
+	if n < 20 {
+		t.Fatalf("snapshot churn issued only %d FS ops; the sweep space collapsed", n)
+	}
+	samples := int64(8)
+	if testing.Short() {
+		samples = 3
+	}
+	stride := n / samples
+	if stride < 1 {
+		stride = 1
+	}
+	for idx := int64(0); idx < n; idx += stride {
+		idx := idx
+		t.Run(fmt.Sprintf("sticky/%d", idx), func(t *testing.T) {
+			runSnapshotFaultCampaign(t, vfs.FailPlan{Skip: idx, Fail: -1, Kinds: vfs.OpAll})
+		})
+		t.Run(fmt.Sprintf("transient/%d", idx), func(t *testing.T) {
+			runSnapshotFaultCampaign(t, vfs.FailPlan{Skip: idx, Fail: 2, Kinds: vfs.OpAll})
+		})
+	}
+}
+
 // TestFaultSweep is the sweep proper. Each campaign replays the canonical
 // workload with a fault armed at one op index: sticky campaigns model a
 // dying disk (every matching op from the index on fails), transient

@@ -177,8 +177,7 @@ func (p *partition) gcTables(locked bool) error {
 	}
 	p.srt.ReplaceAll(tables)
 	for _, t := range oldSorted {
-		t.Reader.Close()
-		db.fs.Remove(tableName(p.dir, t.Meta.FileNum))
+		db.retireTable(p.dir, t.Meta.FileNum, t.Reader)
 	}
 	var released []uint32
 	for n := range collect {

@@ -264,7 +264,8 @@ func (p *partition) mergeTables(snap []*unsorted.Table, locked bool) error {
 	}
 	db.retainLogs(added)
 
-	// Swap in-memory state, then delete the replaced files.
+	// Swap in-memory state, then retire the replaced tables (deleted when
+	// the last owner — possibly a pinned snapshot — closes them).
 	if err := p.uns.ReplaceTables(remaining); err != nil {
 		return err
 	}
@@ -272,12 +273,10 @@ func (p *partition) mergeTables(snap []*unsorted.Table, locked bool) error {
 	p.hashCkpt = 0
 	p.flushesSinceCkpt = 0
 	for _, t := range snap {
-		t.Reader.Close()
-		db.fs.Remove(tableName(p.dir, t.Meta.FileNum))
+		db.retireTable(p.dir, t.Meta.FileNum, t.Reader)
 	}
 	for _, t := range oldSorted {
-		t.Reader.Close()
-		db.fs.Remove(tableName(p.dir, t.Meta.FileNum))
+		db.retireTable(p.dir, t.Meta.FileNum, t.Reader)
 	}
 	if oldCkpt != 0 {
 		db.fs.Remove(ckptName(p.dir, oldCkpt))
@@ -424,8 +423,7 @@ func (p *partition) scanMergeTables(snap []*unsorted.Table, locked bool) error {
 	p.hashCkpt = 0
 	p.flushesSinceCkpt = 0
 	for _, t := range snap {
-		t.Reader.Close()
-		db.fs.Remove(tableName(p.dir, t.Meta.FileNum))
+		db.retireTable(p.dir, t.Meta.FileNum, t.Reader)
 	}
 	if oldCkpt != 0 {
 		db.fs.Remove(ckptName(p.dir, oldCkpt))

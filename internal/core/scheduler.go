@@ -23,8 +23,8 @@ import (
 // flushes take only partition.flushMu, so a flush commits concurrently
 // with a long merge build. Lock order with the pool:
 //
-//	maintMu -> flushMu -> router.mu -> partition.mu -> unsorted.viewMu
-//	  -> logRefs.mu -> hotring.writerMu
+//	snapMu -> maintMu -> flushMu -> router.mu -> partition.mu
+//	  -> unsorted.viewMu -> logRefs.mu -> hotring.writerMu
 //
 // A job error is classified (see errors.go) before it can do damage: a
 // transient error is retried with bounded exponential backoff + jitter

@@ -16,6 +16,11 @@ import (
 // (they are the code under test), and the tiny limits plus periodic forced
 // flushes drive every view transition throughout the trace: incremental
 // builds at flush, rebuilds at merge and scan merge, resets at split.
+//
+// Mid-trace the test pins snapshots on both DBs: each snapshot's full dump
+// is captured at pin time, the trace keeps storming (flushes, merges,
+// splits, GC), and at trace end every snapshot must replay byte-identically
+// — on the view path and the per-table fallback path alike.
 func TestSortedViewEquivalence(t *testing.T) {
 	onOpts := smallOpts(vfs.NewMem())
 	onOpts.PartitionSizeLimit = 16 << 10 // low enough that the trace splits
@@ -35,7 +40,26 @@ func TestSortedViewEquivalence(t *testing.T) {
 
 	rnd := rand.New(rand.NewSource(43))
 	k := func() []byte { return []byte(fmt.Sprintf("key-%03d", rnd.Intn(200))) }
+	type pin struct {
+		op      int
+		on, off *Snapshot
+		want    []KV
+	}
+	var pins []pin
 	for op := 0; op < 6000; op++ {
+		if op == 2000 || op == 4000 {
+			sOn, err := on.NewSnapshot()
+			if err != nil {
+				t.Fatalf("op %d: on.NewSnapshot: %v", op, err)
+			}
+			sOff, err := off.NewSnapshot()
+			if err != nil {
+				t.Fatalf("op %d: off.NewSnapshot: %v", op, err)
+			}
+			want := dumpSnap(t, sOn)
+			sameKVs(t, fmt.Sprintf("op %d: on vs off snapshot", op), want, dumpSnap(t, sOff))
+			pins = append(pins, pin{op: op, on: sOn, off: sOff, want: want})
+		}
 		switch rnd.Intn(10) {
 		case 0, 1, 2, 3: // Put
 			key := k()
@@ -91,6 +115,19 @@ func TestSortedViewEquivalence(t *testing.T) {
 		}
 	}
 
+	// Every mid-trace snapshot must replay exactly its pin-time dump after
+	// thousands of further ops and all the maintenance they triggered.
+	for _, p := range pins {
+		sameKVs(t, fmt.Sprintf("op %d snapshot (view on) at trace end", p.op), p.want, dumpSnap(t, p.on))
+		sameKVs(t, fmt.Sprintf("op %d snapshot (view off) at trace end", p.op), p.want, dumpSnap(t, p.off))
+		if err := p.on.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.off.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	mOn, mOff := on.Metrics(), off.Metrics()
 	if mOn.SortedViewBuilds == 0 || mOn.SortedViewRebuilds == 0 {
 		t.Fatalf("trace never exercised the view: builds=%d rebuilds=%d",
@@ -102,6 +139,96 @@ func TestSortedViewEquivalence(t *testing.T) {
 	}
 	if mOff.SortedViewBuilds != 0 || mOff.SortedViewEntries != 0 {
 		t.Fatalf("view-off DB built a view: %+v", mOff)
+	}
+}
+
+// TestScanLimitEquivalenceViewOnOff is the S2 audit's pinned conclusion:
+// on both the cross-table sorted-view path and the per-table fallback path
+// (SortedViewOff) a tombstone is skipped BEFORE the limit check, so a
+// limit-N scan over a tombstone-riddled range returns the same N live keys
+// on either path. The audit found no divergence — both branches feed one
+// shared emit loop whose tombstone `continue` precedes the count — and
+// this randomized cross-check (many deletes, limits from 1 up, bounded
+// and unbounded ranges) keeps it that way.
+func TestScanLimitEquivalenceViewOnOff(t *testing.T) {
+	onOpts := smallOpts(vfs.NewMem())
+	onOpts.PartitionSizeLimit = 16 << 10
+	on, err := Open("on", onOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	offOpts := smallOpts(vfs.NewMem())
+	offOpts.PartitionSizeLimit = 16 << 10
+	offOpts.SortedViewOff = true
+	off, err := Open("off", offOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+
+	// A delete-heavy trace leaves tombstones at every level: live in the
+	// memtable, flushed into unsorted tables, and merged into the sorted
+	// store, so limit counting meets shadowed keys on every path.
+	rnd := rand.New(rand.NewSource(47))
+	k := func(i int) []byte { return []byte(fmt.Sprintf("key-%03d", i)) }
+	for op := 0; op < 3000; op++ {
+		switch {
+		case op%9 < 5: // Put
+			key := k(rnd.Intn(200))
+			val := []byte(fmt.Sprintf("val-%d-%s", op, bytes.Repeat([]byte("t"), 100+rnd.Intn(60))))
+			if err := on.Put(key, val); err != nil {
+				t.Fatal(err)
+			}
+			if err := off.Put(key, val); err != nil {
+				t.Fatal(err)
+			}
+		case op%9 < 8: // Delete — heavy, to shadow runs of consecutive keys
+			key := k(rnd.Intn(200))
+			if err := on.Delete(key); err != nil {
+				t.Fatal(err)
+			}
+			if err := off.Delete(key); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := on.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := off.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	check := func(what string, start, end []byte, limit int) {
+		t.Helper()
+		a, errA := on.Scan(start, end, limit)
+		b, errB := off.Scan(start, end, limit)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: errs diverge: %v vs %v", what, errA, errB)
+		}
+		sameKVs(t, what, a, b)
+		if limit > 0 && len(a) > limit {
+			t.Fatalf("%s: limit %d overshot: %d results", what, limit, len(a))
+		}
+	}
+	for trial := 0; trial < 400; trial++ {
+		start := k(rnd.Intn(200))
+		limit := []int{1, 2, 3, 5, 20, 250}[rnd.Intn(6)]
+		switch rnd.Intn(3) {
+		case 0: // bounded range, counted
+			end := k(rnd.Intn(200) + 1)
+			if bytes.Compare(start, end) > 0 {
+				start, end = end, start
+			}
+			check(fmt.Sprintf("trial %d: [%s,%s) limit %d", trial, start, end, limit), start, end, limit)
+		case 1: // unbounded range, counted
+			check(fmt.Sprintf("trial %d: [%s,∞) limit %d", trial, start, limit), start, nil, limit)
+		default: // bounded range, uncounted (limit <= 0)
+			end := []byte("key-\xff")
+			check(fmt.Sprintf("trial %d: [%s,%s) unlimited", trial, start, end), start, end, 0)
+		}
 	}
 }
 

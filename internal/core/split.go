@@ -262,14 +262,14 @@ func (db *DB) splitPartition(parent *partition) error {
 	// router.mu + parent.mu held here).
 	db.hot.InvalidateRange(boundary, child.upper)
 
-	// Delete replaced files.
+	// Retire replaced tables (deleted once the last owner — possibly a
+	// pinned snapshot — closes them): a split invalidates nothing a pinned
+	// reader can still reach.
 	for _, t := range oldUnsorted {
-		t.Reader.Close()
-		db.fs.Remove(tableName(parent.dir, t.Meta.FileNum))
+		db.retireTable(parent.dir, t.Meta.FileNum, t.Reader)
 	}
 	for _, t := range oldSorted {
-		t.Reader.Close()
-		db.fs.Remove(tableName(parent.dir, t.Meta.FileNum))
+		db.retireTable(parent.dir, t.Meta.FileNum, t.Reader)
 	}
 	if oldCkpt != 0 {
 		db.fs.Remove(ckptName(parent.dir, oldCkpt))

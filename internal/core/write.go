@@ -53,7 +53,7 @@ func (db *DB) apply(key, value []byte, kind record.Kind) error {
 	if len(key) == 0 || len(key) >= maxKeyLen || len(value) >= maxValueLen {
 		return ErrKeyTooLarge
 	}
-	rec := copyRecord(key, value, db.seq.Add(1), kind)
+	rec := copyRecord(key, value, 0, kind)
 	for tries := 0; tries < maxRouteRetries; tries++ {
 		p := db.partitionFor(key)
 		if err := db.throttle(p); err != nil {
@@ -64,6 +64,13 @@ func (db *DB) apply(key, value []byte, kind record.Kind) error {
 			p.mu.Unlock()
 			continue
 		}
+		// Sequence under the partition lock: a snapshot pins by loading
+		// db.seq while holding every partition's read lock, so any write
+		// sequenced before the pin is already in its memtable and any write
+		// sequenced after carries a larger seq. Assigning before the lock
+		// would let a pinned snapshot admit an in-flight write it can later
+		// observe appearing in the shared memtable.
+		rec.Seq = db.seq.Add(1)
 		wantSplit, err := p.put(rec)
 		p.mu.Unlock()
 		// Invalidate after the write applied, before it is acknowledged —

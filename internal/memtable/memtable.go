@@ -127,6 +127,19 @@ func (m *Memtable) Get(key []byte) (record.Record, bool) {
 	return n.rec, true
 }
 
+// GetAtSeq returns the newest record for key whose sequence number is
+// <= seq, if any — the MVCC read used by snapshot handles pinned at seq.
+// The returned record aliases memtable-owned memory.
+func (m *Memtable) GetAtSeq(key []byte, seq uint64) (record.Record, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := m.findGE(key, seq)
+	if n == nil || codec.Compare(n.rec.Key, key) != 0 {
+		return record.Record{}, false
+	}
+	return n.rec, true
+}
+
 // Size returns the approximate memory footprint in bytes.
 func (m *Memtable) Size() int64 {
 	m.mu.RLock()
@@ -151,9 +164,10 @@ func (m *Memtable) MaxSeq() uint64 {
 // Empty reports whether the memtable holds no records.
 func (m *Memtable) Empty() bool { return m.Len() == 0 }
 
-// Iterator walks records in (key asc, seq desc) order. It must not outlive
-// mutations: callers iterate immutable memtables (post-rotation) or hold the
-// engine's write path idle. Deduplicate with Next()'s skipOlder semantics.
+// Iterator walks records in (key asc, seq desc) order. Each positioning
+// step takes the table's read lock, and inserted nodes are never removed
+// or mutated, so iteration is safe concurrently with writers — snapshot
+// reads rely on this, filtering out records sequenced after their pin.
 type Iterator struct {
 	m *Memtable
 	n *node

@@ -143,6 +143,14 @@ type DirLock interface {
 	Release() error
 }
 
+// Linker is optionally implemented by file systems that support hard links.
+// Backup uses it to publish immutable table files into a checkpoint directory
+// without copying; callers must fall back to a byte copy when the FS does not
+// implement it (or when Link fails, e.g. across devices).
+type Linker interface {
+	Link(oldname, newname string) error
+}
+
 // Crasher is implemented by file systems that can simulate a power loss:
 // Crash discards every directory entry that was not made durable via
 // SyncDir and truncates surviving files to their last Sync'd length.
@@ -199,6 +207,11 @@ func (fs *osFS) Remove(name string) error {
 
 func (fs *osFS) Rename(oldname, newname string) error {
 	return os.Rename(oldname, newname)
+}
+
+// Link implements Linker via hard links (immutable-file checkpoints).
+func (fs *osFS) Link(oldname, newname string) error {
+	return os.Link(oldname, newname)
 }
 
 func (fs *osFS) List(dir string) ([]string, error) {

@@ -59,6 +59,14 @@ var ErrKeyTooLarge = core.ErrKeyTooLarge
 // by Close and dies with the owning process.
 var ErrDBLocked = core.ErrDBLocked
 
+// ErrSnapshotOpen is returned by Close while a Snapshot handle is still
+// open: tearing down would unmap the tables and value logs the snapshot
+// has pinned. Close every Snapshot first.
+var ErrSnapshotOpen = core.ErrSnapshotOpen
+
+// ErrSnapshotClosed is returned by reads on a closed Snapshot.
+var ErrSnapshotClosed = core.ErrSnapshotClosed
+
 // ErrDegraded matches (via errors.Is) every error returned by writes once
 // the database has entered degraded read-only mode: a background
 // maintenance job failed terminally — its error classified as corruption,
@@ -278,3 +286,42 @@ func (db *DB) Apply(b *Batch) error { return db.eng.ApplyBatch(b) }
 // clean). The actively appended log is skipped; verify a quiesced or
 // freshly opened database for full coverage.
 func (db *DB) VerifyIntegrity() error { return db.eng.VerifyIntegrity() }
+
+// Snapshot is a consistent point-in-time read handle: Get and Scan observe
+// exactly the writes sequenced at or before NewSnapshot, no matter how many
+// writes, flushes, merges, splits, or value-log GCs run afterwards. Safe
+// for concurrent use; Close releases the pinned resources, and DB.Close
+// fails with ErrSnapshotOpen while any handle is open.
+type Snapshot struct {
+	s *core.Snapshot
+}
+
+// NewSnapshot pins the current state and returns a consistent read handle.
+func (db *DB) NewSnapshot() (*Snapshot, error) {
+	s, err := db.eng.NewSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{s: s}, nil
+}
+
+// Seq returns the sequence number the snapshot is pinned to.
+func (s *Snapshot) Seq() uint64 { return s.s.Seq() }
+
+// Get returns the value key had at the pinned point, or ErrNotFound.
+func (s *Snapshot) Get(key []byte) ([]byte, error) { return s.s.Get(key) }
+
+// Scan returns up to limit pairs with start <= key < end as of the pinned
+// point, in key order (same bounds semantics as DB.Scan).
+func (s *Snapshot) Scan(start, end []byte, limit int) ([]KV, error) {
+	return s.s.Scan(start, end, limit)
+}
+
+// Close releases the snapshot's pinned tables and value logs. Idempotent.
+func (s *Snapshot) Close() error { return s.s.Close() }
+
+// Backup writes an online point-in-time checkpoint of the database into
+// destDir (which must be empty or absent). The result opens as an
+// independent database reproducing the backup-time state; writes and
+// background maintenance proceed concurrently.
+func (db *DB) Backup(destDir string) error { return db.eng.Backup(destDir) }
