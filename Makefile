@@ -16,7 +16,9 @@ race:
 
 # lint = the repo's own invariant checkers (cmd/unikvlint run through the
 # `go vet -vettool` protocol) plus staticcheck/govulncheck when installed.
-# The external tools are optional so `make lint` works offline.
+# The external tools are optional so `make lint` works offline. unikvlint
+# fails on findings AND on stale //unikv:allow suppressions — delete an
+# annotation once the violation it excused is gone.
 lint: $(BIN)/unikvlint
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(BIN)/unikvlint ./...

@@ -1,5 +1,6 @@
 // Command unikvlint runs the unikv invariant checkers (lockorder, vfsonly,
-// syncpublish, atomiccounter) as a `go vet -vettool` backend:
+// syncpublish, atomiccounter, refpair, errclass, atomicpublish) as a
+// `go vet -vettool` backend:
 //
 //	go build -o bin/unikvlint ./cmd/unikvlint
 //	go vet -vettool=bin/unikvlint ./...
@@ -83,15 +84,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: unikvlint [-flags] [-V=full] vet.cfg")
 		os.Exit(1)
 	}
-	findings, err := run(flag.Arg(0))
+	res, err := run(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "unikvlint: %v\n", err)
 		os.Exit(1)
 	}
-	for _, f := range findings {
+	for _, f := range res.Findings {
 		fmt.Fprintf(os.Stderr, "%s: %s [unikvlint:%s]\n", f.Pos, f.Message, f.Analyzer)
 	}
-	if len(findings) > 0 {
+	// A suppression that suppressed nothing reads as "this line violates the
+	// invariant on purpose" when the violation is long gone — report it like
+	// any other finding. Satisfying one means deleting the comment; stale
+	// reports are themselves unsuppressable.
+	for _, s := range res.StaleAllows {
+		fmt.Fprintf(os.Stderr, "%s [unikvlint:staleallow]\n", s)
+	}
+	if len(res.Findings)+len(res.StaleAllows) > 0 {
 		os.Exit(2)
 	}
 }
@@ -111,20 +119,21 @@ func printVersion() {
 	fmt.Printf("unikvlint version devel buildID=%x\n", h.Sum(nil))
 }
 
-func run(cfgPath string) ([]analysis.Finding, error) {
+func run(cfgPath string) (analysis.Result, error) {
+	var none analysis.Result
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
-		return nil, err
+		return none, err
 	}
 	var cfg vetConfig
 	if err := json.Unmarshal(data, &cfg); err != nil {
-		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+		return none, fmt.Errorf("parsing %s: %w", cfgPath, err)
 	}
 
 	// No cross-package facts: downstream packages never read our vetx, so
 	// fact-only runs are complete the moment the (empty) file exists.
 	if cfg.VetxOnly {
-		return nil, writeVetx(&cfg)
+		return none, writeVetx(&cfg)
 	}
 
 	fset := token.NewFileSet()
@@ -133,9 +142,9 @@ func run(cfgPath string) ([]analysis.Finding, error) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, writeVetx(&cfg)
+				return none, writeVetx(&cfg)
 			}
-			return nil, err
+			return none, err
 		}
 		files = append(files, f)
 	}
@@ -153,19 +162,19 @@ func run(cfgPath string) ([]analysis.Finding, error) {
 	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, writeVetx(&cfg)
+			return none, writeVetx(&cfg)
 		}
-		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+		return none, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
 	}
 
-	findings, err := analysis.Run(fset, files, pkg, info, unikvlint.Analyzers())
+	res, err := analysis.RunAll(fset, files, pkg, info, unikvlint.Analyzers())
 	if err != nil {
-		return nil, err
+		return none, err
 	}
 	if err := writeVetx(&cfg); err != nil {
-		return nil, err
+		return none, err
 	}
-	return findings, nil
+	return res, nil
 }
 
 // writeVetx records the (empty) fact set so cmd/go can cache the action.

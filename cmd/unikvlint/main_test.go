@@ -100,6 +100,56 @@ func Add(a, b int) int { return a + b }
 		}
 	})
 
+	t.Run("live allow suppresses", func(t *testing.T) {
+		dir := filepath.Join(tmp, "allowed")
+		writeModule(t, dir, map[string]string{
+			"go.mod": goMod,
+			// The os.ReadFile would be a vfsonly finding; the annotation
+			// suppresses it, and because it suppresses something it is not
+			// reported as stale either.
+			"internal/core/raw.go": `package core
+
+import "os"
+
+func ReadRaw(p string) ([]byte, error) {
+	//unikv:allow(vfsonly) exercising the suppression path end to end
+	return os.ReadFile(p)
+}
+`,
+		})
+		out, ok := govet(t, bin, dir)
+		if !ok {
+			t.Fatalf("go vet failed despite a live allow:\n%s", out)
+		}
+	})
+
+	t.Run("stale allow fails", func(t *testing.T) {
+		dir := filepath.Join(tmp, "stale")
+		writeModule(t, dir, map[string]string{
+			"go.mod": goMod,
+			// Nothing on the annotated line violates vfsonly: the comment
+			// outlived whatever it once excused and must be reported.
+			"internal/core/stale.go": `package core
+
+import "errors"
+
+var errDone = errors.New("done")
+
+//unikv:allow(vfsonly) the os call this excused is long gone
+func Done() error { return errDone }
+`,
+		})
+		out, ok := govet(t, bin, dir)
+		if ok {
+			t.Fatalf("go vet passed despite a stale allow:\n%s", out)
+		}
+		for _, want := range []string{"unikvlint:staleallow", "stale suppression"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
 	t.Run("seeded violations fail", func(t *testing.T) {
 		dir := filepath.Join(tmp, "bad")
 		writeModule(t, dir, map[string]string{
@@ -155,6 +205,50 @@ type FS interface {
 
 func Swap(fs FS) error { return fs.Rename("CURRENT.tmp", "CURRENT") }
 `,
+			// refpair: the ref leaks on the error return.
+			"internal/core/refs.go": `package core
+
+import "errors"
+
+type Reader struct{ refs int }
+
+func (r *Reader) Ref()         { r.refs++ }
+func (r *Reader) Close() error { r.refs--; return nil }
+
+func step() error { return errors.New("boom") }
+
+func LeakRef(r *Reader) error {
+	r.Ref()
+	if err := step(); err != nil {
+		return err
+	}
+	return r.Close()
+}
+`,
+			// errclass: a bare errors.New on the background-job path.
+			"internal/core/retry.go": `package core
+
+import "errors"
+
+func runWithRetry() error { return gcJob() }
+
+func gcJob() error { return errors.New("checksum mismatch") }
+`,
+			// atomicpublish: mutated after the Store published it.
+			"internal/core/pub.go": `package core
+
+import "sync/atomic"
+
+type snapState struct{ seq uint64 }
+
+type holder struct{ cur atomic.Pointer[snapState] }
+
+func Publish(h *holder, seq uint64) {
+	s := &snapState{}
+	h.cur.Store(s)
+	s.seq = seq
+}
+`,
 		})
 		out, ok := govet(t, bin, dir)
 		if ok {
@@ -165,6 +259,9 @@ func Swap(fs FS) error { return fs.Rename("CURRENT.tmp", "CURRENT") }
 			"unikvlint:lockorder",
 			"unikvlint:atomiccounter",
 			"unikvlint:syncpublish",
+			"unikvlint:refpair",
+			"unikvlint:errclass",
+			"unikvlint:atomicpublish",
 			"inverts the documented lock order",
 			"never unlocked",
 		} {

@@ -71,13 +71,51 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
 }
 
+// A StaleAllow is a //unikv:allow comment that suppressed nothing during
+// a run: either its listed checks produced no diagnostic on the covered
+// lines, or it names checks that don't exist. Dead suppressions are worse
+// than dead code — they read as "this line violates the invariant on
+// purpose" when the violation is long gone — so the driver reports them
+// (satisfying one is deleting the comment, not silencing the report:
+// stale-suppression findings are themselves unsuppressable).
+type StaleAllow struct {
+	Pos token.Position
+	// Checks are the check names the comment listed that suppressed
+	// nothing; "" stands for a bare //unikv:allow covering all checks.
+	Checks []string
+}
+
+func (s StaleAllow) String() string {
+	list := strings.Join(s.Checks, ",")
+	if list == "" {
+		return fmt.Sprintf("%s: stale suppression: //unikv:allow suppressed no diagnostic", s.Pos)
+	}
+	return fmt.Sprintf("%s: stale suppression: //unikv:allow(%s) suppressed no diagnostic", s.Pos, list)
+}
+
+// Result is everything one analysis run produced.
+type Result struct {
+	Findings []Finding
+	// StaleAllows lists the suppression comments that did no suppressing,
+	// considering only checks among the analyzers actually run (an allow
+	// for a checker excluded from this run is not judged). Sorted by
+	// position.
+	StaleAllows []StaleAllow
+}
+
 // Run applies each analyzer to the type-checked package (fset, files, pkg,
 // info), filters out findings suppressed by //unikv:allow comments, and
 // returns the survivors sorted by position. An analyzer returning an error
 // aborts the run.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	res, err := RunAll(fset, files, pkg, info, analyzers)
+	return res.Findings, err
+}
+
+// RunAll is Run plus the stale-suppression audit over the same pass.
+func RunAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) (Result, error) {
 	allow := collectAllows(fset, files)
-	var findings []Finding
+	var res Result
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -92,14 +130,14 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 			if allow.suppressed(name, pos) {
 				return
 			}
-			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+			res.Findings = append(res.Findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
 		}
 		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+			return Result{}, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -111,7 +149,8 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	res.StaleAllows = allow.stale(analyzers)
+	return res, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -126,12 +165,32 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 // prefer the explicit form.
 var allowRe = regexp.MustCompile(`^//\s*unikv:allow(?:\(([^)]*)\))?`)
 
-// allowSet maps filename -> line -> the check names allowed there. The
-// empty string entry means "all checks".
-type allowSet map[string]map[int][]string
+// allowEntry is one check name of one //unikv:allow comment, with the
+// usage bit the stale audit reads back.
+type allowEntry struct {
+	name string // "" = all checks (bare //unikv:allow)
+	pos  token.Position
+	used bool
+}
 
-func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
-	set := allowSet{}
+// allowSet maps filename -> line -> the allow entries covering that line.
+type allowSet struct {
+	lines   map[string]map[int][]*allowEntry
+	entries []*allowEntry // comment order, for the stale audit
+}
+
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	set := &allowSet{lines: map[string]map[int][]*allowEntry{}}
+	add := func(pos token.Position, name string) {
+		lines := set.lines[pos.Filename]
+		if lines == nil {
+			lines = map[int][]*allowEntry{}
+			set.lines[pos.Filename] = lines
+		}
+		e := &allowEntry{name: name, pos: pos}
+		lines[pos.Line] = append(lines[pos.Line], e)
+		set.entries = append(set.entries, e)
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -140,17 +199,12 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				lines := set[pos.Filename]
-				if lines == nil {
-					lines = map[int][]string{}
-					set[pos.Filename] = lines
-				}
 				if m[1] == "" {
-					lines[pos.Line] = append(lines[pos.Line], "")
+					add(pos, "")
 					continue
 				}
 				for _, name := range strings.Split(m[1], ",") {
-					lines[pos.Line] = append(lines[pos.Line], strings.TrimSpace(name))
+					add(pos, strings.TrimSpace(name))
 				}
 			}
 		}
@@ -158,22 +212,81 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 	return set
 }
 
-// suppressed reports whether check is allowed at pos: an allow comment on
-// the same line or the line directly above.
-func (s allowSet) suppressed(check string, pos token.Position) bool {
-	lines := s[pos.Filename]
+// suppressed reports whether check is allowed at pos — an allow comment on
+// the same line or the line directly above — and marks every matching
+// entry used for the stale audit.
+func (s *allowSet) suppressed(check string, pos token.Position) bool {
+	lines := s.lines[pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == "" || name == check {
-				return true
+		for _, e := range lines[line] {
+			if e.name == "" || e.name == check {
+				e.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
 }
+
+// stale returns the allow entries that suppressed nothing, grouped back
+// into one StaleAllow per comment position. Only check names among the
+// analyzers run are judged — an allow for a checker not in this run may
+// be load-bearing in another — except that a name matching NO known
+// analyzer spelling is always stale (it can never suppress anything).
+func (s *allowSet) stale(analyzers []*Analyzer) []StaleAllow {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	byPos := map[token.Position]*StaleAllow{}
+	var order []token.Position
+	for _, e := range s.entries {
+		if e.used {
+			continue
+		}
+		// A bare allow is judged by any run; a named allow only when its
+		// checker ran (names outside the suite are judged unconditionally).
+		if e.name != "" && !ran[e.name] && KnownCheck(e.name) {
+			continue
+		}
+		sa := byPos[e.pos]
+		if sa == nil {
+			sa = &StaleAllow{Pos: e.pos}
+			byPos[e.pos] = sa
+			order = append(order, e.pos)
+		}
+		sa.Checks = append(sa.Checks, e.name)
+	}
+	out := make([]StaleAllow, 0, len(order))
+	for _, pos := range order {
+		out = append(out, *byPos[pos])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
+// knownChecks is the registry of every checker name that has ever been a
+// valid //unikv:allow target; the stale audit treats any other name as a
+// typo and reports it even when that checker didn't run. The unikvlint
+// package registers its suite at init time (a registry avoids an import
+// cycle: checkers import this package).
+var knownChecks = map[string]bool{}
+
+// RegisterCheck records name as a valid suppression target.
+func RegisterCheck(name string) { knownChecks[name] = true }
+
+// KnownCheck reports whether name is a registered checker name.
+func KnownCheck(name string) bool { return knownChecks[name] }
 
 // NewInfo returns a types.Info with every map the checkers consume
 // allocated. Shared by the vet driver and the test harness so the two

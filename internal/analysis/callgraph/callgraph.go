@@ -1,0 +1,200 @@
+// Package callgraph builds the package-level static call graph the
+// unikvlint checkers share, and iterates per-function effect summaries
+// over it to a fixed point.
+//
+// PR 4's checkers each walked the function declarations themselves and
+// extended their reasoning across at most ONE call edge (lockorder's
+// "one-level call summaries", syncpublish's direct-callee/direct-caller
+// search). That horizon is exactly one call too short for real engine
+// shapes: a lock inversion buried two helpers deep, a publish whose
+// SyncDir lives at the end of a three-function commit chain, a background
+// job that builds its error four frames below the scheduler. This package
+// replaces the per-checker walks with one shared graph and a generic
+// fixed-point driver:
+//
+//   - Build enumerates every declared function/method of the package and
+//     resolves its same-package static callees (callers are indexed too).
+//   - Fixpoint computes a summary per function from its body and the
+//     current summaries of its callees, re-running a function whenever a
+//     callee's summary changes, until nothing changes. With a monotone
+//     compute over a finite domain (all the unikvlint summaries are sets
+//     that only grow), convergence is guaranteed; recursion and mutual
+//     recursion need no special casing.
+//   - Reachable answers "which functions can this entry point transitively
+//     call" — the errclass checker's notion of "on a background-job path".
+//
+// The graph is intentionally intra-package (the analysis framework keeps
+// no cross-package facts; see internal/analysis) and intentionally static:
+// dynamic calls through function values and interface methods contribute
+// no edges, so summaries under-approximate and checkers stay conservative
+// in what they report, never what they assume.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"unikv/internal/analysis"
+)
+
+// Func is one declared function or method of the analyzed package.
+type Func struct {
+	// Obj is the type-checker's object for the declaration.
+	Obj *types.Func
+	// Decl is the syntax; Decl.Body is non-nil (bodyless declarations are
+	// not part of the graph).
+	Decl *ast.FuncDecl
+	// Name is the diagnostic-friendly name (method names are plain — the
+	// receiver type is recoverable from Obj when needed).
+	Name string
+	// TestFile marks functions declared in a _test.go file.
+	TestFile bool
+	// Callees lists the same-package functions this body statically calls,
+	// in first-call source order, deduplicated. Calls inside nested
+	// function literals are included: whether the literal runs now or
+	// later, its effects are attributable to this declaration's package
+	// path (checkers that care about WHEN a literal runs, like lockorder's
+	// event replay, walk the body themselves).
+	Callees []*Func
+	// Callers is the reverse index of Callees across the package.
+	Callers []*Func
+}
+
+// Graph is the package-level call graph.
+type Graph struct {
+	// Funcs holds every declared function in file/declaration order.
+	Funcs []*Func
+	// ByObj maps the type-checker object back to its node.
+	ByObj map[*types.Func]*Func
+}
+
+// StaticCallee resolves call to the function or method object it
+// statically invokes, or nil for dynamic calls (a call through a function
+// value contributes no edge; an interface-method call resolves to the
+// interface method object, which no declaration in the package defines,
+// so it contributes no edge either).
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Build constructs the call graph of the package presented by pass.
+func Build(pass *analysis.Pass) *Graph {
+	g := &Graph{ByObj: map[*types.Func]*Func{}}
+
+	// Node pass: one Func per declaration with a body and a resolved object.
+	for _, file := range pass.Files {
+		test := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			f := &Func{Obj: obj, Decl: fd, Name: fd.Name.Name, TestFile: test}
+			g.Funcs = append(g.Funcs, f)
+			g.ByObj[obj] = f
+		}
+	}
+
+	// Edge pass: static same-package calls, deduplicated per caller.
+	for _, f := range g.Funcs {
+		seen := map[*Func]bool{}
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := StaticCallee(pass.TypesInfo, call)
+			if obj == nil || obj.Pkg() != pass.Pkg {
+				return true
+			}
+			callee, ok := g.ByObj[obj]
+			if !ok || seen[callee] {
+				return true
+			}
+			seen[callee] = true
+			f.Callees = append(f.Callees, callee)
+			callee.Callers = append(callee.Callers, f)
+			return true
+		})
+	}
+	return g
+}
+
+// Fixpoint computes one summary of type S per function, iterating to
+// convergence over the call graph. compute derives f's summary from its
+// body and the CURRENT summaries of other functions via get (the zero
+// value of S for functions not yet computed — compute must treat it as
+// "no effects yet"). Whenever a function's summary changes, every caller
+// is recomputed; the iteration ends when a full pass changes nothing.
+//
+// compute must be monotone (a grown callee summary may only grow the
+// caller's) and S's value space finite for the iteration to converge; all
+// unikvlint summaries are grow-only sets over finite domains, which
+// satisfies both. As a defense against a non-monotone compute oscillating
+// forever, the worklist stops after len(Funcs)*64 recomputations — far
+// beyond what any monotone summary over these domains can need — and
+// returns the summaries reached, which for a monotone compute are exact.
+func Fixpoint[S any](g *Graph, equal func(a, b S) bool, compute func(f *Func, get func(*Func) S) S) map[*Func]S {
+	sums := make(map[*Func]S, len(g.Funcs))
+	get := func(f *Func) S { return sums[f] }
+
+	queue := make([]*Func, len(g.Funcs))
+	copy(queue, g.Funcs)
+	queued := make(map[*Func]bool, len(g.Funcs))
+	for _, f := range queue {
+		queued[f] = true
+	}
+
+	budget := len(g.Funcs) * 64
+	for len(queue) > 0 && budget > 0 {
+		budget--
+		f := queue[0]
+		queue = queue[1:]
+		queued[f] = false
+
+		next := compute(f, get)
+		if prev, ok := sums[f]; ok && equal(prev, next) {
+			continue
+		}
+		sums[f] = next
+		for _, caller := range f.Callers {
+			if !queued[caller] {
+				queued[caller] = true
+				queue = append(queue, caller)
+			}
+		}
+	}
+	return sums
+}
+
+// Reachable returns the set of functions transitively callable from any
+// of the roots, roots included.
+func Reachable(roots ...*Func) map[*Func]bool {
+	seen := map[*Func]bool{}
+	stack := append([]*Func(nil), roots...)
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f == nil || seen[f] {
+			continue
+		}
+		seen[f] = true
+		stack = append(stack, f.Callees...)
+	}
+	return seen
+}

@@ -1,0 +1,220 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"testing"
+
+	"unikv/internal/analysis"
+	"unikv/internal/analysis/callgraph"
+)
+
+// load typechecks the given files (name -> source) as one package and
+// returns a Pass plus the built graph.
+func load(t *testing.T, files map[string]string) (*analysis.Pass, *callgraph.Graph) {
+	t.Helper()
+	fset := token.NewFileSet()
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var asts []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, files[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		asts = append(asts, f)
+	}
+	info := analysis.NewInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, asts, info)
+	if err != nil {
+		t.Fatalf("typechecking: %v", err)
+	}
+	pass := &analysis.Pass{Fset: fset, Files: asts, Pkg: pkg, TypesInfo: info}
+	return pass, callgraph.Build(pass)
+}
+
+func byName(t *testing.T, g *callgraph.Graph, name string) *callgraph.Func {
+	t.Helper()
+	for _, f := range g.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("no function %q in graph", name)
+	return nil
+}
+
+func names(fs []*callgraph.Func) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+const graphSrc = `package p
+
+type T struct{}
+
+func (t *T) m() { leaf() }
+
+func a() { b(); b() } // duplicate calls: one edge
+func b() { c() }
+func c() {}
+func leaf() {}
+
+func lit() {
+	f := func() { c() } // call inside a nested literal: edge lit -> c
+	f()                 // dynamic call through a function value: no edge
+}
+
+func ping() { pong() }
+func pong() { ping() }
+`
+
+func TestBuild(t *testing.T) {
+	_, g := load(t, map[string]string{
+		"p.go":      graphSrc,
+		"p_test.go": "package p\n\nfunc fromTest() { a() }\n",
+	})
+
+	cases := []struct {
+		fn      string
+		callees []string
+	}{
+		{"m", []string{"leaf"}},
+		{"a", []string{"b"}}, // deduplicated
+		{"b", []string{"c"}},
+		{"c", nil},
+		{"lit", []string{"c"}}, // via the nested literal only
+		{"ping", []string{"pong"}},
+		{"pong", []string{"ping"}},
+	}
+	for _, tc := range cases {
+		got := names(byName(t, g, tc.fn).Callees)
+		if !equalNames(got, names2(tc.callees)) {
+			t.Errorf("%s.Callees = %v, want %v", tc.fn, got, tc.callees)
+		}
+	}
+
+	if got := names(byName(t, g, "c").Callers); !equalNames(got, []string{"b", "lit"}) {
+		t.Errorf("c.Callers = %v, want [b lit]", got)
+	}
+	if f := byName(t, g, "fromTest"); !f.TestFile {
+		t.Error("fromTest.TestFile = false, want true")
+	}
+	if f := byName(t, g, "a"); f.TestFile {
+		t.Error("a.TestFile = true, want false")
+	}
+}
+
+// names2 sorts a literal slice the same way names does (nil-safe).
+func names2(s []string) []string {
+	out := append([]string(nil), s...)
+	sort.Strings(out)
+	return out
+}
+
+func TestFixpoint(t *testing.T) {
+	_, g := load(t, map[string]string{"p.go": graphSrc})
+
+	// Summary: "transitively calls c". Mutual recursion (ping/pong) must
+	// converge to false without special casing.
+	sums := callgraph.Fixpoint(g,
+		func(a, b bool) bool { return a == b },
+		func(f *callgraph.Func, get func(*callgraph.Func) bool) bool {
+			for _, callee := range f.Callees {
+				if callee.Name == "c" || get(callee) {
+					return true
+				}
+			}
+			return false
+		})
+
+	want := map[string]bool{
+		"a": true, "b": true, "lit": true,
+		"c": false, "leaf": false, "m": false, "ping": false, "pong": false,
+	}
+	for name, reaches := range want {
+		if got := sums[byName(t, g, name)]; got != reaches {
+			t.Errorf("reaches-c[%s] = %v, want %v", name, got, reaches)
+		}
+	}
+}
+
+func TestReachable(t *testing.T) {
+	_, g := load(t, map[string]string{"p.go": graphSrc})
+
+	reach := callgraph.Reachable(byName(t, g, "a"))
+	for _, name := range []string{"a", "b", "c"} {
+		if !reach[byName(t, g, name)] {
+			t.Errorf("Reachable(a) misses %s", name)
+		}
+	}
+	for _, name := range []string{"leaf", "lit", "ping", "m"} {
+		if reach[byName(t, g, name)] {
+			t.Errorf("Reachable(a) wrongly includes %s", name)
+		}
+	}
+
+	// Cycles terminate and include both members.
+	cyc := callgraph.Reachable(byName(t, g, "ping"))
+	if !cyc[byName(t, g, "ping")] || !cyc[byName(t, g, "pong")] {
+		t.Error("Reachable(ping) should contain ping and pong")
+	}
+	if len(cyc) != 2 {
+		t.Errorf("Reachable(ping) has %d members, want 2", len(cyc))
+	}
+}
+
+func TestStaticCallee(t *testing.T) {
+	pass, g := load(t, map[string]string{"p.go": graphSrc})
+	_ = g
+
+	// Find the two calls in lit's body: c() inside the literal (static)
+	// and f() (dynamic).
+	var static, dynamic *ast.CallExpr
+	ast.Inspect(byName(t, g, "lit").Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "c":
+				static = call
+			case "f":
+				dynamic = call
+			}
+		}
+		return true
+	})
+	if static == nil || dynamic == nil {
+		t.Fatal("fixture calls not found")
+	}
+	if obj := callgraph.StaticCallee(pass.TypesInfo, static); obj == nil || obj.Name() != "c" {
+		t.Errorf("StaticCallee(c()) = %v, want c", obj)
+	}
+	if obj := callgraph.StaticCallee(pass.TypesInfo, dynamic); obj != nil {
+		t.Errorf("StaticCallee(f()) = %v, want nil (function value)", obj)
+	}
+}

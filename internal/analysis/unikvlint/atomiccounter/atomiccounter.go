@@ -5,6 +5,14 @@
 // when the interleaving happens to occur. Fields typed atomic.Int64 (etc.)
 // are immune by construction; this check exists for the hand-rolled
 // int64-plus-atomic-calls pattern.
+//
+// Atomic access through a same-package helper counts: a fixed-point
+// summary over the call graph (internal/analysis/callgraph) marks every
+// pointer parameter that is forwarded — at any depth — to a sync/atomic
+// function, so `bump(&x.n)` both registers x.n as an atomic variable and
+// is itself a sanctioned access. PR 4's version saw only direct
+// `atomic.AddInt64(&x.n, ...)` calls, so a counter touched exclusively
+// through a helper was invisible to the check.
 package atomiccounter
 
 import (
@@ -13,23 +21,117 @@ import (
 	"go/types"
 
 	"unikv/internal/analysis"
+	"unikv/internal/analysis/callgraph"
 )
 
 var Analyzer = &analysis.Analyzer{
 	Name: "atomiccounter",
 	Doc: "forbid plain reads/writes of variables that are accessed via " +
-		"sync/atomic elsewhere in the package (use atomic.Int64-style typed " +
-		"atomics to make the rule structural)",
+		"sync/atomic — directly or through a pointer-forwarding helper — " +
+		"elsewhere in the package (use atomic.Int64-style typed atomics to " +
+		"make the rule structural)",
 	Run: run,
 }
 
+func init() { analysis.RegisterCheck(Analyzer.Name) }
+
 // span is a source range whose interior accesses are sanctioned (the &x
-// argument of an atomic call).
+// argument of an atomic call or of a forwarding helper call).
 type span struct{ pos, end token.Pos }
 
+// fwdSummary records which parameters of a function are forwarded to
+// sync/atomic: directly (`atomic.AddInt64(p, 1)` with p a parameter) or
+// through another same-package helper, iterated to a fixed point.
+type fwdSummary map[int]bool // parameter index -> forwarded
+
+func fwdEqual(a, b fwdSummary) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// paramIndex resolves expr to the index of the parameter of f it names
+// (pointer parameters only — forwarding a copy cannot reach the caller's
+// variable), or -1.
+func paramIndex(info *types.Info, f *callgraph.Func, expr ast.Expr) int {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return -1
+	}
+	sig, ok := f.Obj.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if p != obj {
+			continue
+		}
+		if _, isPtr := p.Type().Underlying().(*types.Pointer); isPtr {
+			return i
+		}
+		return -1
+	}
+	return -1
+}
+
 func run(pass *analysis.Pass) (any, error) {
-	// Pass 1: find every object passed by address to a sync/atomic function
-	// and remember the sanctioned &x argument ranges.
+	g := callgraph.Build(pass)
+
+	// Fixed point: which pointer parameters reach sync/atomic.
+	forwards := callgraph.Fixpoint(g, fwdEqual, func(f *callgraph.Func, get func(*callgraph.Func) fwdSummary) fwdSummary {
+		s := fwdSummary{}
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isAtomicFunc(pass.TypesInfo, call) && len(call.Args) > 0 {
+				if i := paramIndex(pass.TypesInfo, f, call.Args[0]); i >= 0 {
+					s[i] = true
+				}
+				return true
+			}
+			callee := g.ByObj[callgraph.StaticCallee(pass.TypesInfo, call)]
+			if callee == nil {
+				return true
+			}
+			for argIdx := range get(callee) {
+				if argIdx < len(call.Args) {
+					if i := paramIndex(pass.TypesInfo, f, call.Args[argIdx]); i >= 0 {
+						s[i] = true
+					}
+				}
+			}
+			return true
+		})
+		return s
+	})
+
+	// atomicArg reports whether call's argument at index i lands in
+	// sync/atomic: the call is an atomic function itself (index 0), or a
+	// same-package helper that forwards parameter i onward.
+	atomicArg := func(call *ast.CallExpr, i int) bool {
+		if isAtomicFunc(pass.TypesInfo, call) {
+			return i == 0
+		}
+		callee := g.ByObj[callgraph.StaticCallee(pass.TypesInfo, call)]
+		return callee != nil && forwards[callee][i]
+	}
+
+	// Pass 1: find every object passed by address into sync/atomic —
+	// directly or through a forwarding helper — and remember the
+	// sanctioned &x argument ranges.
 	atomicObjs := map[types.Object]token.Pos{} // object -> one atomic call site
 	var sanctioned []span
 	for _, f := range pass.Files {
@@ -38,21 +140,23 @@ func run(pass *analysis.Pass) (any, error) {
 			if !ok || len(call.Args) == 0 {
 				return true
 			}
-			if !isAtomicFunc(pass.TypesInfo, call) {
-				return true
+			for i, arg := range call.Args {
+				if !atomicArg(call, i) {
+					continue
+				}
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				obj := referencedObject(pass.TypesInfo, un.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = call.Pos()
+				}
+				sanctioned = append(sanctioned, span{un.Pos(), un.End()})
 			}
-			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
-			if !ok || un.Op != token.AND {
-				return true
-			}
-			obj := referencedObject(pass.TypesInfo, un.X)
-			if obj == nil {
-				return true
-			}
-			if _, seen := atomicObjs[obj]; !seen {
-				atomicObjs[obj] = call.Pos()
-			}
-			sanctioned = append(sanctioned, span{un.Pos(), un.End()})
 			return true
 		})
 	}

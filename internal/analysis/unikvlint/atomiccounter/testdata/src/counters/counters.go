@@ -91,3 +91,52 @@ func (s *stats) resetBeforeServing() {
 	//unikv:allow(atomiccounter) called before any goroutine starts
 	s.puts = 0
 }
+
+// ---------------------------------------------------------------------------
+// Interprocedural: atomic access through a pointer-forwarding helper still
+// registers the variable. PR 4's checker only saw direct atomic.* calls, so
+// a counter touched exclusively through bump() was invisible.
+
+func bump(p *int64, d int64) {
+	atomic.AddInt64(p, d)
+}
+
+// bumpTwice forwards two levels deep; the fixed-point summary carries the
+// parameter through both edges.
+func bumpTwice(p *int64) {
+	bump(p, 2)
+}
+
+type deepStats struct {
+	merges int64
+	splits int64
+}
+
+func (d *deepStats) incMerge() {
+	bump(&d.merges, 1) // sanctioned: bump forwards to sync/atomic
+}
+
+func (d *deepStats) racyMergeRead() int64 {
+	return d.merges // want `plain access to merges`
+}
+
+func (d *deepStats) incSplit() {
+	bumpTwice(&d.splits)
+}
+
+func (d *deepStats) racySplitReset() {
+	d.splits = 0 // want `plain access to splits`
+}
+
+// A by-value parameter cannot reach the caller's variable, so a helper
+// taking int64 (not *int64) registers nothing: plain access stays fine.
+func observe(v int64) int64 { return v }
+
+type plainStats struct {
+	ticks int64
+}
+
+func (p *plainStats) tick() {
+	p.ticks++
+	observe(p.ticks)
+}

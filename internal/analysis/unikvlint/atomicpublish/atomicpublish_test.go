@@ -1,0 +1,12 @@
+package atomicpublish_test
+
+import (
+	"testing"
+
+	"unikv/internal/analysis/analysistest"
+	"unikv/internal/analysis/unikvlint/atomicpublish"
+)
+
+func TestAtomicPublish(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicpublish.Analyzer, "pub")
+}

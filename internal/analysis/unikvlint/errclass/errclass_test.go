@@ -1,0 +1,12 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"unikv/internal/analysis/analysistest"
+	"unikv/internal/analysis/unikvlint/errclass"
+)
+
+func TestErrClass(t *testing.T) {
+	analysistest.Run(t, "testdata", errclass.Analyzer, "internal/core")
+}

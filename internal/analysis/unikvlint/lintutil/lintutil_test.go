@@ -1,0 +1,176 @@
+package lintutil_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"unikv/internal/analysis"
+	"unikv/internal/analysis/unikvlint/lintutil"
+)
+
+func TestRestrictedStorePackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"unikv/internal/core", true},
+		{"unikv/internal/vlog", true},
+		{"unikv/internal/sstable/block", true}, // subpackages included
+		{"internal/hashstore", true},           // any module prefix
+		{"unikv/internal/vfs", false},          // the one package allowed to touch os
+		{"unikv/internal/analysis", false},
+		{"unikv/cmd/unikv", false},
+		{"core", false}, // "internal" segment required
+		{"unikv/core/internal", false},
+	}
+	for _, tc := range cases {
+		if got := lintutil.RestrictedStorePackage(tc.path); got != tc.want {
+			t.Errorf("RestrictedStorePackage(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestTestFile(t *testing.T) {
+	fset := token.NewFileSet()
+	src := "package p\n"
+	plain, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := parser.ParseFile(fset, "p_test.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lintutil.TestFile(fset, plain) {
+		t.Error("TestFile(p.go) = true")
+	}
+	if !lintutil.TestFile(fset, test) {
+		t.Error("TestFile(p_test.go) = false")
+	}
+}
+
+const typesSrc = `package p
+
+type T struct{}
+
+func (t T) Value()    {}
+func (t *T) Pointer() {}
+
+type I interface{ Meth() }
+
+func free()            {}
+func run(f func(), i I) {
+	free()
+	T{}.Value()
+	f()
+	i.Meth()
+}
+`
+
+func loadTypes(t *testing.T) (*token.FileSet, *ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", typesSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, pkg, info
+}
+
+func TestTypeHelpers(t *testing.T) {
+	_, _, pkg, _ := loadTypes(t)
+	T := pkg.Scope().Lookup("T").Type()
+	ptrT := types.NewPointer(T)
+	ptrPtrT := types.NewPointer(ptrT)
+
+	if got := lintutil.Deref(ptrPtrT); got != T {
+		t.Errorf("Deref(**T) = %v, want %v", got, T)
+	}
+	if got := lintutil.NamedName(ptrT); got != "T" {
+		t.Errorf("NamedName(*T) = %q, want T", got)
+	}
+	if got := lintutil.NamedName(types.Typ[types.Int]); got != "" {
+		t.Errorf("NamedName(int) = %q, want empty", got)
+	}
+
+	// HasMethod sees pointer-receiver methods from the value type too.
+	for _, name := range []string{"Value", "Pointer"} {
+		if !lintutil.HasMethod(T, name) {
+			t.Errorf("HasMethod(T, %s) = false", name)
+		}
+		if !lintutil.HasMethod(ptrT, name) {
+			t.Errorf("HasMethod(*T, %s) = false", name)
+		}
+	}
+	if lintutil.HasMethod(T, "Missing") {
+		t.Error("HasMethod(T, Missing) = true")
+	}
+}
+
+func TestStaticCallee(t *testing.T) {
+	_, f, _, info := loadTypes(t)
+	got := map[string]string{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var label string
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			label = fun.Name
+		case *ast.SelectorExpr:
+			label = fun.Sel.Name
+		default:
+			return true // T{}.Value()'s inner composite etc.
+		}
+		if fn := lintutil.StaticCallee(info, call); fn != nil {
+			got[label] = fn.Name()
+		} else {
+			got[label] = "<nil>"
+		}
+		return true
+	})
+	want := map[string]string{
+		"free":  "free",
+		"Value": "Value",
+		"f":     "<nil>", // function value: dynamic
+		"Meth":  "Meth",  // interface method object is still a *types.Func
+	}
+	for label, fn := range want {
+		if got[label] != fn {
+			t.Errorf("StaticCallee at %s() = %q, want %q", label, got[label], fn)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	mustExpr := func(s string) ast.Expr {
+		e, err := parser.ParseExpr(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	cases := []struct{ src, want string }{
+		{"db", "db"},
+		{"db.router.mu", "db.router.mu"},
+		{"(p.mu)", "p.mu"},
+		{"db.part(i).mu", "db.part(...).mu"},
+		{"shards[i].mu", "shards[...].mu"},
+		{"*p", "<expr>"},
+	}
+	for _, tc := range cases {
+		if got := lintutil.ExprString(mustExpr(tc.src)); got != tc.want {
+			t.Errorf("ExprString(%s) = %q, want %q", tc.src, got, tc.want)
+		}
+	}
+}

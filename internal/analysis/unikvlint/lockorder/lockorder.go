@@ -6,18 +6,28 @@
 //
 // Within each function it replays the acquisition sequence in source order
 // and reports any acquisition of a lower-ranked mutex while a higher-ranked
-// one is held. A one-level call-graph summary extends the check across a
-// single call edge: calling a same-package function that acquires a
-// lower-ranked mutex while holding a higher-ranked one is the cross-function
-// shape of the same inversion (PR 2's vlog/GC race was exactly this,
-// found only by -race stress at the time). It also reports a Lock with no
-// matching Unlock — direct, deferred, or in a deferred closure — anywhere
-// in the function; intentional lock handoffs need a //unikv:allow(lockorder)
-// with a reason.
+// one is held. Fixed-point call summaries (internal/analysis/callgraph)
+// extend the check across the whole package call graph: each function's
+// summary is the set of ranked mutexes it acquires directly or through any
+// chain of same-package callees, iterated to convergence, so calling a
+// helper whose helper's helper acquires a lower-ranked mutex while holding
+// a higher-ranked one is caught at the call site (PR 2's vlog/GC race was
+// the one-edge instance of this shape, found only by -race stress at the
+// time; PR 4's one-level summaries caught exactly one edge and went blind
+// at two). Read and write acquisitions are distinguished: an RUnlock only
+// pairs with an RLock of the same mutex and an Unlock only with a Lock, so
+// a mismatched release no longer silently satisfies the pairing check.
+// It also reports a Lock with no matching Unlock — direct, deferred, or in
+// a deferred closure — anywhere in the function; intentional lock handoffs
+// need a //unikv:allow(lockorder) with a reason.
 //
 // The analysis is path-insensitive: it walks statements in source order and
 // treats a release in any branch as releasing for the remainder, which
-// under-reports (never falsely) on branchy code.
+// under-reports (never falsely) on branchy code. Function literals are
+// replayed as their own sequences (they run as goroutines or callbacks, not
+// at their point of definition), and their acquisitions deliberately stay
+// out of the enclosing function's summary — a lock taken on another
+// goroutine is a different lock stack, not an inversion.
 package lockorder
 
 import (
@@ -26,6 +36,7 @@ import (
 	"go/types"
 
 	"unikv/internal/analysis"
+	"unikv/internal/analysis/callgraph"
 	"unikv/internal/analysis/unikvlint/lintutil"
 )
 
@@ -34,22 +45,28 @@ const docOrder = "snapMu -> maintMu -> flushMu -> router.mu -> partition.mu -> u
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
 	Doc: "enforce the documented mutex acquisition order (" + docOrder + ") " +
-		"per function plus one call level, and require every Lock to have a " +
-		"matching Unlock or defer",
+		"per function and across the package call graph (fixed-point call " +
+		"summaries), and require every Lock/RLock to have a matching " +
+		"Unlock/RUnlock or defer",
 	Run: run,
 }
+
+func init() { analysis.RegisterCheck(Analyzer.Name) }
 
 // mutexRef is one classified reference to a ranked mutex.
 type mutexRef struct {
 	rank  int
 	label string // human name from the documented order
 	key   string // textual receiver ("p.mu", "db.router") for pairing
+	read  bool   // RLock/RUnlock rather than Lock/Unlock
 }
 
 var rankLabels = [...]string{"snapMu", "maintMu", "flushMu", "router.mu", "partition.mu", "unsorted.viewMu", "logRefs.mu", "hotring.writerMu"}
 
-var acquireMethods = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
-var releaseMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+// acquireMethods and releaseMethods classify the method name and carry the
+// read/write mode; the two sides pair only when both key and mode match.
+var acquireMethods = map[string]bool{"Lock": false, "RLock": true, "TryLock": false, "TryRLock": true}
+var releaseMethods = map[string]bool{"Unlock": false, "RUnlock": true}
 
 // classify resolves the receiver of a Lock/Unlock call to a ranked mutex.
 // snapMu (the snapshot registry lock — rank 0: NewSnapshot holds it across
@@ -120,57 +137,105 @@ const (
 	evCall
 )
 
-// summary is a function's direct acquisitions, for the one-level
-// call-site check.
-type summary struct{ acquires []mutexRef }
+// acqKey indexes a transitive-summary entry: the same mutex rank acquired
+// for reading and for writing are distinct entries (the diagnostic names
+// the mode), but both invert against a higher-ranked held lock.
+type acqKey struct {
+	rank int
+	read bool
+}
+
+// lockSummary is a function's fixed-point effect summary: every ranked
+// acquisition it performs directly or through any chain of same-package
+// callees, each mapped to the call chain that reaches it ("" = direct).
+type lockSummary map[acqKey]string
+
+func summariesEqual(a, b lockSummary) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
 
 func run(pass *analysis.Pass) (any, error) {
-	// Pass A: per-function summaries.
-	summaries := map[*types.Func]*summary{}
-	type analyzedFn struct {
-		fn   *types.Func // nil for function literals
+	g := callgraph.Build(pass)
+
+	// Direct per-function facts, computed once: the linearized lock events
+	// and the function literals to replay separately.
+	type direct struct {
+		events []event
+		lits   []*ast.FuncLit
+	}
+	directs := map[*callgraph.Func]*direct{}
+	for _, f := range g.Funcs {
+		events, lits := collect(pass, f.Decl.Body)
+		directs[f] = &direct{events: events, lits: lits}
+	}
+
+	// Fixed-point transitive summaries over the call graph. Acquisitions
+	// are drawn from the event stream (which excludes function-literal
+	// interiors — those run on their own goroutine or at callback time),
+	// and call edges likewise only from events, so the summary describes
+	// what calling the function acquires synchronously.
+	sums := callgraph.Fixpoint(g, summariesEqual, func(f *callgraph.Func, get func(*callgraph.Func) lockSummary) lockSummary {
+		s := lockSummary{}
+		for _, ev := range directs[f].events {
+			switch ev.kind {
+			case evAcquire:
+				k := acqKey{rank: ev.ref.rank, read: ev.ref.read}
+				if _, ok := s[k]; !ok {
+					s[k] = ""
+				}
+			case evCall:
+				callee := g.ByObj[ev.fn]
+				if callee == nil || callee == f {
+					continue
+				}
+				for k, via := range get(callee) {
+					if _, ok := s[k]; ok {
+						continue
+					}
+					chain := callee.Name
+					if via != "" {
+						chain += " -> " + via
+					}
+					s[k] = chain
+				}
+			}
+		}
+		return s
+	})
+
+	// Replay each function, then each non-deferred function literal (which
+	// runs as its own goroutine or callback) as its own sequence.
+	type job struct {
+		self *callgraph.Func // nil for literals
 		name string
 		body *ast.BlockStmt
 	}
-	var fns []analyzedFn
-
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			name := fd.Name.Name
-			if fd.Recv != nil && fn != nil {
-				name = fn.Name()
-			}
-			fns = append(fns, analyzedFn{fn: fn, name: name, body: fd.Body})
-		}
+	var jobs []job
+	for _, f := range g.Funcs {
+		jobs = append(jobs, job{self: f, name: f.Name, body: f.Decl.Body})
 	}
-	for _, af := range fns {
-		if af.fn == nil {
-			continue
+	for i := 0; i < len(jobs); i++ {
+		j := jobs[i]
+		var events []event
+		var lits []*ast.FuncLit
+		if j.self != nil {
+			d := directs[j.self]
+			events, lits = d.events, d.lits
+		} else {
+			events, lits = collect(pass, j.body)
 		}
-		s := &summary{}
-		events, _ := collect(pass, af.body)
-		for _, ev := range events {
-			if ev.kind == evAcquire {
-				s.acquires = append(s.acquires, ev.ref)
-			}
-		}
-		summaries[af.fn] = s
-	}
-
-	// Pass B: replay each function (and each non-deferred function
-	// literal, which runs as its own goroutine or callback).
-	for i := 0; i < len(fns); i++ {
-		af := fns[i]
-		events, lits := collect(pass, af.body)
 		for _, lit := range lits {
-			fns = append(fns, analyzedFn{name: af.name + " (func literal)", body: lit.Body})
+			jobs = append(jobs, job{name: j.name + " (func literal)", body: lit.Body})
 		}
-		replay(pass, af.fn, af.name, events, summaries)
+		replay(pass, g, j.self, j.name, events, sums)
 	}
 	return nil, nil
 }
@@ -188,11 +253,14 @@ func collect(pass *analysis.Pass, body *ast.BlockStmt) ([]event, []*ast.FuncLit)
 		switch n := n.(type) {
 		case *ast.DeferStmt:
 			// Deferred direct unlock.
-			if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok && releaseMethods[sel.Sel.Name] {
-				if ref, ok := classify(pass.TypesInfo, sel.X); ok {
-					events = append(events, event{kind: evDeferRelease, ref: ref, pos: n.Pos()})
+			if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok {
+				if read, isRelease := releaseMethods[sel.Sel.Name]; isRelease {
+					if ref, ok := classify(pass.TypesInfo, sel.X); ok {
+						ref.read = read
+						events = append(events, event{kind: evDeferRelease, ref: ref, pos: n.Pos()})
+					}
+					return false
 				}
-				return false
 			}
 			// Deferred closure: its unlocks release at function end; any
 			// acquisitions inside it are replayed separately below.
@@ -202,9 +270,12 @@ func collect(pass *analysis.Pass, body *ast.BlockStmt) ([]event, []*ast.FuncLit)
 					if !ok {
 						return true
 					}
-					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && releaseMethods[sel.Sel.Name] {
-						if ref, ok := classify(pass.TypesInfo, sel.X); ok {
-							events = append(events, event{kind: evDeferRelease, ref: ref, pos: call.Pos()})
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						if read, isRelease := releaseMethods[sel.Sel.Name]; isRelease {
+							if ref, ok := classify(pass.TypesInfo, sel.X); ok {
+								ref.read = read
+								events = append(events, event{kind: evDeferRelease, ref: ref, pos: call.Pos()})
+							}
 						}
 					}
 					return true
@@ -218,18 +289,22 @@ func collect(pass *analysis.Pass, body *ast.BlockStmt) ([]event, []*ast.FuncLit)
 			return false
 		case *ast.CallExpr:
 			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
-				if acquireMethods[sel.Sel.Name] || releaseMethods[sel.Sel.Name] {
+				read, isAcquire := acquireMethods[sel.Sel.Name]
+				relRead, isRelease := releaseMethods[sel.Sel.Name]
+				if isAcquire || isRelease {
 					if ref, ok := classify(pass.TypesInfo, sel.X); ok {
 						kind := evAcquire
-						if releaseMethods[sel.Sel.Name] {
+						ref.read = read
+						if isRelease {
 							kind = evRelease
+							ref.read = relRead
 						}
 						events = append(events, event{kind: kind, ref: ref, pos: n.Pos()})
 						return true
 					}
 				}
 			}
-			if fn := lintutil.StaticCallee(pass.TypesInfo, n); fn != nil && fn.Pkg() == pass.Pkg {
+			if fn := callgraph.StaticCallee(pass.TypesInfo, n); fn != nil && fn.Pkg() == pass.Pkg {
 				events = append(events, event{kind: evCall, fn: fn, pos: n.Pos()})
 			}
 			return true
@@ -240,9 +315,23 @@ func collect(pass *analysis.Pass, body *ast.BlockStmt) ([]event, []*ast.FuncLit)
 	return events, lits
 }
 
+// modeName names an acquisition's mode for the pairing diagnostics.
+func modeName(read bool, acquire bool) string {
+	switch {
+	case read && acquire:
+		return "RLocked"
+	case read:
+		return "RUnlocked"
+	case acquire:
+		return "locked"
+	}
+	return "unlocked"
+}
+
 // replay simulates the event sequence, reporting order inversions,
-// cross-call inversions, and unpaired Locks.
-func replay(pass *analysis.Pass, self *types.Func, name string, events []event, summaries map[*types.Func]*summary) {
+// cross-call inversions (against the fixed-point summaries), and unpaired
+// Locks/RLocks.
+func replay(pass *analysis.Pass, g *callgraph.Graph, self *callgraph.Func, name string, events []event, sums map[*callgraph.Func]lockSummary) {
 	type heldLock struct {
 		ref        mutexRef
 		pos        token.Pos
@@ -264,7 +353,7 @@ func replay(pass *analysis.Pass, self *types.Func, name string, events []event, 
 			// A defer registered before the Lock still pairs with it.
 			paired := false
 			for i, d := range pendingDefers {
-				if d.key == ev.ref.key {
+				if d.key == ev.ref.key && d.read == ev.ref.read {
 					pendingDefers = append(pendingDefers[:i], pendingDefers[i+1:]...)
 					paired = true
 					break
@@ -273,7 +362,7 @@ func replay(pass *analysis.Pass, self *types.Func, name string, events []event, 
 			held = append(held, heldLock{ref: ev.ref, pos: ev.pos, deferFreed: paired})
 		case evRelease:
 			for i := len(held) - 1; i >= 0; i-- {
-				if held[i].ref.key == ev.ref.key && !held[i].deferFreed {
+				if held[i].ref.key == ev.ref.key && held[i].ref.read == ev.ref.read && !held[i].deferFreed {
 					held = append(held[:i], held[i+1:]...)
 					break
 				}
@@ -281,7 +370,7 @@ func replay(pass *analysis.Pass, self *types.Func, name string, events []event, 
 		case evDeferRelease:
 			matched := false
 			for i := len(held) - 1; i >= 0; i-- {
-				if held[i].ref.key == ev.ref.key && !held[i].deferFreed {
+				if held[i].ref.key == ev.ref.key && held[i].ref.read == ev.ref.read && !held[i].deferFreed {
 					held[i].deferFreed = true // held to function end, but paired
 					matched = true
 					break
@@ -291,19 +380,26 @@ func replay(pass *analysis.Pass, self *types.Func, name string, events []event, 
 				pendingDefers = append(pendingDefers, ev.ref)
 			}
 		case evCall:
-			if len(held) == 0 || ev.fn == self {
+			if len(held) == 0 {
 				continue
 			}
-			s := summaries[ev.fn]
-			if s == nil {
+			callee := g.ByObj[ev.fn]
+			if callee == nil || callee == self {
 				continue
 			}
-			for _, acq := range s.acquires {
+			for k, via := range sums[callee] {
 				for _, h := range held {
-					if h.ref.rank > acq.rank {
+					if h.ref.rank <= k.rank {
+						continue
+					}
+					if via == "" {
 						pass.Reportf(ev.pos,
 							"call to %s acquires %s while %s is held (since %s) — inverts the documented lock order %s across one call",
-							ev.fn.Name(), acq.label, h.ref.label, pass.Fset.Position(h.pos), docOrder)
+							callee.Name, rankLabels[k.rank], h.ref.label, pass.Fset.Position(h.pos), docOrder)
+					} else {
+						pass.Reportf(ev.pos,
+							"call to %s transitively acquires %s (via %s) while %s is held (since %s) — inverts the documented lock order %s",
+							callee.Name, rankLabels[k.rank], via, h.ref.label, pass.Fset.Position(h.pos), docOrder)
 					}
 				}
 			}
@@ -314,8 +410,12 @@ func replay(pass *analysis.Pass, self *types.Func, name string, events []event, 
 		if h.deferFreed {
 			continue
 		}
+		release := "Unlock"
+		if h.ref.read {
+			release = "RUnlock"
+		}
 		pass.Reportf(h.pos,
-			"%s is locked here but never unlocked in %s (no Unlock or defer on any path); annotate intentional handoffs with //unikv:allow(lockorder)",
-			h.ref.label, name)
+			"%s is %s here but never %s in %s (no %s or defer on any path); annotate intentional handoffs with //unikv:allow(lockorder)",
+			h.ref.label, modeName(h.ref.read, true), modeName(h.ref.read, false), name, release)
 	}
 }

@@ -213,3 +213,73 @@ func (db *DB) lockForCaller() {
 func (db *DB) releaseMaint() {
 	db.maintMu.Unlock()
 }
+
+// ---------------------------------------------------------------------------
+// Fixed-point depth: the one-level summaries of PR 4 saw exactly one call
+// edge; the inversion below hides the acquisition two helpers deep.
+
+// deepInner acquires flushMu (clean on its own)...
+func (db *DB) deepInner() {
+	db.flushMu.Lock()
+	defer db.flushMu.Unlock()
+	doWork()
+}
+
+// ...deepMiddle only forwards (no direct acquisition at all)...
+func (db *DB) deepMiddle() {
+	doWork()
+	db.deepInner()
+}
+
+// ...so a caller holding partition.mu inverts across TWO call edges: the
+// one-level engine was blind here, the fixed-point summary is not.
+func (db *DB) deepInversion(p *partition) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	db.deepMiddle() // want `call to deepMiddle transitively acquires flushMu \(via deepInner\) while partition\.mu is held`
+}
+
+// Mutual recursion converges instead of looping: pingLock and pongLock
+// call each other and each acquires one rank; the summaries stabilize and
+// the inversion at the call site is still caught.
+func (db *DB) pingLock(n int) {
+	db.flushMu.Lock()
+	db.flushMu.Unlock()
+	if n > 0 {
+		db.pongLock(n - 1)
+	}
+}
+
+func (db *DB) pongLock(n int) {
+	db.logRefs.Lock()
+	db.logRefs.Unlock()
+	if n > 0 {
+		db.pingLock(n - 1)
+	}
+}
+
+func (db *DB) recursiveInversion(p *partition, sh *ringShard) {
+	sh.writerMu.Lock()
+	defer sh.writerMu.Unlock()
+	db.pongLock(3) // want `call to pongLock acquires logRefs\.mu while hotring\.writerMu is held` `call to pongLock transitively acquires flushMu \(via pingLock\) while hotring\.writerMu is held`
+}
+
+// ---------------------------------------------------------------------------
+// Read/write pairing: an Unlock does not release an RLock. The router is
+// RLocked here and the write-side Unlock leaves the read hold dangling —
+// under PR 4's mode-blind pairing this slipped through.
+func (db *DB) mismatchedRelease() {
+	db.router.RLock() // want `router\.mu is RLocked here but never RUnlocked`
+	doWork()
+	db.router.Unlock()
+}
+
+// Matching modes pair: clean.
+func (db *DB) readThenWrite() {
+	db.router.RLock()
+	doWork()
+	db.router.RUnlock()
+	db.router.Lock()
+	doWork()
+	db.router.Unlock()
+}

@@ -1,0 +1,468 @@
+// Package refpair enforces the refcount-fencing protocol of the storage
+// packages: an acquired reference — sstable.Reader.Ref, DB.retainLogs, a
+// vlog append-window Pin, or a NewSnapshot handle — must reach its matching
+// release (Close, releaseLogs, Unpin, Snapshot.Close) on every ERROR path.
+// A reference leaked on an error return is never retried and never dropped:
+// the refcount stays above zero forever, which permanently blocks value-log
+// GC and table retirement (the file outlives every reader that could have
+// used it).
+//
+// Success returns are deliberately exempt: the engine's constructors and
+// commit paths transfer ownership on success (NewSnapshot hands its Refs to
+// the Snapshot, gcTables installs its retains into partition state), and a
+// transfer looks exactly like a leak to a checker that cannot see the
+// receiving struct. Error returns have no such excuse — a failed operation
+// owns everything it acquired.
+//
+// The check is interprocedural via fixed-point summaries over the package
+// call graph (internal/analysis/callgraph): a void helper that acquires
+// (pinAll) makes its caller the holder, and a helper that releases
+// (releaseAll) discharges the caller's obligation — at any call depth. Only
+// void helpers hand acquisitions to the caller: a callee that returns a
+// non-error result owns them via the returned handle (the NewSnapshot
+// shape), and a callee that can fail polices its own error paths and
+// transfers ownership into shared state when it succeeds (the
+// splitPartition/mergeLocked commit shape) — either way the caller's frame
+// holds nothing.
+//
+// Two recognized non-leaks: the error return immediately guarding a
+// (handle, error) constructor call reports the constructor's OWN failure
+// (nothing was acquired), and a `defer release` protects every later path.
+// Function literals are skipped: a goroutine or callback owns its own
+// references.
+package refpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"unikv/internal/analysis"
+	"unikv/internal/analysis/callgraph"
+	"unikv/internal/analysis/unikvlint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "refpair",
+	Doc: "require every acquired reference (Reader.Ref, retainLogs, vlog Pin, " +
+		"NewSnapshot) to be released on all error paths — a leaked ref " +
+		"permanently blocks value-log GC and table retirement",
+	Run: run,
+}
+
+func init() { analysis.RegisterCheck(Analyzer.Name) }
+
+// pairKind is one acquire/release protocol the checker knows.
+type pairKind uint8
+
+const (
+	kindRef  pairKind = iota // Reader.Ref / Close
+	kindLogs                 // retainLogs / releaseLogs
+	kindPin                  // Pin / Unpin
+	kindSnap                 // NewSnapshot / Snapshot.Close
+	numKinds
+)
+
+func (k pairKind) describe(key string) string {
+	switch k {
+	case kindRef:
+		return "reader ref " + key + ".Ref()"
+	case kindLogs:
+		return "log retention (retainLogs)"
+	case kindPin:
+		return "vlog append pin"
+	case kindSnap:
+		return "snapshot " + key
+	}
+	return "reference"
+}
+
+func (k pairKind) release() string {
+	switch k {
+	case kindRef:
+		return "Close"
+	case kindLogs:
+		return "releaseLogs"
+	case kindPin:
+		return "Unpin"
+	case kindSnap:
+		return "Close"
+	}
+	return "release"
+}
+
+// evKind enumerates the replayed event stream.
+type evKind uint8
+
+const (
+	evAcquire evKind = iota
+	evRelease
+	evDeferRelease
+	evErrReturn
+	evCall
+)
+
+type event struct {
+	kind evKind
+	pair pairKind
+	// key pairs acquire with release: the receiver chain for kindRef
+	// ("t.Reader"), the handle variable for kindSnap ("s"); kindLogs and
+	// kindPin pair by kind alone (retain and release sets differ textually).
+	key string
+	pos token.Pos
+	// errObj, on an evAcquire from a (handle, error) constructor, is the
+	// error variable bound alongside the handle; on an evErrReturn it is the
+	// returned error variable. A return of the constructor's own error does
+	// not leak the handle — nothing was acquired.
+	errObj types.Object
+	callee *callgraph.Func // evCall
+	// deferred marks an evCall made from a defer: the callee's releases
+	// protect every later path, and its acquisitions are ignored.
+	deferred bool
+}
+
+// refSummary is one function's transitive acquire/release effect.
+type refSummary struct {
+	acq [numKinds]bool
+	rel [numKinds]bool
+}
+
+func summariesEqual(a, b refSummary) bool { return a == b }
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.RestrictedStorePackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	g := callgraph.Build(pass)
+
+	events := map[*callgraph.Func][]event{}
+	for _, f := range g.Funcs {
+		if f.TestFile {
+			continue
+		}
+		events[f] = collect(pass, g, f)
+	}
+
+	sums := callgraph.Fixpoint(g, summariesEqual,
+		func(f *callgraph.Func, get func(*callgraph.Func) refSummary) refSummary {
+			var s refSummary
+			for _, ev := range events[f] {
+				switch ev.kind {
+				case evAcquire:
+					s.acq[ev.pair] = true
+				case evRelease, evDeferRelease:
+					s.rel[ev.pair] = true
+				case evCall:
+					cs := get(ev.callee)
+					for k := pairKind(0); k < numKinds; k++ {
+						if cs.rel[k] {
+							s.rel[k] = true
+						}
+						// Acquisitions travel to the caller only from void
+						// helpers (see handsToCaller).
+						if cs.acq[k] && !cs.rel[k] && handsToCaller(ev.callee) {
+							s.acq[k] = true
+						}
+					}
+				}
+			}
+			return s
+		})
+
+	for _, f := range g.Funcs {
+		replay(pass, f, events[f], sums)
+	}
+	return nil, nil
+}
+
+// handsToCaller reports whether f's net acquisitions become its caller's
+// obligation. Only void helpers qualify: a callee returning a non-error
+// result owns its acquisitions via the returned handle (the NewSnapshot
+// shape), and a callee that can fail is responsible for its own error
+// paths — when it returns nil its success transferred ownership into
+// shared state, exactly like an intra-function success return (the
+// splitPartition/mergeLocked commit shape). In both cases the caller's
+// frame holds nothing to release.
+func handsToCaller(f *callgraph.Func) bool {
+	sig, ok := f.Obj.Type().(*types.Signature)
+	return ok && sig.Results().Len() == 0
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool { return types.Implements(t, errorIface) }
+
+// held is one live obligation during replay.
+type held struct {
+	pair     pairKind
+	key      string
+	pos      token.Pos
+	errObj   types.Object // constructor's error variable, if any
+	deferred bool         // a defer will release it on every path
+}
+
+// replay walks f's event stream in source order, reporting every error
+// return that abandons a live, non-deferred obligation. Source order
+// approximates path order for the engine's idiom (acquire; on failure
+// release+return; on success transfer): a release inside an early error
+// branch may mask a later leak (a miss, never a false report).
+func replay(pass *analysis.Pass, f *callgraph.Func, events []event, sums map[*callgraph.Func]refSummary) {
+	var live []*held
+	release := func(pair pairKind, key string, deferOnly bool) {
+		kept := live[:0]
+		for _, h := range live {
+			match := h.pair == pair
+			if pair == kindRef || pair == kindSnap {
+				match = (h.pair == kindRef || h.pair == kindSnap) && h.key == key
+			}
+			if match {
+				if deferOnly {
+					h.deferred = true
+				} else {
+					continue // discharged
+				}
+			}
+			kept = append(kept, h)
+		}
+		live = kept
+	}
+
+	for _, ev := range events {
+		switch ev.kind {
+		case evAcquire:
+			live = append(live, &held{pair: ev.pair, key: ev.key, pos: ev.pos, errObj: ev.errObj})
+		case evRelease:
+			release(ev.pair, ev.key, false)
+		case evDeferRelease:
+			release(ev.pair, ev.key, true)
+		case evCall:
+			cs := sums[ev.callee]
+			for k := pairKind(0); k < numKinds; k++ {
+				if !cs.rel[k] {
+					continue
+				}
+				// An interprocedural release cannot be key-matched; discharge
+				// (or, from a defer, protect) every live obligation of that
+				// kind.
+				kept := live[:0]
+				for _, h := range live {
+					if h.pair == k {
+						if !ev.deferred {
+							continue
+						}
+						h.deferred = true
+					}
+					kept = append(kept, h)
+				}
+				live = kept
+			}
+			if ev.deferred {
+				break
+			}
+			for k := pairKind(0); k < numKinds; k++ {
+				if cs.acq[k] && !cs.rel[k] && handsToCaller(ev.callee) {
+					live = append(live, &held{pair: k, key: "via " + ev.callee.Name, pos: ev.pos})
+				}
+			}
+		case evErrReturn:
+			for _, h := range live {
+				if h.deferred {
+					continue
+				}
+				if h.errObj != nil && ev.errObj != nil && h.errObj == ev.errObj {
+					continue // the constructor's own failure: nothing acquired
+				}
+				pass.Reportf(ev.pos,
+					"error return leaks %s acquired at %s: release it on this path (or defer the %s) — a leaked reference permanently blocks value-log GC",
+					h.pair.describe(h.key), pass.Fset.Position(h.pos), h.pair.release())
+			}
+		}
+	}
+}
+
+// collect extracts f's event stream in source order. Function literals are
+// skipped except directly deferred ones, whose releases pair like any other
+// defer (the deferred-closure cleanup idiom).
+func collect(pass *analysis.Pass, g *callgraph.Graph, f *callgraph.Func) []event {
+	var out []event
+	info := pass.TypesInfo
+
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, true)
+				} else {
+					walk(n.Call, true)
+				}
+				return false
+			case *ast.AssignStmt:
+				// Constructor shape: handle[, err] := NewSnapshot-like call.
+				if len(n.Rhs) == 1 {
+					if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+						if ev, ok := classifyAcquire(info, call); ok {
+							if ev.pair == kindSnap {
+								if id, ok := n.Lhs[0].(*ast.Ident); ok {
+									ev.key = id.Name
+									ev.errObj = objOf(info, n.Lhs[len(n.Lhs)-1])
+								}
+							}
+							out = append(out, ev)
+							// Still walk the RHS for nested calls (args).
+							for _, a := range call.Args {
+								walk(a, inDefer)
+							}
+							return false
+						}
+					}
+				}
+				return true
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					walk(r, inDefer)
+				}
+				if obj, isErr := errorReturn(pass, f, n); isErr {
+					out = append(out, event{kind: evErrReturn, pos: n.Pos(), errObj: obj})
+				}
+				return false
+			case *ast.CallExpr:
+				if ev, ok := classifyAcquire(info, call(n)); ok {
+					if !inDefer { // a deferred acquire makes no sense; ignore
+						out = append(out, ev)
+					}
+					return true
+				}
+				if ev, ok := classifyRelease(info, n); ok {
+					if inDefer {
+						ev.kind = evDeferRelease
+					}
+					out = append(out, ev)
+					return true
+				}
+				if obj := callgraph.StaticCallee(info, n); obj != nil {
+					if callee, ok := g.ByObj[obj]; ok {
+						out = append(out, event{kind: evCall, pos: n.Pos(), callee: callee, deferred: inDefer})
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(f.Decl.Body, false)
+	return out
+}
+
+func call(c *ast.CallExpr) *ast.CallExpr { return c }
+
+func objOf(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// classifyAcquire recognizes the acquire half of each protocol.
+func classifyAcquire(info *types.Info, c *ast.CallExpr) (event, bool) {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "retainLogs" {
+			return event{kind: evAcquire, pair: kindLogs, key: "logs", pos: c.Pos()}, true
+		}
+		return event{}, false
+	}
+	recv := info.Types[sel.X].Type
+	switch sel.Sel.Name {
+	case "Ref":
+		if len(c.Args) == 0 && recv != nil &&
+			lintutil.HasMethod(recv, "Ref") && lintutil.HasMethod(recv, "Close") {
+			return event{kind: evAcquire, pair: kindRef, key: lintutil.ExprString(sel.X), pos: c.Pos()}, true
+		}
+	case "retainLogs":
+		return event{kind: evAcquire, pair: kindLogs, key: "logs", pos: c.Pos()}, true
+	case "Pin":
+		if recv != nil && lintutil.HasMethod(recv, "Unpin") {
+			return event{kind: evAcquire, pair: kindPin, key: "pin", pos: c.Pos()}, true
+		}
+	case "NewSnapshot":
+		return event{kind: evAcquire, pair: kindSnap, key: "<snapshot>", pos: c.Pos()}, true
+	}
+	return event{}, false
+}
+
+// classifyRelease recognizes the release half of each protocol.
+func classifyRelease(info *types.Info, c *ast.CallExpr) (event, bool) {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "releaseLogs" {
+			return event{kind: evRelease, pair: kindLogs, pos: c.Pos()}, true
+		}
+		return event{}, false
+	}
+	switch sel.Sel.Name {
+	case "Close":
+		// Pairs by key: releases a held kindRef/kindSnap on the same chain.
+		return event{kind: evRelease, pair: kindRef, key: lintutil.ExprString(sel.X), pos: c.Pos()}, true
+	case "releaseLogs":
+		return event{kind: evRelease, pair: kindLogs, pos: c.Pos()}, true
+	case "Unpin":
+		if recv := info.Types[sel.X].Type; recv != nil && lintutil.HasMethod(recv, "Pin") {
+			return event{kind: evRelease, pair: kindPin, pos: c.Pos()}, true
+		}
+	}
+	return event{}, false
+}
+
+// errorReturn reports whether ret is a definite-error return of f: the
+// function's last result is an error and the expression returned in that
+// position is an error-typed identifier (not nil) or a fresh construction
+// (errors.New / fmt.Errorf / WithClass / classified). Tail calls and plain
+// nils are ambiguous-or-success and never flagged.
+func errorReturn(pass *analysis.Pass, f *callgraph.Func, ret *ast.ReturnStmt) (types.Object, bool) {
+	sig, ok := f.Obj.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil, false
+	}
+	if !isErrorType(sig.Results().At(sig.Results().Len() - 1).Type()) {
+		return nil, false
+	}
+	if len(ret.Results) != sig.Results().Len() {
+		return nil, false // naked return or spread call: ambiguous
+	}
+	last := ast.Unparen(ret.Results[len(ret.Results)-1])
+	switch e := last.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil || e.Name == "nil" {
+			return nil, false
+		}
+		if !isErrorType(obj.Type()) {
+			return nil, false
+		}
+		return obj, true
+	case *ast.CallExpr:
+		switch name := calleeName(e); name {
+		case "New", "Errorf", "WithClass", "classified":
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+func calleeName(c *ast.CallExpr) string {
+	switch fun := ast.Unparen(c.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package refpair_test
+
+import (
+	"testing"
+
+	"unikv/internal/analysis/analysistest"
+	"unikv/internal/analysis/unikvlint/refpair"
+)
+
+func TestRefPair(t *testing.T) {
+	analysistest.Run(t, "testdata", refpair.Analyzer, "internal/core")
+}

@@ -1,0 +1,237 @@
+// Fixture: acquired references (Reader.Ref, retainLogs, vlog Pin,
+// NewSnapshot) must be released on every error path. Stand-ins mirror the
+// engine's shapes: classification is by method-set shape and name, so local
+// types with Ref/Close (etc.) behave like the real ones.
+package core
+
+import "errors"
+
+type Reader struct{ refs int }
+
+func (r *Reader) Ref()         { r.refs++ }
+func (r *Reader) Close() error { r.refs--; return nil }
+
+type Table struct{ Reader *Reader }
+
+type Manager struct{ pins int }
+
+func (m *Manager) Pin() uint64     { m.pins++; return 0 }
+func (m *Manager) Unpin(tok uint64) { m.pins-- }
+
+type Snapshot struct{ db *DB }
+
+func (s *Snapshot) Close() error { s.db.releaseLogs(nil); return nil }
+
+type DB struct {
+	vl     *Manager
+	tables []*Table
+	logs   map[uint32]int
+}
+
+func (db *DB) retainLogs(nums []uint32)  {}
+func (db *DB) releaseLogs(nums []uint32) {}
+
+func (db *DB) NewSnapshot() (*Snapshot, error) {
+	db.retainLogs(nil)
+	return &Snapshot{db: db}, nil
+}
+
+func (db *DB) step() error { return errors.New("boom") }
+
+// ---------------------------------------------------------------------------
+// Reader.Ref / Close.
+
+// The motivating bug: the ref leaks when the step between acquire and
+// release fails — the reader's refcount never drops, so vlog GC and table
+// retirement are blocked forever.
+func (db *DB) pinLeaky(t *Table) error {
+	t.Reader.Ref()
+	if err := db.step(); err != nil {
+		return err // want `error return leaks reader ref t\.Reader\.Ref\(\)`
+	}
+	return t.Reader.Close()
+}
+
+// Releasing before the error return is clean.
+func (db *DB) pinReleased(t *Table) error {
+	t.Reader.Ref()
+	if err := db.step(); err != nil {
+		t.Reader.Close()
+		return err
+	}
+	return t.Reader.Close()
+}
+
+// A deferred release protects every path.
+func (db *DB) pinDeferred(t *Table) error {
+	t.Reader.Ref()
+	defer t.Reader.Close()
+	if err := db.step(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Success returns transfer ownership (the NewSnapshot/gcTables shape) and
+// are never flagged.
+func (db *DB) pinTransfer(t *Table) error {
+	t.Reader.Ref()
+	db.tables = append(db.tables, t)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// retainLogs / releaseLogs pair by kind, not by argument: the engine
+// retains one set and releases another (gcTables).
+
+func (db *DB) retainLeaky(nums []uint32) error {
+	db.retainLogs(nums)
+	if err := db.step(); err != nil {
+		return err // want `error return leaks log retention \(retainLogs\)`
+	}
+	return nil
+}
+
+func (db *DB) retainSwapped(add, drop []uint32) error {
+	db.retainLogs(add)
+	db.releaseLogs(drop)
+	if err := db.step(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// The vlog append-window pin (the mergeTables shape).
+
+func (db *DB) mergeClean() error {
+	pin := db.vl.Pin()
+	defer db.vl.Unpin(pin)
+	if err := db.step(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (db *DB) mergeLeaky() error {
+	pin := db.vl.Pin()
+	if err := db.step(); err != nil {
+		return err // want `error return leaks vlog append pin`
+	}
+	db.vl.Unpin(pin)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot handles. The error return guarding the constructor itself is
+// exempt — a failed NewSnapshot acquired nothing — but later error returns
+// must Close the handle.
+
+func (db *DB) backupClean() error {
+	s, err := db.NewSnapshot()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if err := db.step(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (db *DB) backupLeaky() error {
+	s, err := db.NewSnapshot()
+	if err != nil {
+		return err
+	}
+	if err := db.step(); err != nil {
+		return err // want `error return leaks snapshot s`
+	}
+	return s.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural: a void helper's acquisitions belong to its caller, and a
+// releasing helper discharges them — at any depth via the fixed-point
+// summaries. (NewSnapshot's own Refs do NOT travel: it returns the handle
+// that owns them.)
+
+func (db *DB) pinAll() {
+	for _, t := range db.tables {
+		t.Reader.Ref()
+	}
+}
+
+func (db *DB) releaseAll() {
+	for _, t := range db.tables {
+		t.Reader.Close()
+	}
+}
+
+// pinAllDeep hides the acquisition one level further down.
+func (db *DB) pinAllDeep() {
+	db.pinAll()
+}
+
+func (db *DB) captureLeaky() error {
+	db.pinAllDeep()
+	if err := db.step(); err != nil {
+		return err // want `error return leaks reader ref`
+	}
+	db.releaseAll()
+	return nil
+}
+
+func (db *DB) captureClean() error {
+	db.pinAll()
+	if err := db.step(); err != nil {
+		db.releaseAll()
+		return err
+	}
+	db.releaseAll()
+	return nil
+}
+
+// A deferred releasing helper protects like a direct defer.
+func (db *DB) captureDeferred() error {
+	db.pinAll()
+	defer db.releaseAll()
+	if err := db.step(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// A fallible callee keeps its acquisitions to itself: its success return
+// transferred them into shared state (the splitPartition/mergeLocked commit
+// shape), and its own error paths are checked in its own body — the caller's
+// later error returns hold nothing.
+func (db *DB) commitRetain(nums []uint32) error {
+	db.retainLogs(nums)
+	if err := db.step(); err != nil {
+		db.releaseLogs(nums)
+		return err
+	}
+	return nil
+}
+
+func (db *DB) commitCaller() error {
+	if err := db.commitRetain(nil); err != nil {
+		return err
+	}
+	if err := db.step(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// The escape hatch: ownership recorded somewhere the checker cannot see.
+func (db *DB) adoptLeaky(t *Table) error {
+	t.Reader.Ref()
+	if err := db.step(); err != nil {
+		//unikv:allow(refpair) ref adopted by the recovery registry before step
+		return err
+	}
+	return nil
+}

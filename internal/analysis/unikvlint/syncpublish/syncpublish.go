@@ -1,34 +1,39 @@
 // Package syncpublish enforces the publish protocol of DESIGN.md §5c in
 // the storage packages: a file Create or Rename on a vfs.FS only becomes
 // durable once the containing directory is fsynced, so every function that
-// creates or renames through the FS must reach a SyncDir — itself, in a
-// direct same-package callee, or in a direct same-package caller (the
-// build-then-commit split). PR 3 found every publish point in the tree
-// missing this; the check keeps the class extinct.
+// creates or renames through the FS must reach a SyncDir — in its own
+// transitive callee closure (fixed-point summaries over the package call
+// graph, internal/analysis/callgraph), or in a caller chain whose closure
+// publishes (the build-then-commit split, at any depth). PR 3 found every
+// publish point in the tree missing this; PR 4's checker saw one call
+// level in each direction; the fixed-point engine removes the horizon, so
+// a commit chain three helpers deep no longer needs an annotation.
 package syncpublish
 
 import (
 	"go/ast"
 	"go/token"
-	"go/types"
 
 	"unikv/internal/analysis"
+	"unikv/internal/analysis/callgraph"
 	"unikv/internal/analysis/unikvlint/lintutil"
 )
 
 var Analyzer = &analysis.Analyzer{
 	Name: "syncpublish",
 	Doc: "require every vfs.FS Create/Rename in storage packages to be " +
-		"published with a SyncDir in the same function, a direct callee, or " +
-		"a direct caller (crash durability of directory entries, DESIGN.md §5c)",
+		"published with a SyncDir in the function's transitive callee closure " +
+		"or a covering caller chain (crash durability of directory entries, " +
+		"DESIGN.md §5c)",
 	Run: run,
 }
 
-// funcInfo summarizes one function's publish behavior.
+func init() { analysis.RegisterCheck(Analyzer.Name) }
+
+// funcInfo summarizes one function's direct publish behavior.
 type funcInfo struct {
-	creates []creation    // unsynced-at-risk Create/Rename call sites
-	syncs   bool          // calls SyncDir directly
-	callees []*types.Func // same-package static callees
+	creates []creation // unsynced-at-risk Create/Rename call sites
+	syncs   bool       // calls SyncDir directly
 }
 
 type creation struct {
@@ -41,85 +46,80 @@ func run(pass *analysis.Pass) (any, error) {
 		return nil, nil
 	}
 
-	infos := map[*types.Func]*funcInfo{}
-	var order []*types.Func
-	for _, f := range pass.Files {
-		if lintutil.TestFile(pass.Fset, f) {
+	g := callgraph.Build(pass)
+	infos := map[*callgraph.Func]*funcInfo{}
+	for _, f := range g.Funcs {
+		if f.TestFile {
 			continue
 		}
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			info := summarize(pass, fd.Body)
-			infos[fn] = info
-			order = append(order, fn)
-		}
+		infos[f] = summarize(pass, f.Decl.Body)
 	}
 
-	// syncsNear: the function or one of its direct same-package callees
-	// calls SyncDir.
-	syncsNear := func(fn *types.Func) bool {
-		info := infos[fn]
-		if info == nil {
-			return false
-		}
-		if info.syncs {
-			return true
-		}
-		for _, c := range info.callees {
-			if ci := infos[c]; ci != nil && ci.syncs {
+	// Fixed point 1 — callee closure: the function or anything it
+	// transitively calls reaches a SyncDir.
+	syncs := callgraph.Fixpoint(g, func(a, b bool) bool { return a == b },
+		func(f *callgraph.Func, get func(*callgraph.Func) bool) bool {
+			info := infos[f]
+			if info == nil {
+				return false
+			}
+			if info.syncs {
 				return true
 			}
-		}
-		return false
-	}
-
-	// coveredByCaller: some same-package function calls fn and itself
-	// reaches a SyncDir (build-then-commit: the commit side publishes).
-	coveredByCaller := func(fn *types.Func) bool {
-		for g, gi := range infos {
-			for _, c := range gi.callees {
-				if c == fn && syncsNear(g) {
+			for _, c := range f.Callees {
+				if get(c) {
 					return true
 				}
 			}
+			return false
+		})
+
+	// Fixed point 2 — caller coverage: a function is covered when some
+	// caller chain above it reaches a SyncDir closure (the commit side of
+	// a build-then-commit split publishes for the build side). Coverage
+	// propagates down call edges from every sync-reaching function.
+	covered := map[*callgraph.Func]bool{}
+	var stack []*callgraph.Func
+	for _, f := range g.Funcs {
+		if syncs[f] {
+			covered[f] = true
+			stack = append(stack, f)
 		}
-		return false
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range f.Callees {
+			if !covered[c] {
+				covered[c] = true
+				stack = append(stack, c)
+			}
+		}
 	}
 
-	for _, fn := range order {
-		info := infos[fn]
-		if len(info.creates) == 0 || syncsNear(fn) || coveredByCaller(fn) {
+	for _, f := range g.Funcs {
+		info := infos[f]
+		if info == nil || len(info.creates) == 0 || covered[f] {
 			continue
 		}
 		for _, cr := range info.creates {
 			pass.Reportf(cr.pos,
-				"fs.%s in %s is never published: no SyncDir in this function, its direct callees, or its callers — the directory entry is lost on crash (DESIGN.md §5c)",
-				cr.verb, fn.Name())
+				"fs.%s in %s is never published: no SyncDir in this function, its transitive callees, or any caller chain — the directory entry is lost on crash (DESIGN.md §5c)",
+				cr.verb, f.Name)
 		}
 	}
 	return nil, nil
 }
 
-// summarize records the FS Create/Rename calls, SyncDir calls, and
-// same-package callees of one function body. Function literals inside the
-// body count toward it: a closure's publish runs under the same logical
-// operation.
+// summarize records the FS Create/Rename calls and SyncDir calls of one
+// function body. Function literals inside the body count toward it: a
+// closure's publish runs under the same logical operation.
 func summarize(pass *analysis.Pass, body *ast.BlockStmt) *funcInfo {
 	info := &funcInfo{}
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
-		}
-		if fn := lintutil.StaticCallee(pass.TypesInfo, call); fn != nil && fn.Pkg() == pass.Pkg {
-			info.callees = append(info.callees, fn)
 		}
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 		if !ok {

@@ -1,5 +1,6 @@
-// Fixture: publish points (Create/Rename) must reach a SyncDir, directly or
-// one call away, or the published name can vanish on power loss.
+// Fixture: publish points (Create/Rename) must reach a SyncDir — in the
+// function's transitive callee closure or a covering caller chain, at any
+// depth — or the published name can vanish on power loss.
 package manifest
 
 import "vfs"
@@ -100,4 +101,62 @@ func (s *store) scratch(name string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-point depth: PR 4's one-level summaries saw exactly one call edge in
+// each direction; the chains below needed annotations then and are clean now.
+
+// The build side of a build-then-commit split, two helpers below the commit.
+func (s *store) buildDeep(name string) error {
+	f, err := s.fs.Create(name) // covered: commitDeep's chain publishes
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func (s *store) buildMiddle(name string) error {
+	return s.buildDeep(name)
+}
+
+func (s *store) commitDeep(name string) error {
+	if err := s.buildMiddle(name); err != nil {
+		return err
+	}
+	return s.fs.SyncDir(s.dir)
+}
+
+// The SyncDir can also live two callees below the creating function.
+func (s *store) syncLeaf() error {
+	return s.fs.SyncDir(s.dir)
+}
+
+func (s *store) syncForwarder() error {
+	return s.syncLeaf()
+}
+
+func (s *store) createThenDeepSync(name string) error {
+	f, err := s.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.syncForwarder()
+}
+
+// An uncovered deep build chain still reports: no caller of orphanCommit
+// publishes, and neither does its closure.
+func (s *store) orphanBuild(name string) error {
+	f, err := s.fs.Create(name) // want `Create in .* never published`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func (s *store) orphanCommit(name string) error {
+	return s.orphanBuild(name)
 }

@@ -8,15 +8,35 @@
 //   - syncpublish: every Create/Rename reaches a SyncDir publish point
 //     (PR 3 found every publish point in the tree missing one).
 //   - atomiccounter: no mixed atomic/plain access to the same variable.
+//   - refpair: acquired references (Reader.Ref, retainLogs, vlog Pin,
+//     NewSnapshot) are released on every error path — a leaked ref
+//     permanently blocks value-log GC (the PR 8 refcount fences).
+//   - errclass: errors constructed on the background-job path carry their
+//     class, so Classify never defaults a corruption to transient-and-retry
+//     (the PR 5 taxonomy, now machine-checked).
+//   - atomicpublish: copy-on-write discipline around atomic.Pointer fields
+//     — complete-before-Store, never mutate a Load (the PR 8 pre-fix
+//     out-of-order publish shape).
+//
+// Since ISSUE 9 the checkers reason interprocedurally: fixed-point effect
+// summaries over the package call graph (internal/analysis/callgraph)
+// replace the one-level lookahead of PR 4, so an inversion, a leak, or an
+// unclassified error hidden N helpers deep is still found. See DESIGN.md
+// §5f for the invariant table.
 //
 // cmd/unikvlint runs the suite under `go vet -vettool`; findings are
-// suppressed case-by-case with `//unikv:allow(<check>) reason`.
+// suppressed case-by-case with `//unikv:allow(<check>) reason`, and
+// suppressions that no longer suppress anything are themselves reported as
+// stale.
 package unikvlint
 
 import (
 	"unikv/internal/analysis"
 	"unikv/internal/analysis/unikvlint/atomiccounter"
+	"unikv/internal/analysis/unikvlint/atomicpublish"
+	"unikv/internal/analysis/unikvlint/errclass"
 	"unikv/internal/analysis/unikvlint/lockorder"
+	"unikv/internal/analysis/unikvlint/refpair"
 	"unikv/internal/analysis/unikvlint/syncpublish"
 	"unikv/internal/analysis/unikvlint/vfsonly"
 )
@@ -28,5 +48,8 @@ func Analyzers() []*analysis.Analyzer {
 		vfsonly.Analyzer,
 		syncpublish.Analyzer,
 		atomiccounter.Analyzer,
+		refpair.Analyzer,
+		errclass.Analyzer,
+		atomicpublish.Analyzer,
 	}
 }

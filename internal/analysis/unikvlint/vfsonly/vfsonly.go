@@ -38,6 +38,8 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
+func init() { analysis.RegisterCheck(Analyzer.Name) }
+
 func run(pass *analysis.Pass) (any, error) {
 	if !lintutil.RestrictedStorePackage(pass.Pkg.Path()) {
 		return nil, nil

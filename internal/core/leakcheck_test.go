@@ -1,0 +1,58 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"unikv/internal/vfs"
+)
+
+// leakCheck snapshots the goroutine count and, when the test (including its
+// deferred Closes) finishes, verifies the count returns to that baseline.
+// Close is supposed to join every background worker, the throttle ticker,
+// and the snapshot registry's helpers; a straggler here means a Close path
+// forgot one, which -race alone never reports. Shutdown is asynchronous
+// from the runtime's point of view (a worker that returned from its loop
+// may not have exited its goroutine yet), so the check polls briefly
+// before declaring a leak.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		n := runtime.NumGoroutine()
+		for n > base && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n > base {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Errorf("goroutine leak: %d running after cleanup, baseline %d\n%s", n, base, buf)
+		}
+	})
+}
+
+// TestOpenCloseGoroutineHygiene cycles a background-mode database through
+// open/load/close several times: every cycle must return the process to
+// its baseline goroutine count, or repeated opens (a long test run, an
+// embedding application reopening after errors) would accumulate workers.
+func TestOpenCloseGoroutineHygiene(t *testing.T) {
+	leakCheck(t)
+	fs := vfs.NewMem()
+	for cycle := 0; cycle < 3; cycle++ {
+		db, err := Open("db", bgOpts(fs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			if err := db.Put(key(i), val(i+cycle)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

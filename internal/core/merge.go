@@ -267,6 +267,7 @@ func (p *partition) mergeTables(snap []*unsorted.Table, locked bool) error {
 	// Swap in-memory state, then retire the replaced tables (deleted when
 	// the last owner — possibly a pinned snapshot — closes them).
 	if err := p.uns.ReplaceTables(remaining); err != nil {
+		//unikv:allow(refpair) the manifest above already committed the added logs; the retention mirrors durable state, and releasing it here would let GC delete logs the manifest references
 		return err
 	}
 	p.srt.ReplaceAll(tables)

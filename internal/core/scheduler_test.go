@@ -23,6 +23,7 @@ func bgOpts(fs vfs.FS) Options {
 // background mode, then reopens inline and verifies the on-disk state is
 // the same database.
 func TestBackgroundBasic(t *testing.T) {
+	leakCheck(t)
 	fs := vfs.NewMem()
 	db, err := Open("db", bgOpts(fs))
 	if err != nil {
@@ -103,6 +104,7 @@ func TestBackgroundBasic(t *testing.T) {
 // are still queued (Close drains them) and also reopens after an abandoned
 // handle, where only the WAL files carry the frozen data.
 func TestBackgroundReopenWithFrozenMemtables(t *testing.T) {
+	leakCheck(t)
 	fs := vfs.NewMem()
 	opts := bgOpts(fs)
 	opts.BackgroundWorkers = 1
@@ -254,6 +256,7 @@ func TestBackgroundCrash(t *testing.T) {
 // another partition (and reads on the merging one) complete within a tight
 // bound instead of waiting for the merge.
 func TestBackgroundReadsDuringMerge(t *testing.T) {
+	leakCheck(t)
 	fs := vfs.NewMem()
 	// Load inline until the database has split into 2+ partitions.
 	db0, err := Open("db", smallOpts(fs))
@@ -354,6 +357,7 @@ func TestBackgroundReadsDuringMerge(t *testing.T) {
 // up, and verifies the two-stage backpressure engages (slowdown then hard
 // stall) and releases once flushing resumes.
 func TestBackgroundThrottle(t *testing.T) {
+	leakCheck(t)
 	fs := vfs.NewMem()
 	opts := bgOpts(fs)
 	opts.BackgroundWorkers = 1
@@ -413,6 +417,7 @@ func TestBackgroundThrottle(t *testing.T) {
 // writers with concurrent readers; its real assertions come from running
 // under -race.
 func TestBackgroundHandoffRace(t *testing.T) {
+	leakCheck(t)
 	fs := vfs.NewMem()
 	db, err := Open("db", bgOpts(fs))
 	if err != nil {

@@ -121,6 +121,7 @@ func TestSnapshotPinsPointInTime(t *testing.T) {
 // merging, splitting, and GCing throughout — must return byte-identical
 // Get and Scan results after the storm.
 func TestSnapshotStormConsistency(t *testing.T) {
+	leakCheck(t)
 	opts := smallOpts(vfs.NewMem())
 	opts.PartitionSizeLimit = 16 << 10 // low enough that the storm splits
 	opts.GCRatio = 0.05                // and GCs
@@ -426,6 +427,7 @@ func TestBackupSurvivesCrashAndVerifies(t *testing.T) {
 // checkpoint must capture a consistent point even though flushes, merges,
 // and splits retire the files it is copying mid-flight.
 func TestBackupConcurrentWithStorm(t *testing.T) {
+	leakCheck(t)
 	fs := vfs.NewMem()
 	opts := smallOpts(fs)
 	opts.PartitionSizeLimit = 16 << 10
