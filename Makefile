@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race lint bench-smoke fig-hotring fig-scan fault-sweep clean
+.PHONY: build test race lint bench-smoke fig-hotring fig-scan fault-sweep corruption-sweep clean
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,15 @@ fig-scan:
 # Set UNIKV_FAULT_SWEEP=full to arm a fault at every op index (minutes).
 fault-sweep:
 	$(GO) test -race -run 'TestFaultSweep|TestCorrupt|TestBackgroundTransient|TestBackgroundSticky' ./internal/core/
+
+# The corruption campaign: persistent byte flips and read-time CorruptPlans
+# across file classes and offsets; each point must be detected (scrub or
+# foreground read), quarantined with partition scope, repaired offline, and
+# reopen with every surviving key byte-identical. Includes the scrub/GC/
+# snapshot race storm and the offline repair suite.
+corruption-sweep:
+	$(GO) test -race -run 'TestCorruptionSweep|TestScrub|TestForeground|TestRepair' ./internal/core/
+	$(GO) test -race -run 'TestFailFSCorrupt' ./internal/vfs/
 
 clean:
 	rm -rf $(BIN)

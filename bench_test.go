@@ -391,7 +391,13 @@ func BenchmarkTabRecovery(b *testing.B) {
 				db.Put(ycsb.Key(i), ycsb.Value(i, benchValue))
 			}
 			db.Flush()
-			// Abandon: each iteration re-runs recovery.
+			// Release the directory lock so each iteration can reopen; the
+			// recovery cost measured here — hash-index rebuild vs checkpoint
+			// load — is the same after a clean close (the WAL is already
+			// empty after Flush).
+			if err := db.Close(); err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				db2, err := core.Open("db", opts)

@@ -10,11 +10,16 @@
 //	unikv-ctl -dir /path/to/db get user0000000000000042
 //	unikv-ctl -dir /path/to/db scan user00 10
 //	unikv-ctl -dir /path/to/db [-verify] backup /path/to/backup
+//	unikv-ctl -dir /path/to/db verify
+//	unikv-ctl -dir /path/to/db repair
 //
 // backup writes a point-in-time checkpoint (hard-linking immutable table
 // files when possible) that opens as an independent database; -verify
 // additionally restore-opens the checkpoint afterwards and runs a full
-// checksum verification over it. unikv-ctl takes the directory's exclusive
+// checksum verification over it. verify lists every corrupt file; repair
+// salvages a damaged database offline (torn log tails truncated, corrupt
+// tables moved to lost/, manifest rebuilt) and prints an explicit loss
+// report. unikv-ctl takes the directory's exclusive
 // lock while it runs; to checkpoint a database that is being served, call
 // DB.Backup from the owning process instead.
 //
@@ -44,7 +49,7 @@ func main() {
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if (*dir == "" || flag.NArg() < 1) && cmd != "serve" {
-		fmt.Fprintln(os.Stderr, "usage: unikv-ctl -dir <db> [-verify] manifest|tables|stats|verify|get <key>|scan <start> <n>|backup <dest>")
+		fmt.Fprintln(os.Stderr, "usage: unikv-ctl -dir <db> [-verify] manifest|tables|stats|verify|repair|get <key>|scan <start> <n>|backup <dest>")
 		fmt.Fprintln(os.Stderr, "       (to serve a db over TCP, see `unikv-ctl serve` / unikv-server)")
 		os.Exit(2)
 	}
@@ -53,6 +58,8 @@ func main() {
 		showManifest(*dir, cmd == "tables")
 	case "verify":
 		verify(*dir)
+	case "repair":
+		repair(*dir)
 	case "stats":
 		withDB(*dir, func(db *core.DB) {
 			m := db.Metrics()
@@ -75,6 +82,13 @@ func main() {
 			if m.Degraded {
 				fmt.Printf("  DEGRADED (read-only) since %s\n", time.Unix(0, m.DegradedSince).Format(time.RFC3339))
 				fmt.Printf("    cause: %s\n", m.DegradedCause)
+			}
+			fmt.Println("scrub:")
+			fmt.Printf("  passes:              %d\n", m.ScrubPasses)
+			fmt.Printf("  verified:            %d tables, %d logs (%d bytes)\n", m.ScrubbedTables, m.ScrubbedLogs, m.ScrubbedBytes)
+			fmt.Printf("  corruptions found:   %d\n", m.ScrubCorruptions)
+			if m.QuarantinedPartitions > 0 {
+				fmt.Printf("  QUARANTINED partitions: %d (run unikv-ctl repair)\n", m.QuarantinedPartitions)
 			}
 			fmt.Println("read cache:")
 			fmt.Printf("  resident:            %d entries (%d bytes)\n", m.CacheEntries, m.CacheBytes)
@@ -218,8 +232,59 @@ func showManifest(dir string, tables bool) {
 	}
 }
 
-// verify checks every table block and value-log record checksum.
+// repair salvages the database offline (see core.Repair): torn value-log
+// tails are truncated, unreadable tables move to lost/, dangling value
+// pointers are dropped, and the manifest is rebuilt from what survives.
+// The loss report prints to stdout.
+func repair(dir string) {
+	report, err := core.Repair(dir, core.Options{})
+	if report != nil {
+		fmt.Print(report.String())
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repair failed: %v\n", err)
+		os.Exit(1)
+	}
+	if report.DataLost() {
+		fmt.Println("repair complete: some committed data was lost (see above; originals in lost/)")
+		return
+	}
+	fmt.Println("repair complete: no committed data lost")
+}
+
+// verify checks every table block and value-log record checksum,
+// reporting every corrupt file (not just the first). The engine-level
+// report is used when the database opens; a database too damaged to open
+// falls back to an offline per-file walk.
 func verify(dir string) {
+	db, err := core.Open(dir, core.Options{DisableOrphanCleanup: true})
+	if err == nil {
+		reports, verr := db.VerifyIntegrityReport()
+		if cerr := db.Close(); verr == nil {
+			verr = cerr
+		}
+		if verr != nil {
+			fmt.Fprintln(os.Stderr, verr)
+			os.Exit(1)
+		}
+		for _, r := range reports {
+			fmt.Printf("BAD  %s\n", r.String())
+		}
+		if len(reports) > 0 {
+			fmt.Printf("%d corrupt files\n", len(reports))
+			os.Exit(1)
+		}
+		fmt.Println("all checksums ok")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "open failed (%v); walking files offline\n", err)
+	verifyOffline(dir)
+}
+
+// verifyOffline walks the manifest's file inventory directly, without
+// recovering the engine — the path of last resort for a database whose
+// recovery itself fails.
+func verifyOffline(dir string) {
 	fs := vfs.NewOS()
 	man, err := manifest.Open(fs, dir)
 	if err != nil {

@@ -82,6 +82,10 @@ func (db *DB) ApplyBatch(b *Batch) error {
 			}
 			continue // split raced; re-route
 		}
+		if err := p.quarantineErr(); err != nil {
+			p.mu.Unlock()
+			return err
+		}
 		retries = 0 // progress on a partition resets the budget
 		// Split pending into this partition's ops (order preserved) and
 		// the rest.

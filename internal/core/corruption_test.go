@@ -119,33 +119,55 @@ func TestCorruptTableClassifiedAndNotRetried(t *testing.T) {
 	}
 
 	// Background contract: a merge over the corrupt run fails its job with
-	// a corruption class — the scheduler must degrade on the first attempt
-	// instead of retrying bytes that cannot heal.
+	// a corruption class — the scheduler must quarantine the owning
+	// partition on the first attempt instead of retrying bytes that cannot
+	// heal, and must NOT degrade the whole database (the damage is scoped
+	// to one partition's files).
 	db2, err := Open("db", retryOpts(fs))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer db2.Close()
-	for i := 0; i < 50000; i++ {
-		if err := db2.Put(key(i), val(i)); err != nil {
-			if !errors.Is(err, ErrDegraded) {
-				t.Fatalf("write error %v, want ErrDegraded", err)
-			}
-			break
+	var werr error
+	for i := 0; i < 50000 && werr == nil; i++ {
+		// Cycle the seeded keyspace so writes keep landing in the corrupt
+		// partition's range after it quarantines.
+		if err := db2.Put(key(i%n), val(i)); err != nil {
+			werr = err
 		}
 	}
-	m := waitMetrics(db2, func(m StatsSnapshot) bool { return m.Degraded })
-	if !m.Degraded {
-		t.Fatal("background merge over a corrupt table never degraded")
+	m := waitMetrics(db2, func(m StatsSnapshot) bool { return m.QuarantinedPartitions > 0 })
+	if m.QuarantinedPartitions == 0 {
+		t.Fatal("background merge over a corrupt table never quarantined its partition")
 	}
-	if !strings.Contains(m.DegradedCause, "not retryable") || !strings.Contains(m.DegradedCause, "corruption") {
-		t.Fatalf("DegradedCause=%q, want corruption marked not retryable", m.DegradedCause)
+	if m.Degraded {
+		t.Fatalf("whole DB degraded (%q); partition-scoped corruption must quarantine, not degrade", m.DegradedCause)
+	}
+	if werr != nil && !errors.Is(werr, ErrPartitionQuarantined) {
+		t.Fatalf("write error %v, want ErrPartitionQuarantined", werr)
+	}
+	// A write routed into the quarantined range must fail with the scoped
+	// error (the loop above may have stopped for that reason already).
+	if werr == nil {
+		for i := 0; i < n; i++ {
+			if err := db2.Put(key(i), val(i)); err != nil {
+				werr = err
+				break
+			}
+		}
+		if !errors.Is(werr, ErrPartitionQuarantined) {
+			t.Fatalf("write into quarantined range got %v, want ErrPartitionQuarantined", werr)
+		}
 	}
 	if m.BackgroundRetries != 0 {
 		t.Fatalf("BackgroundRetries=%d, want 0 (corruption must never be retried)", m.BackgroundRetries)
 	}
 	if m.BackgroundErrors != 1 {
 		t.Fatalf("BackgroundErrors=%d, want exactly 1", m.BackgroundErrors)
+	}
+	// Reads on the quarantined partition still serve the intact blocks.
+	if _, err := db2.Get(key(0)); err != nil && err != ErrNotFound && !errors.Is(err, sstable.ErrCorruptTable) {
+		t.Fatalf("read on quarantined partition: %v", err)
 	}
 }
 

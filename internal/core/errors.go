@@ -37,6 +37,14 @@ import (
 // from the last committed state).
 var ErrDegraded = errors.New("unikv: database degraded (read-only)")
 
+// ErrPartitionQuarantined marks a partition quarantined after corruption
+// was found in one of its files (by the background scrub or a foreground
+// read). Writes routed to a quarantined partition fail with an error
+// matching this sentinel; every other partition keeps serving reads and
+// writes. Quarantine is narrower than degraded mode: it names the blast
+// radius of one bad file instead of freezing the whole database.
+var ErrPartitionQuarantined = errors.New("unikv: partition quarantined (corruption)")
+
 // ErrRouterInconsistent is returned when an operation re-routed more than
 // maxRouteRetries times because partitionFor and the chosen partition's
 // covers disagreed every time. Under correct operation a re-route happens
@@ -130,6 +138,7 @@ func Classify(err error) ErrorClass {
 		return ClassCorruption
 	case errors.Is(err, ErrClosed),
 		errors.Is(err, ErrDegraded),
+		errors.Is(err, ErrPartitionQuarantined),
 		errors.Is(err, ErrDBLocked),
 		errors.Is(err, ErrNotFound),
 		errors.Is(err, ErrKeyTooLarge),
@@ -162,3 +171,30 @@ func (e *DegradedError) Unwrap() error { return e.Err }
 // Is matches ErrDegraded so errors.Is(err, ErrDegraded) holds across the
 // server/client wire mapping and the embedded API alike.
 func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
+
+// QuarantinedError is the error surfaced by writes routed to a quarantined
+// partition. It matches ErrPartitionQuarantined via errors.Is and unwraps
+// to the corruption that triggered the quarantine, so the original
+// classification stays reachable.
+type QuarantinedError struct {
+	// Partition is the quarantined partition's ID.
+	Partition uint32
+	// Cause names what found the corruption and where, e.g.
+	// "scrub: sorted table 42 block 3" or "read: value log 7".
+	Cause string
+	// Since is when the partition was quarantined.
+	Since time.Time
+	// Err is the corruption error that triggered the quarantine.
+	Err error
+}
+
+func (e *QuarantinedError) Error() string {
+	return fmt.Sprintf("%s: partition %d: %s: %v",
+		ErrPartitionQuarantined.Error(), e.Partition, e.Cause, e.Err)
+}
+
+func (e *QuarantinedError) Unwrap() error { return e.Err }
+
+// Is matches ErrPartitionQuarantined so errors.Is(err,
+// ErrPartitionQuarantined) holds for wrapped quarantine errors.
+func (e *QuarantinedError) Is(target error) bool { return target == ErrPartitionQuarantined }

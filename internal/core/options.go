@@ -86,6 +86,16 @@ type Options struct {
 	// RetryMaxDelay caps the exponential backoff between job retries.
 	// Default 1s.
 	RetryMaxDelay time.Duration
+	// ScrubInterval starts a full background scrub pass (checksum
+	// verification of every table and value log, see internal/core/scrub.go)
+	// this often. Unlike most knobs, scrubbing is opt-in: 0 — the default —
+	// means no scrubbing at all, matching pre-scrub behavior byte for byte.
+	// Corruption found by a scrub quarantines the affected partitions.
+	ScrubInterval time.Duration
+	// ScrubBytesPerSec rate-limits scrub reads so a pass cannot monopolize
+	// disk bandwidth. 0 selects the default (8 MiB/s); negative means
+	// unlimited. Only meaningful with ScrubInterval > 0.
+	ScrubBytesPerSec int64
 	// CacheBytes bounds the shared read cache holding hot SSTable data
 	// blocks and value-log entries. The cache is on by default: 0 selects
 	// the default size (32 MiB); a negative value (CacheOff) disables
@@ -195,6 +205,14 @@ func (o Options) Sanitize() Options {
 	}
 	if o.RetryMaxDelay <= 0 {
 		o.RetryMaxDelay = time.Second
+	}
+	if o.ScrubInterval < 0 {
+		o.ScrubInterval = 0 // scrubbing stays opt-in
+	}
+	if o.ScrubBytesPerSec == 0 {
+		o.ScrubBytesPerSec = 8 << 20
+	} else if o.ScrubBytesPerSec < 0 {
+		o.ScrubBytesPerSec = 0 // post-Sanitize 0 means unlimited
 	}
 	if o.CacheBytes == 0 {
 		o.CacheBytes = 32 << 20

@@ -48,6 +48,13 @@ type partition struct {
 	flushesSinceCkpt int
 	garbageBytes     atomic.Int64 // dead value bytes attributed to this partition
 
+	// quarantine is set (once, never cleared while open) when corruption is
+	// found in one of this partition's files — by the background scrub, a
+	// background job, or a foreground read. A quarantined partition rejects
+	// writes and skips maintenance; reads are still attempted against
+	// whatever remains readable. See quarantine.go.
+	quarantine atomic.Pointer[QuarantinedError]
+
 	stallMu sync.Mutex
 	stallCh chan struct{} // closed to wake throttled writers
 }

@@ -48,6 +48,10 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		if err == nil && tok.Promote {
 			db.hot.Install(tok, key, val)
 		}
+		// A corruption-classed read failure quarantines the partition:
+		// the read still fails the same way, but writes into files the
+		// engine can no longer trust stop immediately.
+		db.noteReadCorruption(p, err)
 		return val, err
 	}
 	return nil, classified(ErrRouterInconsistent)
@@ -145,6 +149,7 @@ func (db *DB) Scan(start, end []byte, limit int) ([]KV, error) {
 		next := p.upper
 		p.mu.RUnlock()
 		if err != nil {
+			db.noteReadCorruption(p, err)
 			return nil, err
 		}
 		out = append(out, kvs...)

@@ -28,12 +28,19 @@ import (
 //
 // A job error is classified (see errors.go) before it can do damage: a
 // transient error is retried with bounded exponential backoff + jitter
-// (the job's dedup flag stays set, so the retries own the slot); only an
-// error surviving JobRetries retries, or one classifying as corruption or
-// fatal, trips the DB into degraded read-only mode — writes return a
+// (the job's dedup flag stays set, so the retries own the slot). A
+// terminal failure escalates through jobFailed: corruption inside one
+// partition's files quarantines just that partition (see quarantine.go),
+// while manifest-level corruption and non-corruption terminal failures
+// trip the DB into degraded read-only mode — writes return a
 // DegradedError, reads keep working, no further jobs run. Retrying a job
 // from scratch is safe because every job mutates durable and in-memory
 // state only at its single manifest-Apply commit point.
+//
+// jobScrub is the odd one out: enqueued by the scrub pass driver
+// (scrub.go) on a timer rather than by a write-side trigger, it only
+// reads — verifying table checksums under reader pins — so it runs
+// without maintMu and can overlap a merge on the same partition.
 
 type jobKind uint8
 
@@ -43,6 +50,7 @@ const (
 	jobScanMerge
 	jobGC
 	jobSplit
+	jobScrub
 	numJobKinds
 )
 
@@ -58,6 +66,8 @@ func (k jobKind) String() string {
 		return "gc"
 	case jobSplit:
 		return "split"
+	case jobScrub:
+		return "scrub"
 	}
 	return "unknown"
 }
@@ -169,7 +179,7 @@ func (s *scheduler) worker() {
 		// Wake throttled writers (and let them observe a failure).
 		t.p.wakeStalled()
 		if err != nil {
-			s.db.setDegraded(t, err)
+			s.db.jobFailed(t, err)
 			continue
 		}
 		// A completed job may arm the next trigger (flush fills the
@@ -227,11 +237,21 @@ func (s *scheduler) run(t task) error {
 		return nil
 	}
 	p := t.p
+	if p.quarantine.Load() != nil {
+		// Maintenance over corrupt inputs would launder the damage into
+		// fresh files; quarantined partitions hold still until repair.
+		return nil
+	}
 	if h := db.testHookJobStart; h != nil {
 		h(p, t.kind)
 	}
 	if t.kind == jobFlush {
 		return p.backgroundFlush()
+	}
+	if t.kind == jobScrub {
+		// Read-only: verifies under reader pins, never mutates, and so
+		// deliberately skips maintMu — a scrub must not delay a merge.
+		return db.scrubPartitionTables(p)
 	}
 	p.maintMu.Lock()
 	defer p.maintMu.Unlock()
@@ -255,6 +275,9 @@ func (s *scheduler) run(t task) error {
 // completed job.
 func (db *DB) checkMaintenance(p *partition) {
 	if db.sched == nil || db.closed.Load() || db.degradedErr() != nil {
+		return
+	}
+	if p.quarantine.Load() != nil {
 		return
 	}
 	p.mu.RLock()
@@ -347,6 +370,11 @@ func (db *DB) throttle(p *partition) error {
 			return ErrClosed
 		}
 		if err := db.degradedErr(); err != nil {
+			return err
+		}
+		if err := p.quarantineErr(); err != nil {
+			// Maintenance on this partition stopped; a stalled writer would
+			// wait forever, so surface the quarantine instead.
 			return err
 		}
 		p.mu.RLock()

@@ -2,47 +2,144 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
+	"sort"
+
+	"unikv/internal/sstable"
+	"unikv/internal/vlog"
 )
 
+// CorruptionReport locates one corrupt file found by VerifyIntegrityReport
+// (or by the background scrub). Exactly one of Block/Offset is meaningful:
+// tables report the bad data-block index, value logs the byte offset where
+// the frame walk stopped.
+type CorruptionReport struct {
+	// Partition is the owning partition for a table, or the lowest-numbered
+	// affected partition for a shared value log.
+	Partition uint32
+	// Partitions lists every partition affected — for a shared value log,
+	// all partitions holding live pointers into it (the quarantine blast
+	// radius); for a table, just the owner.
+	Partitions []uint32
+	// File is the corrupt file's path under the DB directory.
+	File string
+	// Block is the table data-block index, or -1 when not applicable.
+	Block int
+	// Offset is the value-log byte offset where verification stopped
+	// (the length of the valid frame prefix), or -1 when not applicable.
+	Offset int64
+	// Err is the corruption error, prefixed with the file's tier and
+	// partition ("partition 3 sorted table 7: ..." / "value log 5: ...").
+	Err error
+}
+
+func (r CorruptionReport) String() string {
+	where := ""
+	if r.Block >= 0 {
+		where = fmt.Sprintf(" block %d", r.Block)
+	} else if r.Offset >= 0 {
+		where = fmt.Sprintf(" valid prefix %d bytes", r.Offset)
+	}
+	return fmt.Sprintf("%s (partitions %v%s): %v", r.File, r.Partitions, where, r.Err)
+}
+
 // VerifyIntegrity re-reads and checksum-verifies every table block and
-// every sealed value-log record in the database. It returns the first
-// corruption found, or nil. The log currently receiving appends is skipped
-// (its tail is in flux); close and reopen the DB to cover everything.
+// every value-log record in the database, including the active log's
+// sealed prefix (the reconciled frame boundary below which bytes are
+// immutable). It returns the first corruption found, or nil.
 //
 // Partitions are verified one at a time under their read lock, so
 // concurrent reads proceed and writes to other partitions are unaffected.
 func (db *DB) VerifyIntegrity() error {
-	if db.closed.Load() {
-		return ErrClosed
+	reports, err := db.VerifyIntegrityReport()
+	if err != nil {
+		return err
 	}
-	activeNum, hasActive := db.vl.ActiveNum()
-	logs := map[uint32]bool{}
+	if len(reports) == 0 {
+		return nil
+	}
+	return reports[0].Err
+}
+
+// VerifyIntegrityReport is the report-all form of VerifyIntegrity: it
+// keeps scanning past the first corruption and returns one report per
+// corrupt file (locating the first bad block or frame of each). An empty
+// result means every file verified clean. The error return is reserved
+// for ErrClosed; corruption never surfaces there.
+//
+// Each table is read under its partition's lock and each value log is
+// pinned via the DB's log references while it is walked, so a concurrent
+// merge or GC can retire files without racing the verification.
+func (db *DB) VerifyIntegrityReport() ([]CorruptionReport, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	var reports []CorruptionReport
+	logOwners := map[uint32][]uint32{}
 	for _, p := range db.partitions() {
 		p.mu.RLock()
 		for _, t := range p.uns.Tables() {
-			if err := t.Reader.VerifyChecksums(); err != nil {
-				p.mu.RUnlock()
-				return fmt.Errorf("partition %d unsorted table %d: %w", p.id, t.Meta.FileNum, err)
+			if r, bad := verifyTable(p, "unsorted", t.Meta.FileNum, t.Reader); bad {
+				reports = append(reports, r)
 			}
 		}
 		for _, t := range p.srt.Tables() {
-			if err := t.Reader.VerifyChecksums(); err != nil {
-				p.mu.RUnlock()
-				return fmt.Errorf("partition %d sorted table %d: %w", p.id, t.Meta.FileNum, err)
+			if r, bad := verifyTable(p, "sorted", t.Meta.FileNum, t.Reader); bad {
+				reports = append(reports, r)
 			}
 		}
 		for n := range p.logs {
-			logs[n] = true
+			logOwners[n] = append(logOwners[n], p.id)
 		}
 		p.mu.RUnlock()
 	}
-	for n := range logs {
+	nums := make([]uint32, 0, len(logOwners))
+	for n := range logOwners {
+		nums = append(nums, n)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	activeNum, activeOff, hasActive := db.vl.ActiveBound()
+	for _, n := range nums {
+		// Pin the log across the walk so GC cannot remove it mid-read; the
+		// owning partitions hold the baseline references, so this release
+		// deletes nothing unless every owner moved on while we scanned.
+		db.retainLogs([]uint32{n})
+		limit := int64(-1)
 		if hasActive && n == activeNum {
-			continue
+			limit = activeOff
 		}
-		if _, err := db.vl.VerifyLog(n); err != nil {
-			return fmt.Errorf("value log %d: %w", n, err)
+		_, off, err := db.vl.VerifyLogPrefix(n, limit, nil)
+		db.releaseLogs([]uint32{n})
+		if err != nil {
+			owners := logOwners[n]
+			sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+			reports = append(reports, CorruptionReport{
+				Partition:  owners[0],
+				Partitions: owners,
+				File:       filepath.Join(db.vlogDir(), vlog.LogName(n)),
+				Block:      -1,
+				Offset:     off,
+				Err:        fmt.Errorf("value log %d: %w", n, err),
+			})
 		}
 	}
-	return nil
+	return reports, nil
+}
+
+// verifyTable checksums every block of one table under the owning
+// partition's read lock, reporting the first bad block.
+func verifyTable(p *partition, tier string, num uint64, r *sstable.Reader) (CorruptionReport, bool) {
+	for i := 0; i < r.NumBlocks(); i++ {
+		if _, err := r.VerifyBlock(i); err != nil {
+			return CorruptionReport{
+				Partition:  p.id,
+				Partitions: []uint32{p.id},
+				File:       tableName(p.dir, num),
+				Block:      i,
+				Offset:     -1,
+				Err:        fmt.Errorf("partition %d %s table %d: %w", p.id, tier, num, err),
+			}, true
+		}
+	}
+	return CorruptionReport{}, false
 }

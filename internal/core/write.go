@@ -64,6 +64,12 @@ func (db *DB) apply(key, value []byte, kind record.Kind) error {
 			p.mu.Unlock()
 			continue
 		}
+		// Quarantine is checked after routing settles: only writes bound
+		// for the damaged partition fail; every other partition accepts.
+		if err := p.quarantineErr(); err != nil {
+			p.mu.Unlock()
+			return err
+		}
 		// Sequence under the partition lock: a snapshot pins by loading
 		// db.seq while holding every partition's read lock, so any write
 		// sequenced before the pin is already in its memtable and any write
@@ -102,6 +108,9 @@ func (db *DB) Flush() error {
 		return err
 	}
 	for _, p := range db.partitions() {
+		if p.quarantine.Load() != nil {
+			continue // quarantined partitions hold still until repair
+		}
 		p.flushMu.Lock()
 		p.mu.Lock()
 		err := p.drainImmLocked()
@@ -128,6 +137,9 @@ func (db *DB) CompactAll() error {
 		return err
 	}
 	for _, p := range db.partitions() {
+		if p.quarantine.Load() != nil {
+			continue // merging corrupt inputs would launder the damage
+		}
 		p.maintMu.Lock()
 		p.flushMu.Lock()
 		p.mu.Lock()

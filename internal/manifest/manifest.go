@@ -608,3 +608,35 @@ func (m *Manifest) Close() error {
 	m.closed = true
 	return m.w.Close()
 }
+
+// Rewrite replaces whatever manifest lives in dir — readable, corrupt, or
+// absent — with a fresh generation holding exactly state. Offline repair
+// uses it after reconstructing the state from the surviving files; the
+// write follows writeFresh's crash ordering (new generation fsynced, then
+// CURRENT repointed), and superseded generations are removed best effort.
+func Rewrite(fs vfs.FS, dir string, state *State) error {
+	if err := fs.MkdirAll(dir); err != nil {
+		return err
+	}
+	// Pick a generation above every existing MANIFEST file so nothing on
+	// disk can be confused with the new one.
+	gen := uint64(1)
+	names, _ := fs.List(dir)
+	for _, name := range names {
+		var n uint64
+		if _, err := fmt.Sscanf(name, "MANIFEST-%06d", &n); err == nil && n >= gen {
+			gen = n + 1
+		}
+	}
+	m := &Manifest{fs: fs, dir: dir, RotateAt: 1 << 20, state: state.Clone(), gen: gen}
+	if err := m.writeFresh(); err != nil {
+		return err
+	}
+	for _, name := range names {
+		var n uint64
+		if _, err := fmt.Sscanf(name, "MANIFEST-%06d", &n); err == nil && n != gen {
+			fs.Remove(filepath.Join(dir, name))
+		}
+	}
+	return m.Close()
+}

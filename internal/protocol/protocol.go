@@ -114,6 +114,12 @@ const (
 	// operator reopens the database, reads keep serving. Load balancers
 	// should drain writes from a node answering with this status.
 	StatusDegraded
+	// StatusQuarantined: the key's partition is quarantined after
+	// corruption was detected in it (by a scrub or a foreground read).
+	// Only that key range is affected — other partitions keep serving
+	// reads and writes, so this is a per-request rejection, not a node
+	// drain signal. Run unikv-ctl repair to recover the partition.
+	StatusQuarantined
 )
 
 // String names the status for logs and client-side errors.
@@ -133,6 +139,8 @@ func (s Status) String() string {
 		return "INTERNAL"
 	case StatusDegraded:
 		return "DEGRADED"
+	case StatusQuarantined:
+		return "QUARANTINED"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }

@@ -209,6 +209,11 @@ func statusOf(err error) protocol.Status {
 		return protocol.StatusNotFound
 	case errors.Is(err, unikv.ErrKeyTooLarge):
 		return protocol.StatusTooLarge
+	case errors.Is(err, unikv.ErrPartitionQuarantined):
+		// Checked before StatusDegraded: quarantine is scoped to one
+		// partition's key range while the rest of the node keeps serving,
+		// so clients should fail the request, not drain the node.
+		return protocol.StatusQuarantined
 	case errors.Is(err, unikv.ErrDegraded):
 		// Distinct from StatusInternal so clients and load balancers can
 		// tell "this node rejects writes until reopened" from a one-off

@@ -1,6 +1,9 @@
 package server
 
-import "net/http"
+import (
+	"fmt"
+	"net/http"
+)
 
 // MetricsHandler serves the same JSON snapshot as the STATS opcode, so
 // the wire protocol and the HTTP/expvar surface can never disagree about
@@ -16,8 +19,10 @@ func (s *Server) MetricsHandler() http.Handler {
 // HealthHandler answers 200 while the engine accepts writes and 503 once
 // it is degraded (writes rejected, reads still served), with the degraded
 // cause in the body — the drain signal for load balancers that only speak
-// HTTP health checks. The full detail (DegradedSince, counters) is in
-// /metrics and STATS.
+// HTTP health checks. Quarantined partitions are reported in the 200 body
+// (only their key ranges reject; the node as a whole keeps serving, so
+// draining it would shed healthy traffic). The full detail (DegradedSince,
+// counters) is in /metrics and STATS.
 func (s *Server) HealthHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m := s.db.Metrics()
@@ -25,6 +30,10 @@ func (s *Server) HealthHandler() http.Handler {
 		if m.Degraded {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			w.Write([]byte("degraded: " + m.DegradedCause + "\n"))
+			return
+		}
+		if m.QuarantinedPartitions > 0 {
+			fmt.Fprintf(w, "ok (%d partition(s) quarantined)\n", m.QuarantinedPartitions)
 			return
 		}
 		w.Write([]byte("ok\n"))

@@ -427,21 +427,32 @@ func (r *Reader) Close() error {
 // disk — not a cached copy — are what gets checked.
 func (r *Reader) VerifyChecksums() error {
 	for i := range r.index {
-		h := r.index[i]
-		r.BlockReads.Add(1)
-		block, err := r.readChecked(h.offset, h.length)
-		if err != nil {
-			return fmt.Errorf("block %d: %w", i, err)
-		}
-		pb, err := parseBlock(block)
-		if err != nil {
-			return fmt.Errorf("block %d: %w", i, err)
-		}
-		for j := 0; j < pb.n; j++ {
-			if _, err := pb.recordAt(j); err != nil {
-				return fmt.Errorf("block %d record %d: %w", i, j, err)
-			}
+		if _, err := r.VerifyBlock(i); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// VerifyBlock re-reads data block i from disk, bypassing the block cache,
+// and verifies its checksum and every record's encoding. It returns the
+// number of bytes read so a rate-limited scrub can pace itself block by
+// block instead of paying for a whole table at once.
+func (r *Reader) VerifyBlock(i int) (int64, error) {
+	h := r.index[i]
+	r.BlockReads.Add(1)
+	block, err := r.readChecked(h.offset, h.length)
+	if err != nil {
+		return 0, fmt.Errorf("block %d: %w", i, err)
+	}
+	pb, err := parseBlock(block)
+	if err != nil {
+		return 0, fmt.Errorf("block %d: %w", i, err)
+	}
+	for j := 0; j < pb.n; j++ {
+		if _, err := pb.recordAt(j); err != nil {
+			return 0, fmt.Errorf("block %d record %d: %w", i, j, err)
+		}
+	}
+	return int64(h.length), nil
 }

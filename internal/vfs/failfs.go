@@ -3,6 +3,7 @@ package vfs
 import (
 	"errors"
 	"fmt"
+	"io"
 	"path"
 	"path/filepath"
 	"sync"
@@ -89,11 +90,36 @@ type FailPlan struct {
 	Err error
 }
 
+// CorruptPlan describes deterministic read-time corruption: reads of
+// matching files observe flipped bytes (and optionally a truncated tail)
+// while the bytes on "disk" stay intact. The corruption sweeps use it to
+// model latent media errors — silent bit rot the engine only notices when
+// a read or scrub lands on the damaged range — without mutating state, so
+// one seeded directory serves an entire campaign of corruption points.
+type CorruptPlan struct {
+	// Pattern restricts corruption to files whose base name matches this
+	// path.Match pattern (e.g. "*.sst"); empty matches every file.
+	Pattern string
+	// Start is the offset of the first corrupted byte within each
+	// matching file.
+	Start int64
+	// Stride is the distance between corrupted bytes; <= 0 corrupts only
+	// the byte at Start.
+	Stride int64
+	// Count is how many bytes are flipped per file; <= 0 flips nothing
+	// (a truncation-only plan).
+	Count int
+	// TruncateAt, when > 0, makes reads behave as if matching files ended
+	// at this offset (a torn tail), in addition to any byte flips.
+	TruncateAt int64
+}
+
 // FailFS wraps another FS and injects failures according to an armed
-// FailPlan. The crash tests use sticky plans to stop the engine
-// mid-flush / mid-GC deterministically, then reopen the underlying FS and
-// check recovery; the fault sweeps additionally use transient plans and
-// read-path targeting.
+// FailPlan, and/or read-time corruption according to an armed CorruptPlan.
+// The crash tests use sticky plans to stop the engine mid-flush / mid-GC
+// deterministically, then reopen the underlying FS and check recovery; the
+// fault sweeps additionally use transient plans and read-path targeting;
+// the corruption sweeps arm CorruptPlans to model bit rot.
 type FailFS struct {
 	inner FS
 
@@ -103,6 +129,10 @@ type FailFS struct {
 	matched  int64           // matching ops observed since the last arm
 	injected int64           // ops failed since the last arm
 	locked   map[string]bool // dirs locked through this wrapper
+
+	corruptArmed bool
+	corrupt      CorruptPlan
+	corrupted    int64 // reads that observed corrupt bytes since last arm
 }
 
 // NewFail wraps inner; the file system operates normally until Arm or
@@ -161,6 +191,96 @@ func (fs *FailFS) InjectedOps() int64 {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.injected
+}
+
+// ArmCorrupt installs plan: subsequent reads of matching files observe
+// the flipped bytes (and truncated tail) it describes. The underlying
+// bytes are untouched — DisarmCorrupt restores clean reads.
+func (fs *FailFS) ArmCorrupt(plan CorruptPlan) {
+	fs.mu.Lock()
+	fs.corruptArmed = true
+	fs.corrupt = plan
+	fs.corrupted = 0
+	fs.mu.Unlock()
+}
+
+// DisarmCorrupt restores clean reads. The CorruptedReads counter keeps
+// its value until the next ArmCorrupt.
+func (fs *FailFS) DisarmCorrupt() {
+	fs.mu.Lock()
+	fs.corruptArmed = false
+	fs.mu.Unlock()
+}
+
+// CorruptedReads returns how many reads observed corrupt bytes since the
+// last ArmCorrupt — zero means the armed corruption sat in a range no
+// read touched (a sweep uses this to tell "not detected" from "not read").
+func (fs *FailFS) CorruptedReads() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.corrupted
+}
+
+// corruptRange applies the armed corruption to p, which was read from
+// name at offset off with n valid bytes. It returns the (possibly
+// reduced) length and whether a truncation clamp makes the read end
+// early.
+func (fs *FailFS) corruptRange(name string, p []byte, off int64, n int) (int, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.corruptArmed || n <= 0 {
+		return n, false
+	}
+	cp := fs.corrupt
+	if cp.Pattern != "" {
+		if ok, err := path.Match(cp.Pattern, filepath.Base(name)); err != nil || !ok {
+			return n, false
+		}
+	}
+	touched := false
+	truncated := false
+	if cp.TruncateAt > 0 && off+int64(n) > cp.TruncateAt {
+		n = int(cp.TruncateAt - off)
+		if n < 0 {
+			n = 0
+		}
+		touched = true
+		truncated = true
+	}
+	stride := cp.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	for k := 0; k < cp.Count; k++ {
+		t := cp.Start + int64(k)*stride
+		if t >= off && t < off+int64(n) {
+			p[t-off] ^= 0xFF
+			touched = true
+		}
+		if cp.Stride <= 0 {
+			break
+		}
+	}
+	if touched {
+		fs.corrupted++
+	}
+	return n, truncated
+}
+
+// corruptSize clamps a reported file size to the armed truncation point.
+func (fs *FailFS) corruptSize(name string, size int64) int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.corruptArmed || fs.corrupt.TruncateAt <= 0 || size <= fs.corrupt.TruncateAt {
+		return size
+	}
+	cp := fs.corrupt
+	if cp.Pattern != "" {
+		if ok, err := path.Match(cp.Pattern, filepath.Base(name)); err != nil || !ok {
+			return size
+		}
+	}
+	return cp.TruncateAt
 }
 
 // step runs one operation through the armed plan, returning the injected
@@ -237,7 +357,12 @@ func (fs *FailFS) ReadFile(name string) ([]byte, error) {
 	if err := fs.step(OpReadFile, name); err != nil {
 		return nil, err
 	}
-	return fs.inner.ReadFile(name)
+	data, err := fs.inner.ReadFile(name)
+	if err == nil {
+		n, _ := fs.corruptRange(name, data, 0, len(data))
+		data = data[:n]
+	}
+	return data, err
 }
 
 func (fs *FailFS) WriteFile(name string, data []byte) error {
@@ -316,7 +441,12 @@ func (f *failFile) ReadAt(p []byte, off int64) (int, error) {
 	if err := f.fs.step(OpReadAt, f.name); err != nil {
 		return 0, err
 	}
-	return f.f.ReadAt(p, off)
+	n, err := f.f.ReadAt(p, off)
+	n, truncated := f.fs.corruptRange(f.name, p, off, n)
+	if truncated && err == nil {
+		err = io.EOF
+	}
+	return n, err
 }
 
 func (f *failFile) Close() error { return f.f.Close() }
@@ -328,4 +458,10 @@ func (f *failFile) Sync() error {
 	return f.f.Sync()
 }
 
-func (f *failFile) Size() (int64, error) { return f.f.Size() }
+func (f *failFile) Size() (int64, error) {
+	size, err := f.f.Size()
+	if err == nil {
+		size = f.fs.corruptSize(f.name, size)
+	}
+	return size, err
+}

@@ -186,3 +186,97 @@ func TestFailFSArmCompat(t *testing.T) {
 		t.Fatal("Failed()=false")
 	}
 }
+
+func TestFailFSCorruptPlan(t *testing.T) {
+	ffs, name := failFixture(t) // file holds "0123456789"
+	ffs.ArmCorrupt(CorruptPlan{Pattern: "*.sst", Start: 2, Stride: 3, Count: 2})
+
+	// ReadAt observes flipped bytes at offsets 2 and 5; disk is untouched.
+	f, err := ffs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("0123456789")
+	want[2] ^= 0xFF
+	want[5] ^= 0xFF
+	if string(buf) != string(want) {
+		t.Fatalf("ReadAt=%q want %q", buf, want)
+	}
+	f.Close()
+	if got := ffs.CorruptedReads(); got != 1 {
+		t.Fatalf("CorruptedReads=%d want 1", got)
+	}
+
+	// ReadFile applies the same plan.
+	data, err := ffs.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(want) {
+		t.Fatalf("ReadFile=%q want %q", data, want)
+	}
+
+	// A read that misses every flipped offset is clean and uncounted.
+	before := ffs.CorruptedReads()
+	f, _ = ffs.Open(name)
+	one := make([]byte, 1)
+	if _, err := f.ReadAt(one, 0); err != nil || one[0] != '0' {
+		t.Fatalf("clean byte read: %q err=%v", one, err)
+	}
+	f.Close()
+	if got := ffs.CorruptedReads(); got != before {
+		t.Fatalf("CorruptedReads advanced on a clean read: %d -> %d", before, got)
+	}
+
+	// Non-matching files are untouched.
+	other := filepath.Join("db", "seed.log")
+	if err := ffs.WriteFile(other, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := ffs.ReadFile(other); string(data) != "abcdef" {
+		t.Fatalf("pattern leak: %q", data)
+	}
+
+	// Disarm restores clean reads — the corruption never reached disk.
+	ffs.DisarmCorrupt()
+	if data, _ := ffs.ReadFile(name); string(data) != "0123456789" {
+		t.Fatalf("post-disarm read=%q, corruption leaked to disk", data)
+	}
+}
+
+func TestFailFSCorruptTruncate(t *testing.T) {
+	ffs, name := failFixture(t) // 10 bytes
+	ffs.ArmCorrupt(CorruptPlan{TruncateAt: 6})
+
+	f, err := ffs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if size, err := f.Size(); err != nil || size != 6 {
+		t.Fatalf("Size=%d err=%v, want 6", size, err)
+	}
+	buf := make([]byte, 10)
+	n, err := f.ReadAt(buf, 0)
+	if n != 6 {
+		t.Fatalf("ReadAt n=%d want 6 (err=%v)", n, err)
+	}
+	if string(buf[:n]) != "012345" {
+		t.Fatalf("ReadAt=%q want %q", buf[:n], "012345")
+	}
+	// Reads entirely past the clamp observe an empty tail.
+	if n, _ := f.ReadAt(buf, 8); n != 0 {
+		t.Fatalf("read past truncation: n=%d want 0", n)
+	}
+	if data, _ := ffs.ReadFile(name); len(data) != 6 {
+		t.Fatalf("ReadFile len=%d want 6", len(data))
+	}
+	ffs.DisarmCorrupt()
+	if size, _ := f.Size(); size != 10 {
+		t.Fatalf("post-disarm Size=%d want 10", size)
+	}
+}

@@ -33,6 +33,10 @@ import (
 
 const headerLen = 8
 
+// HeaderLen is the fixed per-frame header size (length + checksum),
+// exported for offline tools that reason about frame extents.
+const HeaderLen = headerLen
+
 // ErrBadPointer reports a pointer that does not match the log contents.
 var ErrBadPointer = errors.New("vlog: pointer does not match log record")
 
@@ -718,14 +722,54 @@ func (m *Manager) GarbageOf(n uint32) int64 {
 // VerifyLog walks log n sequentially, checking every framed value's
 // checksum. It returns the number of values and the first error.
 func (m *Manager) VerifyLog(n uint32) (int, error) {
+	count, _, err := m.VerifyLogPrefix(n, -1, nil)
+	return count, err
+}
+
+// VerifyLogPrefix verifies the first limit bytes of log n (limit < 0
+// means the whole file). pace, when non-nil, is called with each verified
+// frame's byte count — the scrub's rate limiter hangs off it — and may
+// abort the walk by returning an error. It returns the number of valid
+// frames, the offset where the walk stopped (the length of the longest
+// valid frame prefix), and the first error.
+//
+// Passing the active log's reconciled boundary as limit verifies exactly
+// the sealed prefix: appends only ever extend the boundary, so the bytes
+// below a captured boundary are immutable even while writers append.
+func (m *Manager) VerifyLogPrefix(n uint32, limit int64, pace func(int64) error) (int, int64, error) {
 	f, err := m.reader(n)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	size, err := f.Size()
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
+	if limit >= 0 && limit < size {
+		size = limit
+	}
+	return ScanValidPrefix(f, size, pace)
+}
+
+// ActiveBound returns the active log's number and its reconciled frame
+// boundary: every byte below the boundary belongs to a complete,
+// checksummed frame. ok is false when no log is open for appends.
+func (m *Manager) ActiveBound() (n uint32, off int64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.active == nil {
+		return 0, 0, false
+	}
+	return m.activeNum, m.activeOff, true
+}
+
+// ScanValidPrefix walks the framed values in the first size bytes of f,
+// verifying every checksum, and returns the frame count, the length of
+// the longest valid frame prefix, and the first error. Offline repair
+// uses the returned prefix length as the truncation point for a torn
+// log; pace is the optional per-frame rate-limit hook (see
+// VerifyLogPrefix).
+func ScanValidPrefix(f vfs.File, size int64, pace func(int64) error) (int, int64, error) {
 	count := 0
 	var off int64
 	hdr := make([]byte, headerLen)
@@ -735,29 +779,34 @@ func (m *Manager) VerifyLog(n uint32) (int, error) {
 		// so require the full header (and below, the full value).
 		n, err := f.ReadAt(hdr, off)
 		if err != nil && err != io.EOF {
-			return count, err
+			return count, off, err
 		}
 		if n < headerLen {
-			return count, fmt.Errorf("%w: truncated header at offset %d", ErrCorrupt, off)
+			return count, off, fmt.Errorf("%w: truncated header at offset %d", ErrCorrupt, off)
 		}
 		length, rest, _ := codec.Uint32(hdr)
 		crc, _, _ := codec.Uint32(rest)
 		if off+headerLen+int64(length) > size {
-			return count, fmt.Errorf("%w: truncated value at offset %d", ErrCorrupt, off)
+			return count, off, fmt.Errorf("%w: truncated value at offset %d", ErrCorrupt, off)
 		}
 		val := make([]byte, length)
 		n, err = f.ReadAt(val, off+headerLen)
 		if err != nil && err != io.EOF {
-			return count, err
+			return count, off, err
 		}
 		if n < int(length) {
-			return count, fmt.Errorf("%w: truncated value at offset %d", ErrCorrupt, off)
+			return count, off, fmt.Errorf("%w: truncated value at offset %d", ErrCorrupt, off)
 		}
 		if codec.MaskChecksum(codec.Checksum(val)) != crc {
-			return count, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+			return count, off, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
 		}
 		count++
 		off += headerLen + int64(length)
+		if pace != nil {
+			if err := pace(headerLen + int64(length)); err != nil {
+				return count, off, err
+			}
+		}
 	}
-	return count, nil
+	return count, off, nil
 }

@@ -288,6 +288,8 @@ func statusErr(resp protocol.Response) error {
 		return unikv.ErrClosed
 	case protocol.StatusDegraded:
 		return fmt.Errorf("%w: %s", unikv.ErrDegraded, resp.Msg)
+	case protocol.StatusQuarantined:
+		return fmt.Errorf("%w: %s", unikv.ErrPartitionQuarantined, resp.Msg)
 	default:
 		return fmt.Errorf("client: server error %s: %s", resp.Status, resp.Msg)
 	}

@@ -227,3 +227,72 @@ func TestDegradedEndToEnd(t *testing.T) {
 	}
 	ffs.Disarm()
 }
+
+// TestQuarantinedEndToEnd trips a partition quarantine through the real
+// stack: read-time table corruption behind a real server quarantines the
+// owning partition, writes come back matching unikv.ErrPartitionQuarantined
+// (via the distinct QUARANTINED wire status), the engine never enters
+// whole-DB degraded mode, and STATS carries the quarantined-partition count.
+func TestQuarantinedEndToEnd(t *testing.T) {
+	ffs := vfs.NewFail(vfs.NewMem())
+	_, _, addr := startServer(t, &unikv.Options{
+		FS:                ffs,
+		MemtableSize:      2 << 10,
+		UnsortedLimit:     8 << 10,
+		MaxLogSize:        8 << 10,
+		BackgroundWorkers: 2,
+		JobRetries:        1,
+		RetryBaseDelay:    time.Millisecond,
+		RetryMaxDelay:     2 * time.Millisecond,
+	}, server.Options{})
+	c := dialClient(t, addr, nil)
+
+	// Seed until at least one table has been flushed, so reads have
+	// on-disk blocks to trip over.
+	for i := 0; ; i++ {
+		if err := c.Put(key(i%512), bytes.Repeat([]byte("v"), 64)); err != nil {
+			t.Fatal(err)
+		}
+		if i%64 == 0 {
+			m, err := c.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Engine.Flushes > 0 {
+				break
+			}
+		}
+		if i > 50000 {
+			t.Fatal("no flush after 50k puts")
+		}
+	}
+
+	// Every table read now returns flipped bytes; a foreground read or a
+	// background job finds the corruption and quarantines the partition.
+	ffs.ArmCorrupt(vfs.CorruptPlan{Pattern: "*.sst", Start: 0, Stride: 64, Count: 1 << 20})
+	var writeErr error
+	for i := 0; i < 50000 && writeErr == nil; i++ {
+		if i%16 == 0 {
+			c.Get(key(i % 512)) // drive foreground reads into the bad blocks
+		}
+		writeErr = c.Put(key(i%512), bytes.Repeat([]byte("w"), 64))
+	}
+	if writeErr == nil {
+		t.Fatal("writes never failed with every table read corrupted")
+	}
+	if !errors.Is(writeErr, unikv.ErrPartitionQuarantined) {
+		t.Fatalf("client write error %v, want to match unikv.ErrPartitionQuarantined", writeErr)
+	}
+
+	m, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats while quarantined: %v", err)
+	}
+	if m.Engine.QuarantinedPartitions == 0 {
+		t.Fatalf("STATS reports no quarantined partitions: %+v", m.Engine)
+	}
+	if m.Engine.Degraded {
+		t.Fatalf("file-scoped corruption degraded the whole DB: %q", m.Engine.DegradedCause)
+	}
+	ffs.DisarmCorrupt()
+}

@@ -76,6 +76,15 @@ var ErrSnapshotClosed = core.ErrSnapshotClosed
 // reopening the database clears it.
 var ErrDegraded = core.ErrDegraded
 
+// ErrPartitionQuarantined matches (via errors.Is) every error returned by
+// writes routed to a quarantined partition: corruption was detected in
+// that partition's files (by the background scrub or a foreground read),
+// so its key range rejects writes while every other partition keeps
+// serving reads and writes. Metrics reports the count
+// (QuarantinedPartitions); run Repair (or unikv-ctl repair) offline and
+// reopen to recover.
+var ErrPartitionQuarantined = core.ErrPartitionQuarantined
+
 // ErrorClass partitions engine errors by the recovery action they permit:
 // transient errors may succeed when retried, corruption errors mean the
 // stored bytes are wrong (retrying is useless), fatal errors are
@@ -173,6 +182,16 @@ type Options struct {
 	// (with jitter) up to RetryMaxDelay. Defaults 10ms and 1s.
 	RetryBaseDelay time.Duration
 	RetryMaxDelay  time.Duration
+	// ScrubInterval enables the background integrity scrub: every interval
+	// the engine re-reads and checksum-verifies every table block and
+	// value-log frame, quarantining exactly the partitions whose files turn
+	// out corrupt (see ErrPartitionQuarantined) while the rest keep
+	// serving. 0 (the default) disables scrubbing entirely.
+	ScrubInterval time.Duration
+	// ScrubBytesPerSec bounds the scrub's read rate so verification cannot
+	// starve foreground I/O. 0 selects the default (8 MiB/s); negative
+	// removes the bound.
+	ScrubBytesPerSec int64
 
 	// Advanced / experiment knobs. Leave zero unless reproducing the
 	// paper's ablations.
@@ -214,6 +233,8 @@ func (o *Options) toCore() core.Options {
 		JobRetries:          o.JobRetries,
 		RetryBaseDelay:      o.RetryBaseDelay,
 		RetryMaxDelay:       o.RetryMaxDelay,
+		ScrubInterval:       o.ScrubInterval,
+		ScrubBytesPerSec:    o.ScrubBytesPerSec,
 		SyncWrites:          o.SyncWrites,
 		DisableWAL:          o.DisableWAL,
 		DisableHashIndex:    o.DisableHashIndex,
@@ -282,10 +303,34 @@ func NewBatch() *Batch { return core.NewBatch() }
 func (db *DB) Apply(b *Batch) error { return db.eng.ApplyBatch(b) }
 
 // VerifyIntegrity re-reads and checksum-verifies every table block and
-// sealed value-log record, returning the first corruption found (nil when
-// clean). The actively appended log is skipped; verify a quiesced or
-// freshly opened database for full coverage.
+// value-log record — including the active log's sealed prefix — returning
+// the first corruption found (nil when clean).
 func (db *DB) VerifyIntegrity() error { return db.eng.VerifyIntegrity() }
+
+// CorruptionReport locates one corrupt file found by VerifyIntegrityReport.
+type CorruptionReport = core.CorruptionReport
+
+// VerifyIntegrityReport runs the same verification as VerifyIntegrity but
+// keeps going after the first failure, returning every corruption found
+// (empty when clean). Verification is read-only: it reports, it does not
+// quarantine.
+func (db *DB) VerifyIntegrityReport() ([]CorruptionReport, error) {
+	return db.eng.VerifyIntegrityReport()
+}
+
+// RepairReport is the loss report returned by Repair.
+type RepairReport = core.RepairReport
+
+// Repair salvages the database in path offline (the database must not be
+// open): torn value-log tails are truncated at the last valid frame,
+// unreadable tables are moved into path/lost/, surviving tables are
+// rewritten without pointers into lost log bytes, and the manifest is
+// rebuilt from what remains. The report enumerates every file dropped and
+// the key ranges affected. A nil opts selects defaults (opts matters when
+// the database uses a custom FS).
+func Repair(path string, opts *Options) (*RepairReport, error) {
+	return core.Repair(path, opts.toCore())
+}
 
 // Snapshot is a consistent point-in-time read handle: Get and Scan observe
 // exactly the writes sequenced at or before NewSnapshot, no matter how many
